@@ -1,0 +1,60 @@
+"""Figure 4 — the four versions on the base configuration.
+
+Regenerates the per-benchmark improvement bars of the paper's Figure 4
+(cache bypassing as the hardware mechanism) and asserts the qualitative
+shape: software dominates the regular codes, the hardware-only version
+is the weakest on average, and the selective version is never worse
+than the naive combination.
+"""
+
+from statistics import mean
+
+from benchmarks.conftest import (
+    IRREGULAR,
+    REGULAR,
+    assert_selective_shape,
+    get_sweep,
+)
+from repro.evaluation.claims import check_claims
+from repro.evaluation.figures import figure_series
+from repro.evaluation.report import render_figure
+
+CONFIG = "Base Confg."
+
+
+def test_figure4_base_configuration(benchmark):
+    sweep = benchmark.pedantic(
+        get_sweep, args=(CONFIG,), rounds=1, iterations=1
+    )
+    series = figure_series(4, sweep)
+    print()
+    print(render_figure(series))
+    print()
+    print("Paper-claim verdicts (base configuration):")
+    for verdict in check_claims(sweep):
+        status = "REPRODUCED" if verdict.holds else "DEVIATES"
+        print(f"  [{status:<10}] {verdict.claim.text}")
+
+    assert_selective_shape(sweep)
+
+    # Pure software dominates regular codes and does ~nothing for the
+    # irregular ones (Section 5.1: 26.63% vs 0.8%).
+    sw_regular = mean(
+        sweep.runs[n].improvement("pure_sw") for n in REGULAR
+    )
+    sw_irregular = mean(
+        sweep.runs[n].improvement("pure_sw") for n in IRREGULAR
+    )
+    assert sw_regular > 15.0
+    assert abs(sw_irregular) < 2.0
+    assert sw_regular > sw_irregular + 10.0
+
+    # Pure hardware is the weakest version on average.
+    averages = {
+        label: series.version_average(label)
+        for label in ("Pure Hardware", "Pure Software", "Combined",
+                      "Selective")
+    }
+    assert averages["Pure Hardware"] == min(averages.values())
+    # Selective is the best or tied-best average of the four.
+    assert averages["Selective"] >= max(averages.values()) - 1.0

@@ -1,0 +1,30 @@
+"""Figure 8 — higher L2 associativity (8-way, size constant).
+
+Paper: "although the overall impact of our approach decreases with the
+increased associativity, it still performs the best."
+"""
+
+from benchmarks.conftest import assert_selective_shape, get_sweep
+from repro.evaluation.figures import figure_series
+from repro.evaluation.report import render_figure
+
+CONFIG = "Higher L2 Asc."
+
+
+def test_figure8_higher_l2_associativity(benchmark):
+    sweep = benchmark.pedantic(
+        get_sweep, args=(CONFIG,), rounds=1, iterations=1
+    )
+    series = figure_series(8, sweep)
+    print()
+    print(render_figure(series))
+
+    assert_selective_shape(sweep)
+
+    averages = {
+        label: series.version_average(label)
+        for label in ("Pure Hardware", "Pure Software", "Combined",
+                      "Selective")
+    }
+    assert averages["Selective"] >= max(averages.values()) - 1.0
+    assert averages["Selective"] > 5.0

@@ -1,0 +1,39 @@
+"""Figure 9 — higher L1 associativity (8-way, size constant).
+
+Paper: "Increasing L1 associativity has an effect similar to increasing
+L2 associativity" — conflict misses fall at the base configuration, so
+every version's improvement shrinks, with the ordering intact.
+"""
+
+from benchmarks.conftest import REGULAR, assert_selective_shape, get_sweep
+from repro.evaluation.figures import figure_series
+from repro.evaluation.report import render_figure
+
+CONFIG = "Higher L1 Asc."
+
+
+def test_figure9_higher_l1_associativity(benchmark):
+    sweep = benchmark.pedantic(
+        get_sweep, args=(CONFIG,), rounds=1, iterations=1
+    )
+    series = figure_series(9, sweep)
+    print()
+    print(render_figure(series))
+
+    assert_selective_shape(sweep)
+
+    # 8-way L1 removes many base-configuration conflict misses: the
+    # regular codes' software win must not grow relative to the
+    # 4-way base machine.
+    base = get_sweep("Base Confg.")
+    for name in REGULAR:
+        assert (
+            sweep.runs[name].improvement("pure_sw")
+            <= base.runs[name].improvement("pure_sw") + 8.0
+        )
+    averages = [
+        series.version_average(label)
+        for label in ("Pure Hardware", "Pure Software", "Combined",
+                      "Selective")
+    ]
+    assert series.version_average("Selective") >= max(averages) - 1.0

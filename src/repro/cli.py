@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation artifacts:
+
+* ``list``       — the benchmark suite with categories;
+* ``run``        — the four versions of one benchmark on one config;
+* ``regions``    — region detection + marker placement for a benchmark;
+* ``table2``     — benchmark characteristics (Table 2);
+* ``table3``     — average improvements across configurations (Table 3);
+* ``figure N``   — one of Figures 4-9;
+* ``trace``      — dump a benchmark's trace to a file (binary format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.experiment import run_benchmark
+from repro.core.runner import run_suite
+from repro.core.versions import prepare_codes
+from repro.evaluation.figures import FIGURES, figure_series
+from repro.evaluation.report import (
+    render_figure,
+    render_table2,
+    render_table3,
+)
+from repro.evaluation.table2 import table2_rows
+from repro.evaluation.table3 import sweep_to_row
+from repro.isa.encoding import encode_trace
+from repro.params import SENSITIVITY_CONFIGS, base_config
+from repro.workloads.base import MEDIUM, SMALL, TINY, Scale
+from repro.workloads.registry import all_specs, get_spec
+
+__all__ = ["main"]
+
+_SCALES = {"tiny": TINY, "small": SMALL, "medium": MEDIUM}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An Integrated Approach for Improving "
+            "Cache Behavior' (DATE 2003)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="workload problem size (default: small)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    run_cmd = sub.add_parser(
+        "run", help="run the four versions of one benchmark"
+    )
+    run_cmd.add_argument("benchmark")
+    run_cmd.add_argument(
+        "--config",
+        choices=list(SENSITIVITY_CONFIGS),
+        default="Base Confg.",
+    )
+
+    regions_cmd = sub.add_parser(
+        "regions", help="show region detection + markers for a benchmark"
+    )
+    regions_cmd.add_argument("benchmark")
+
+    sub.add_parser("table2", help="reproduce Table 2")
+
+    table3_cmd = sub.add_parser("table3", help="reproduce Table 3")
+    table3_cmd.add_argument(
+        "--config",
+        action="append",
+        choices=list(SENSITIVITY_CONFIGS),
+        help="restrict to specific configurations (default: all six)",
+    )
+
+    figure_cmd = sub.add_parser("figure", help="reproduce one figure")
+    figure_cmd.add_argument("number", type=int, choices=sorted(FIGURES))
+
+    trace_cmd = sub.add_parser(
+        "trace", help="dump a benchmark's base trace to a file"
+    )
+    trace_cmd.add_argument("benchmark")
+    trace_cmd.add_argument("output")
+    trace_cmd.add_argument(
+        "--version",
+        choices=["base", "optimized", "selective"],
+        default="base",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'name':<10} {'category':<10} description")
+    for spec in all_specs():
+        print(f"{spec.name:<10} {spec.category:<10} {spec.description}")
+    return 0
+
+
+def _cmd_run(name: str, config_name: str, scale: Scale) -> int:
+    machine = SENSITIVITY_CONFIGS[config_name]().scaled(
+        scale.machine_divisor
+    )
+    reference = base_config().scaled(scale.machine_divisor)
+    started = time.time()
+    codes = prepare_codes(get_spec(name), scale, reference)
+    run = run_benchmark(codes, machine)
+    print(
+        f"{name} on {config_name} (scale {scale.name}, "
+        f"{time.time() - started:.1f}s)"
+    )
+    print(f"base: {run.baseline.cycles:,} cycles, "
+          f"L1D miss rate {run.baseline.l1d_miss_rate:.3f}\n")
+    print(f"{'version':<22}{'cycles':>12}{'improvement':>13}")
+    for key in run.version_keys():
+        if key == "base":
+            continue
+        result = run.results[key]
+        print(f"{key:<22}{result.cycles:>12,}"
+              f"{run.improvement(key):>12.2f}%")
+    return 0
+
+
+def _cmd_regions(name: str, scale: Scale) -> int:
+    from repro.compiler.regions.detect import detect_regions
+    from repro.compiler.regions.markers import insert_markers
+
+    program = get_spec(name).instantiate(scale)
+    detection = detect_regions(program)
+    report = insert_markers(program, rerun_detection=False)
+    print(detection.summary())
+    print("regions in program order:", detection.preferences())
+    print(
+        f"markers: {report.activates} ON, {report.deactivates} OFF "
+        f"({report.eliminated} redundant eliminated of "
+        f"{report.naive_markers} naive)"
+    )
+    return 0
+
+
+def _cmd_table2(scale: Scale) -> int:
+    print(render_table2(table2_rows(scale)))
+    return 0
+
+
+def _cmd_table3(config_names: Optional[list[str]], scale: Scale) -> int:
+    names = config_names or list(SENSITIVITY_CONFIGS)
+    configs = {name: SENSITIVITY_CONFIGS[name] for name in names}
+    suite = run_suite(scale, configs=configs, progress=_progress)
+    rows = [
+        sweep_to_row(name, suite.sweeps[name]) for name in suite.sweeps
+    ]
+    print(render_table3(rows))
+    return 0
+
+
+def _cmd_figure(number: int, scale: Scale) -> int:
+    config_name = FIGURES[number]
+    suite = run_suite(
+        scale,
+        configs={config_name: SENSITIVITY_CONFIGS[config_name]},
+        progress=_progress,
+    )
+    print(render_figure(figure_series(number, suite.sweep(config_name))))
+    return 0
+
+
+def _cmd_trace(name: str, output: str, version: str, scale: Scale) -> int:
+    reference = base_config().scaled(scale.machine_divisor)
+    codes = prepare_codes(get_spec(name), scale, reference)
+    trace = {
+        "base": codes.base_trace,
+        "optimized": codes.optimized_trace,
+        "selective": codes.selective_trace,
+    }[version]
+    data = encode_trace(trace)
+    with open(output, "wb") as handle:
+        handle.write(data)
+    print(
+        f"wrote {len(data):,} bytes ({len(trace):,} records, "
+        f"{trace.memory_reference_count:,} memory refs) to {output}"
+    )
+    return 0
+
+
+def _progress(message: str) -> None:
+    print(f"  [{message}]", file=sys.stderr)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    scale = _SCALES[args.scale]
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.benchmark, args.config, scale)
+    if args.command == "regions":
+        return _cmd_regions(args.benchmark, scale)
+    if args.command == "table2":
+        return _cmd_table2(scale)
+    if args.command == "table3":
+        return _cmd_table3(args.config, scale)
+    if args.command == "figure":
+        return _cmd_figure(args.number, scale)
+    if args.command == "trace":
+        return _cmd_trace(args.benchmark, args.output, args.version, scale)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

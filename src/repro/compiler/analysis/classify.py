@@ -1,0 +1,85 @@
+"""Reference classification and the hardware/compiler decision.
+
+Implements paper Section 2.3: references are *analyzable* (scalars,
+affine array references) or *non-analyzable* (non-affine, indexed,
+pointer, struct).  A loop is optimized by the compiler when the ratio
+of analyzable references to total references meets a threshold (0.5 in
+the paper's experiments, chosen after "extensive experimentation" —
+and not critical, since real regions are 90-100% pure).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.stmts import Statement
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "count_references",
+    "analyzable_ratio",
+    "classify_loop",
+    "classify_statement",
+]
+
+#: The threshold of Section 4.1.
+DEFAULT_THRESHOLD = 0.5
+
+#: Region preferences.
+SOFTWARE = "sw"
+HARDWARE = "hw"
+MIXED = "mixed"
+
+
+def count_references(
+    node: Union[Loop, Statement, Iterable[Statement]],
+) -> tuple[int, int]:
+    """(analyzable, total) static reference counts under ``node``."""
+    if isinstance(node, Statement):
+        statements: Iterable[Statement] = [node]
+    elif isinstance(node, Loop):
+        statements = node.all_statements()
+    else:
+        statements = node
+    analyzable = total = 0
+    for statement in statements:
+        for ref in statement.references:
+            total += 1
+            if ref.analyzable:
+                analyzable += 1
+    return analyzable, total
+
+
+def analyzable_ratio(node: Union[Loop, Statement]) -> float:
+    """Fraction of analyzable references (1.0 for an empty region).
+
+    An empty region contains nothing the hardware could help with, so
+    treating it as fully analyzable keeps it out of hardware regions.
+    """
+    analyzable, total = count_references(node)
+    if total == 0:
+        return 1.0
+    return analyzable / total
+
+
+def classify_loop(loop: Loop, threshold: float = DEFAULT_THRESHOLD) -> str:
+    """"sw" when the loop clears the analyzable-ratio threshold else "hw".
+
+    This is the paper's per-innermost-loop decision; propagation to
+    outer loops is done by :mod:`repro.compiler.regions.detect`.
+    """
+    return SOFTWARE if analyzable_ratio(loop) >= threshold else HARDWARE
+
+
+def classify_statement(
+    statement: Statement, threshold: float = DEFAULT_THRESHOLD
+) -> str:
+    """Classification for straight-line code between loops.
+
+    The paper treats such statements "as if they are within an imaginary
+    loop that iterates only once" (Section 2.2).
+    """
+    return (
+        SOFTWARE if analyzable_ratio(statement) >= threshold else HARDWARE
+    )

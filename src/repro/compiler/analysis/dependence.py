@@ -1,0 +1,178 @@
+"""Direction/distance-vector dependence test for loop permutation.
+
+A deliberately conservative test sufficient for the regular kernels the
+paper's compiler path handles:
+
+* Only pairs involving at least one write to the same array can carry a
+  dependence.
+* When both references are affine and *structurally aligned* — every
+  subscript pair has identical variable terms and differs only in the
+  constant — the constant differences, mapped through the (single)
+  variable of each subscript, give an exact distance vector.
+* Anything else (different variable structure, non-affine, indexed,
+  pointer) makes the test answer "unknown", which callers must treat as
+  an illegal-to-permute verdict.
+
+A loop permutation is legal iff every distance vector remains
+lexicographically non-negative after permutation (Wolf & Lam).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.compiler.ir.refs import AffineRef, Reference
+from repro.compiler.ir.stmts import Statement
+
+__all__ = [
+    "INDEPENDENT",
+    "distance_vectors",
+    "permutation_legal",
+    "pair_distance",
+]
+
+#: Sentinel: the pair provably never touches the same element.
+INDEPENDENT = "independent"
+
+
+def pair_distance(
+    source: AffineRef,
+    sink: AffineRef,
+    nest_vars: Sequence[str],
+):
+    """Distance vector from ``source`` to ``sink`` over ``nest_vars``.
+
+    Returns a tuple of per-loop distances, the :data:`INDEPENDENT`
+    sentinel when the references provably never overlap, or None when
+    the pair cannot be analyzed exactly (the caller must then assume an
+    unknown dependence).  A distance of d in loop v means: the element
+    ``source`` touches at iteration I is touched by ``sink`` d
+    iterations of v later.
+    """
+    if source.array.name != sink.array.name:
+        raise ValueError(
+            "distance requested for references to different arrays"
+        )
+    distances = {v: 0 for v in nest_vars}
+    constrained: set[str] = set()
+    for sub_a, sub_b in zip(source.subscripts, sink.subscripts):
+        if sub_a.terms != sub_b.terms:
+            return None  # structurally misaligned (e.g. A[i][j] vs A[j][i])
+        if not sub_a.terms:
+            if sub_a.const != sub_b.const:
+                return INDEPENDENT  # disjoint constant slices
+            continue
+        if len(sub_a.terms) != 1:
+            return None  # coupled subscripts (i+j) — give up, conservative
+        ((variable, coeff),) = sub_a.terms.items()
+        if variable not in distances:
+            return None  # varies with a non-nest variable; can't reason
+        diff = sub_a.const - sub_b.const
+        if diff % coeff:
+            return INDEPENDENT  # stride never bridges the offset
+        distance = diff // coeff
+        if variable in constrained and distances[variable] != distance:
+            return INDEPENDENT  # inconsistent constraints: no solution
+        distances[variable] = distance
+        constrained.add(variable)
+    return tuple(distances[v] for v in nest_vars)
+
+
+def distance_vectors(
+    nest_vars: Sequence[str],
+    statements: Iterable[Statement],
+) -> Optional[list[tuple[int, ...]]]:
+    """All dependence distance vectors among ``statements``.
+
+    Returns None as soon as any potentially-dependent pair cannot be
+    analyzed — the conservative "don't transform" answer.
+    """
+    reads_by_array: dict[str, list[AffineRef]] = {}
+    writes_by_array: dict[str, list[AffineRef]] = {}
+    for statement in statements:
+        for ref in statement.reads:
+            if not _sortable(ref, reads_by_array, writes_by_array, False):
+                return None
+        for ref in statement.writes:
+            if not _sortable(ref, reads_by_array, writes_by_array, True):
+                return None
+
+    vectors: list[tuple[int, ...]] = []
+    for array_name, writes in writes_by_array.items():
+        others = writes + reads_by_array.get(array_name, [])
+        for write in writes:
+            for other in others:
+                if other is write:
+                    continue
+                distance = pair_distance(write, other, nest_vars)
+                if distance is None:
+                    return None
+                if distance == INDEPENDENT:
+                    continue
+                if any(distance):
+                    vectors.append(_normalize(distance))
+    return vectors
+
+
+def _normalize(vector: tuple[int, ...]) -> tuple[int, ...]:
+    """Flip lexicographically-negative vectors.
+
+    A negative leading distance means the dependence actually flows
+    from the other reference to this one (e.g. ``d[k] = d[k+1]`` is a
+    backward recurrence whose true flow distance is +1); the dependence
+    constraint is the same either way, but legality checks expect the
+    canonical non-negative orientation.
+    """
+    for component in vector:
+        if component > 0:
+            return vector
+        if component < 0:
+            return tuple(-c for c in vector)
+    return vector
+
+
+def _sortable(
+    ref: Reference,
+    reads: dict[str, list[AffineRef]],
+    writes: dict[str, list[AffineRef]],
+    is_write: bool,
+) -> bool:
+    """File an affine ref into the maps; reject unanalyzable writes.
+
+    Non-analyzable *reads* of arrays nobody writes are harmless; any
+    other non-affine reference forces the conservative answer.
+    """
+    from repro.compiler.ir.refs import RegisterRef, ScalarRef
+
+    if isinstance(ref, ScalarRef) or isinstance(ref, RegisterRef):
+        return True  # scalars are privatizable work registers here
+    if isinstance(ref, AffineRef):
+        target = writes if is_write else reads
+        target.setdefault(ref.array.name, []).append(ref)
+        return True
+    # Non-affine references: a read is tolerated only if the array is
+    # never written in the nest — checked lazily by returning False for
+    # writes and accepting reads (writes_by_array won't contain it).
+    return not is_write
+
+
+def permutation_legal(
+    vectors: Optional[list[tuple[int, ...]]],
+    permutation: Sequence[int],
+) -> bool:
+    """Is reordering the nest by ``permutation`` legal?
+
+    ``permutation[k]`` is the original position of the loop placed at
+    level k.  None vectors (unknown dependence) are illegal; otherwise
+    each permuted vector must stay lexicographically non-negative.
+    """
+    if vectors is None:
+        return False
+    for vector in vectors:
+        permuted = tuple(vector[p] for p in permutation)
+        for component in permuted:
+            if component > 0:
+                break
+            if component < 0:
+                return False
+    return True

@@ -1,0 +1,56 @@
+"""Data-footprint estimation for tiling decisions.
+
+Tiling pays off when the data a nest traverses between reuses exceeds
+the cache (capacity misses); the optimizer compares this estimate
+against the L1 size to decide whether to tile and with what tile size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.refs import AffineRef
+from repro.compiler.ir.stmts import Statement
+
+__all__ = ["nest_footprint_bytes", "ref_footprint_bytes"]
+
+
+def ref_footprint_bytes(ref: AffineRef, trip_counts: dict[str, int]) -> int:
+    """Bytes of distinct data ``ref`` touches over the whole nest.
+
+    Approximated per dimension: a subscript spanning loop variables
+    covers the product of their trip counts (clamped to the dimension's
+    extent); constant subscripts cover one element.
+    """
+    array = ref.array
+    elements = 1
+    for dim, subscript in enumerate(ref.subscripts):
+        span = 1
+        for variable in subscript.variables:
+            span *= max(trip_counts.get(variable, 1), 1)
+        elements *= min(span, array.shape[dim])
+    return elements * array.element_size
+
+
+def nest_footprint_bytes(
+    nest_loops: list[Loop], statements: Iterable[Statement]
+) -> int:
+    """Total distinct bytes the nest touches (affine references only).
+
+    Multiple references to the same array are merged by taking the
+    largest single-reference footprint per array — adjacent stencil
+    taps mostly overlap, so summing them would badly overestimate.
+    """
+    trip_counts = {
+        loop.var: loop.trip_count_estimate() for loop in nest_loops
+    }
+    per_array: dict[str, int] = {}
+    for statement in statements:
+        for ref in statement.references:
+            if isinstance(ref, AffineRef):
+                footprint = ref_footprint_bytes(ref, trip_counts)
+                name = ref.array.name
+                if footprint > per_array.get(name, 0):
+                    per_array[name] = footprint
+    return sum(per_array.values())

@@ -1,0 +1,34 @@
+"""Executable loop-nest intermediate representation."""
+
+from repro.compiler.ir.expr import AffineExpr, MinExpr, var
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import (
+    AffineRef,
+    ArrayDecl,
+    IndexedRef,
+    NonAffineRef,
+    PointerChaseRef,
+    Reference,
+    RegisterRef,
+    ScalarRef,
+)
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+
+__all__ = [
+    "AffineExpr",
+    "AffineRef",
+    "ArrayDecl",
+    "IndexedRef",
+    "Loop",
+    "MarkerStmt",
+    "MinExpr",
+    "NonAffineRef",
+    "PointerChaseRef",
+    "Program",
+    "Reference",
+    "RegisterRef",
+    "ScalarRef",
+    "Statement",
+    "var",
+]

@@ -1,0 +1,102 @@
+"""Convenience builder for constructing IR programs.
+
+Workload definitions read close to the modelled source code::
+
+    b = ProgramBuilder("example")
+    U = b.array("U", (N,))
+    V = b.array("V", (N, N))
+    i, j = var("i"), var("j")
+    b.append(
+        loop("i", 0, N, [
+            loop("j", 0, N, [
+                stmt(writes=[U[j]], reads=[U[j], V[j, i]], work=2),
+            ]),
+        ])
+    )
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.compiler.ir.expr import AffineExpr, BoundLike, MinExpr, as_expr
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import ArrayDecl, Reference
+from repro.compiler.ir.stmts import Statement
+
+__all__ = ["ProgramBuilder", "loop", "stmt"]
+
+
+def loop(
+    var: str,
+    lower: Union[AffineExpr, int],
+    upper: BoundLike,
+    body: Sequence[Node],
+    step: int = 1,
+) -> Loop:
+    """Build a loop node; bounds accept ints or affine expressions."""
+    upper_expr = upper if isinstance(upper, MinExpr) else as_expr(upper)
+    return Loop(var, as_expr(lower), upper_expr, list(body), step)
+
+
+def stmt(
+    writes: Optional[Sequence[Reference]] = None,
+    reads: Optional[Sequence[Reference]] = None,
+    work: int = 1,
+    label: Optional[str] = None,
+) -> Statement:
+    """Build a statement node."""
+    return Statement(
+        reads=list(reads or []),
+        writes=list(writes or []),
+        work=work,
+        label=label,
+    )
+
+
+class ProgramBuilder:
+    """Accumulates arrays and top-level nodes into a Program."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._arrays: dict[str, ArrayDecl] = {}
+        self._body: list[Node] = []
+
+    def array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        element_size: int = 8,
+        data: Optional[np.ndarray] = None,
+        pad: int = 0,
+    ) -> ArrayDecl:
+        """Declare an array and return its declaration (for subscripting)."""
+        if name in self._arrays:
+            raise ValueError(f"array {name} already declared")
+        decl = ArrayDecl(
+            name=name,
+            shape=shape,
+            element_size=element_size,
+            data=data,
+            pad=pad,
+        )
+        self._arrays[name] = decl
+        return decl
+
+    def index_array(
+        self, name: str, data: np.ndarray, element_size: int = 4
+    ) -> ArrayDecl:
+        """Declare an array that carries run-time index values."""
+        return self.array(
+            name, tuple(data.shape), element_size=element_size, data=data
+        )
+
+    def append(self, *nodes: Node) -> None:
+        self._body.extend(nodes)
+
+    def build(self) -> Program:
+        return Program(self._name, dict(self._arrays), list(self._body))

@@ -1,0 +1,204 @@
+"""Affine index expressions over loop variables.
+
+An :class:`AffineExpr` is ``const + sum(coeff_v * v)`` over loop
+variables.  These are the subscripts the paper's Section 2.3 calls
+*analyzable*: ``B[i]``, ``C[i+j][k-1]``.  Expressions support natural
+arithmetic (``i + 1``, ``2 * i - j``) so workload definitions read like
+the source loops they model.
+
+:class:`MinExpr` exists for loop upper bounds produced by tiling
+(``min(N, tt + T)``); it is not a valid array subscript.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+__all__ = ["AffineExpr", "MinExpr", "var", "const", "as_expr", "BoundLike"]
+
+
+class AffineExpr:
+    """Immutable affine combination of loop variables plus a constant."""
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: Mapping[str, int] | None = None, const: int = 0):
+        cleaned = {}
+        if terms:
+            for name, coeff in terms.items():
+                if not isinstance(coeff, int):
+                    raise TypeError(f"coefficient of {name} must be int")
+                if coeff != 0:
+                    cleaned[name] = coeff
+        object.__setattr__(self, "terms", cleaned)
+        object.__setattr__(self, "const", const)
+
+    def __setattr__(self, *_args) -> None:
+        raise AttributeError("AffineExpr is immutable")
+
+    def __copy__(self) -> "AffineExpr":
+        return self  # immutable: sharing is safe
+
+    def __deepcopy__(self, _memo) -> "AffineExpr":
+        return self
+
+    # -- evaluation ----------------------------------------------------
+
+    def eval(self, bindings: Mapping[str, int]) -> int:
+        """Value under loop-variable ``bindings``.
+
+        Raises KeyError if a variable is unbound — that is a bug in the
+        caller (an expression escaping its loop), so it must not pass
+        silently.
+        """
+        total = self.const
+        for name, coeff in self.terms.items():
+            total += coeff * bindings[name]
+        return total
+
+    # -- structure queries ----------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.terms)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def coefficient(self, name: str) -> int:
+        return self.terms.get(name, 0)
+
+    def depends_on(self, name: str) -> bool:
+        return name in self.terms
+
+    def substitute(self, name: str, replacement: "AffineExpr") -> "AffineExpr":
+        """Replace variable ``name`` with an affine ``replacement``."""
+        coeff = self.terms.get(name, 0)
+        if coeff == 0:
+            return self
+        rest = {k: v for k, v in self.terms.items() if k != name}
+        result = AffineExpr(rest, self.const)
+        return result + replacement * coeff
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        other = as_expr(other)
+        terms = dict(self.terms)
+        for name, coeff in other.terms.items():
+            terms[name] = terms.get(name, 0) + coeff
+        return AffineExpr(terms, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        return self + (as_expr(other) * -1)
+
+    def __rsub__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        return as_expr(other) + (self * -1)
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if not isinstance(factor, int):
+            raise TypeError("AffineExpr can only be scaled by an int")
+        return AffineExpr(
+            {n: c * factor for n, c in self.terms.items()}, self.const * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "AffineExpr":
+        return self * -1
+
+    # -- identity --------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (tuple(sorted(self.terms.items())), self.const)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self.is_constant and self.const == other
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, coeff in sorted(self.terms.items()):
+            if coeff == 1:
+                parts.append(name)
+            elif coeff == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coeff}*{name}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+class MinExpr:
+    """``min`` of affine expressions; only valid as a loop upper bound."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Union[AffineExpr, int]):
+        if not operands:
+            raise ValueError("MinExpr needs at least one operand")
+        object.__setattr__(
+            self, "operands", tuple(as_expr(op) for op in operands)
+        )
+
+    def __setattr__(self, *_args) -> None:
+        raise AttributeError("MinExpr is immutable")
+
+    def __copy__(self) -> "MinExpr":
+        return self  # immutable: sharing is safe
+
+    def __deepcopy__(self, _memo) -> "MinExpr":
+        return self
+
+    def eval(self, bindings: Mapping[str, int]) -> int:
+        return min(op.eval(bindings) for op in self.operands)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for op in self.operands:
+            names |= op.variables
+        return names
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MinExpr):
+            return NotImplemented
+        return self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(self.operands)
+
+    def __repr__(self) -> str:
+        return "min(" + ", ".join(map(repr, self.operands)) + ")"
+
+
+#: Anything accepted as a loop bound.
+BoundLike = Union[AffineExpr, MinExpr, int]
+
+
+def var(name: str) -> AffineExpr:
+    """The loop variable ``name`` as an expression."""
+    return AffineExpr({name: 1})
+
+
+def const(value: int) -> AffineExpr:
+    return AffineExpr({}, value)
+
+
+def as_expr(value: Union[AffineExpr, int]) -> AffineExpr:
+    """Coerce an int (or pass through an expression)."""
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, int):
+        return AffineExpr({}, value)
+    raise TypeError(f"cannot treat {value!r} as an affine expression")

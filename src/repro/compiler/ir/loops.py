@@ -1,0 +1,129 @@
+"""Loops and loop-nest traversal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.compiler.ir.expr import AffineExpr, MinExpr, as_expr
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+
+__all__ = ["Loop", "Node"]
+
+Node = Union["Loop", Statement, MarkerStmt]
+
+
+@dataclass
+class Loop:
+    """``for var in [lower, upper) step step: body``.
+
+    Bounds are affine in outer loop variables (``MinExpr`` uppers appear
+    after tiling).  ``preference`` is filled in by the region-detection
+    pass: "sw" (compiler-optimizable), "hw" (leave to the run-time
+    mechanism) or "mixed" (an outer loop whose children disagree,
+    paper Figure 2 step 7).
+    """
+
+    var: str
+    lower: AffineExpr
+    upper: Union[AffineExpr, MinExpr]
+    body: list[Node] = field(default_factory=list)
+    step: int = 1
+    preference: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.lower = as_expr(self.lower) if isinstance(
+            self.lower, int
+        ) else self.lower
+        if isinstance(self.upper, int):
+            self.upper = as_expr(self.upper)
+        if self.step <= 0:
+            raise ValueError(f"loop {self.var}: step must be positive")
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def inner_loops(self) -> list["Loop"]:
+        """Directly nested loops."""
+        return [child for child in self.body if isinstance(child, Loop)]
+
+    @property
+    def is_innermost(self) -> bool:
+        return not self.inner_loops
+
+    def statements(self) -> list[Statement]:
+        """Direct child statements (not those inside nested loops)."""
+        return [child for child in self.body if isinstance(child, Statement)]
+
+    def walk(self) -> Iterator[Node]:
+        """Pre-order traversal of this loop and everything below it."""
+        yield self
+        for child in self.body:
+            if isinstance(child, Loop):
+                yield from child.walk()
+            else:
+                yield child
+
+    def all_statements(self) -> Iterator[Statement]:
+        """Every statement in the subtree, in program order."""
+        for node in self.walk():
+            if isinstance(node, Statement):
+                yield node
+
+    def nest_depth(self) -> int:
+        """Depth of the deepest loop chain rooted here (this loop = 1)."""
+        inner = self.inner_loops
+        if not inner:
+            return 1
+        return 1 + max(child.nest_depth() for child in inner)
+
+    # -- static estimates --------------------------------------------------
+
+    def trip_count_estimate(self, assumed_outer: int = 16) -> int:
+        """Iterations of this loop, assuming ``assumed_outer`` when the
+        bounds depend on outer variables (triangular loops etc.)."""
+        lower = self.lower.const if self.lower.is_constant else 0
+        if isinstance(self.upper, MinExpr):
+            candidates = [
+                op.const for op in self.upper.operands if op.is_constant
+            ]
+            upper = min(candidates) if candidates else assumed_outer
+        elif self.upper.is_constant:
+            upper = self.upper.const
+        else:
+            upper = assumed_outer
+        trips = (upper - lower + self.step - 1) // self.step
+        return max(trips, 0)
+
+    def is_perfect_nest(self) -> bool:
+        """True when every level down to the innermost has a single loop
+        child and no statements except at the innermost level."""
+        loop: Loop = self
+        while True:
+            inner = loop.inner_loops
+            if not inner:
+                return True
+            if len(inner) > 1 or loop.statements():
+                return False
+            loop = inner[0]
+
+    def perfect_nest_loops(self) -> list["Loop"]:
+        """The loops of a perfect nest from outermost (self) inwards.
+
+        For an imperfect nest, returns the perfectly-nested prefix.
+        """
+        loops = [self]
+        loop = self
+        while True:
+            inner = loop.inner_loops
+            if len(inner) != 1 or loop.statements():
+                return loops
+            loop = inner[0]
+            loops.append(loop)
+
+    def __repr__(self) -> str:
+        tag = f" [{self.preference}]" if self.preference else ""
+        return (
+            f"Loop({self.var} in [{self.lower!r}, {self.upper!r})"
+            f"{tag}, {len(self.body)} children)"
+        )

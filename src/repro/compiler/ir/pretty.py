@@ -1,0 +1,111 @@
+"""Human-readable rendering of IR programs.
+
+Produces a pseudo-C listing of a program — loops, statements with
+their references, region annotations, ON/OFF markers — for debugging
+workload models and inspecting what the transformations did.  Used by
+``python -m repro regions`` consumers and the examples.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir.expr import AffineExpr, MinExpr
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import (
+    AffineRef,
+    IndexedRef,
+    NonAffineRef,
+    PointerChaseRef,
+    Reference,
+    RegisterRef,
+    ScalarRef,
+)
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+
+__all__ = ["format_program", "format_reference"]
+
+_INDENT = "    "
+
+
+def format_reference(ref: Reference) -> str:
+    """One reference as source-like text."""
+    if isinstance(ref, ScalarRef):
+        return ref.name
+    if isinstance(ref, AffineRef):
+        subscripts = "][".join(repr(s) for s in ref.subscripts)
+        return f"{ref.array.name}[{subscripts}]"
+    if isinstance(ref, IndexedRef):
+        inner = format_reference(ref.index)
+        suffix = ""
+        if ref.scale != 1:
+            suffix += f"*{ref.scale}"
+        if ref.offset:
+            suffix += f"+{ref.offset}"
+        return f"{ref.array.name}[{inner}{suffix}]"
+    if isinstance(ref, PointerChaseRef):
+        return f"{ref.array.name}->({ref.chain}+{ref.field_offset})"
+    if isinstance(ref, NonAffineRef):
+        return f"{ref.array.name}[<{ref.description}>]"
+    if isinstance(ref, RegisterRef):
+        return f"reg({format_reference(ref.original)})"
+    return repr(ref)
+
+
+def _format_bound(bound) -> str:
+    if isinstance(bound, MinExpr):
+        return "min(" + ", ".join(repr(op) for op in bound.operands) + ")"
+    return repr(bound)
+
+
+def _format_statement(statement: Statement) -> str:
+    writes = ", ".join(format_reference(w) for w in statement.writes)
+    reads = ", ".join(format_reference(r) for r in statement.reads)
+    label = statement.label or "stmt"
+    preference = (
+        f"  /* {statement.preference} */" if statement.preference else ""
+    )
+    lhs = writes or "_"
+    return f"{lhs} = f({reads});  // {label}{preference}"
+
+
+def _render(node, lines: list[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(node, Loop):
+        preference = f"  /* {node.preference} */" if node.preference else ""
+        lower = _format_bound(node.lower)
+        upper = _format_bound(node.upper)
+        step = f"; step {node.step}" if node.step != 1 else ""
+        lines.append(
+            f"{pad}for ({node.var} = {lower}; {node.var} < {upper}"
+            f"{step}) {{{preference}"
+        )
+        for child in node.body:
+            _render(child, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, Statement):
+        lines.append(pad + _format_statement(node))
+    elif isinstance(node, MarkerStmt):
+        word = "ACTIVATE" if node.activates else "DEACTIVATE"
+        lines.append(f"{pad}__{word}_HW();")
+    else:  # pragma: no cover - closed node set
+        lines.append(f"{pad}/* {node!r} */")
+
+
+def format_program(program: Program, include_arrays: bool = True) -> str:
+    """The whole program as a pseudo-C listing."""
+    lines: list[str] = [f"// program {program.name}"]
+    if include_arrays:
+        for decl in program.arrays.values():
+            shape = "][".join(str(extent) for extent in decl.shape)
+            layout = ""
+            if decl.dim_order != tuple(range(decl.rank)):
+                layout = f"  /* layout {decl.dim_order} */"
+            pad = f" pad={decl.pad}" if decl.pad else ""
+            skew = f" skew={decl.base_skew}" if decl.base_skew else ""
+            lines.append(
+                f"double {decl.name}[{shape}];"
+                f"{layout}{pad}{skew}".rstrip()
+            )
+    for node in program.body:
+        _render(node, lines, 0)
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""The integrated locality-optimization pipeline (paper Section 3.2).
+
+Applies, to every software-analyzable region found by region detection:
+
+1. **Loop interchange** — temporal-reuse-first permutation of each
+   perfect nest.
+2. **Data layout selection** — per-array storage order so the innermost
+   loop sweeps stride-1 (global, voted across regions).
+3. **Iteration-space tiling** — when the nest's footprint exceeds L1 and
+   outer loops carry reuse.
+4. **Unroll-and-jam** — small-factor outer unrolling into the inner body.
+5. **Scalar replacement** — inner-invariant references promoted to
+   registers (loads hoisted, stores sunk).
+
+Hardware-preferred regions are left untouched — their locality is the
+run-time mechanism's job.  The same optimized program is used by the
+Pure-Software, Combined, and Selective versions (Section 4.4); only the
+Selective version additionally carries ON/OFF markers.
+
+Each step can be disabled independently, which the ablation benchmarks
+use to attribute the software-side gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.compiler.analysis.classify import (
+    DEFAULT_THRESHOLD,
+    MIXED,
+    SOFTWARE,
+)
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.program import Program
+from repro.compiler.regions.detect import RegionReport, detect_regions
+from repro.compiler.transforms.interchange import (
+    InterchangeResult,
+    apply_interchange,
+)
+from repro.compiler.transforms.layout import (
+    LayoutResult,
+    apply_layouts,
+    apply_padding,
+    choose_layouts,
+)
+from repro.compiler.transforms.scalar_replacement import (
+    ScalarReplacementResult,
+    apply_scalar_replacement,
+)
+from repro.compiler.transforms.tiling import TilingResult, apply_tiling
+from repro.compiler.transforms.unroll import UnrollResult, apply_unroll_and_jam
+from repro.params import MachineParams
+
+__all__ = ["LocalityOptimizer", "OptimizationReport"]
+
+
+@dataclass
+class OptimizationReport:
+    """Everything the optimizer did to one program."""
+
+    program_name: str
+    regions: RegionReport | None = None
+    interchanges: list[InterchangeResult] = field(default_factory=list)
+    layout: LayoutResult | None = None
+    padded_arrays: list[str] = field(default_factory=list)
+    tilings: list[TilingResult] = field(default_factory=list)
+    unrolls: list[UnrollResult] = field(default_factory=list)
+    scalar: ScalarReplacementResult | None = None
+
+    @property
+    def interchanged_nests(self) -> int:
+        return sum(1 for r in self.interchanges if r.applied)
+
+    @property
+    def tiled_nests(self) -> int:
+        return sum(1 for r in self.tilings if r.applied)
+
+    @property
+    def unrolled_nests(self) -> int:
+        return sum(1 for r in self.unrolls if r.applied)
+
+    def summary(self) -> str:
+        layouts = len(self.layout.changed) if self.layout else 0
+        promoted = self.scalar.promoted if self.scalar else 0
+        return (
+            f"{self.program_name}: {self.interchanged_nests} interchanged, "
+            f"{layouts} layouts changed, {len(self.padded_arrays)} padded, "
+            f"{self.tiled_nests} tiled, {self.unrolled_nests} unrolled, "
+            f"{promoted} refs promoted"
+        )
+
+
+class LocalityOptimizer:
+    """Compiler-side optimizer driven by a machine description."""
+
+    def __init__(
+        self,
+        machine: MachineParams,
+        threshold: float = DEFAULT_THRESHOLD,
+        enable_interchange: bool = True,
+        enable_layout: bool = True,
+        enable_padding: bool = True,
+        enable_tiling: bool = True,
+        enable_unroll: bool = True,
+        enable_scalar_replacement: bool = True,
+        unroll_factor: int = 2,
+    ):
+        self.machine = machine
+        self.threshold = threshold
+        self.enable_interchange = enable_interchange
+        self.enable_layout = enable_layout
+        self.enable_padding = enable_padding
+        self.enable_tiling = enable_tiling
+        self.enable_unroll = enable_unroll
+        self.enable_scalar_replacement = enable_scalar_replacement
+        self.unroll_factor = unroll_factor
+
+    def optimize(self, program: Program) -> OptimizationReport:
+        """Transform ``program`` in place; return the report."""
+        report = OptimizationReport(program.name)
+        report.regions = detect_regions(program, self.threshold)
+        heads = list(self._software_nest_heads(program))
+
+        if self.enable_interchange:
+            line = self.machine.l1d.block_size
+            for head in heads:
+                report.interchanges.append(apply_interchange(head, line))
+
+        if self.enable_layout:
+            report.layout = choose_layouts(
+                program,
+                line_size=self.machine.l1d.block_size,
+                l1_size=self.machine.l1d.size,
+            )
+            apply_layouts(program, report.layout)
+
+        if self.enable_padding:
+            # Padding targets conflict-prone arrays: those whose
+            # references asked for layout attention, plus everything in
+            # a nest that interchange had to fix — both kinds end up as
+            # dense streams whose only remaining misses are same-set
+            # collisions between arrays.
+            candidates: set[str] | None
+            if report.layout is not None:
+                candidates = set(report.layout.votes)
+                for head, interchange in zip(heads, report.interchanges):
+                    if interchange.applied:
+                        candidates.update(_nest_array_names(head))
+            else:
+                candidates = None
+            report.padded_arrays = apply_padding(
+                program,
+                self.machine.l1d.block_size,
+                self.machine.l2.block_size,
+                candidates=candidates,
+            )
+
+        if self.enable_tiling:
+            l1_bytes = self.machine.l1d.size
+            for head in heads:
+                report.tilings.append(apply_tiling(head, l1_bytes))
+
+        if self.enable_unroll:
+            tiled = {
+                id(head)
+                for head, tiling in zip(heads, report.tilings)
+                if tiling.applied
+            } if report.tilings else set()
+            for head in heads:
+                if id(head) in tiled:
+                    report.unrolls.append(
+                        UnrollResult(False, reason="nest was tiled")
+                    )
+                    continue
+                report.unrolls.append(
+                    apply_unroll_and_jam(head, self.unroll_factor)
+                )
+
+        if self.enable_scalar_replacement:
+            total = ScalarReplacementResult()
+            for region in self._software_regions(program):
+                partial = apply_scalar_replacement(region)
+                total.promoted += partial.promoted
+                total.loops_transformed += partial.loops_transformed
+            report.scalar = total
+
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _software_regions(self, program: Program) -> Iterator[Loop]:
+        """Maximal loops with preference "sw", in program order."""
+
+        def walk(nodes):
+            for node in nodes:
+                if not isinstance(node, Loop):
+                    continue
+                if node.preference == SOFTWARE:
+                    yield node
+                elif node.preference == MIXED:
+                    yield from walk(node.body)
+
+        yield from walk(program.body)
+
+    def _software_nest_heads(self, program: Program) -> Iterator[Loop]:
+        """Transformable nest heads inside the software regions.
+
+        A nest head is a loop whose perfect-nest chain bottoms out at a
+        true innermost loop; imperfect levels split into separate heads
+        below the imperfection.
+        """
+        for region in self._software_regions(program):
+            yield from _nest_heads(region)
+
+
+def _nest_array_names(head: Loop) -> set[str]:
+    """Names of arrays referenced anywhere under ``head`` (rank >= 2)."""
+    from repro.compiler.ir.refs import AffineRef
+
+    names: set[str] = set()
+    for statement in head.all_statements():
+        for ref in statement.references:
+            if isinstance(ref, AffineRef) and ref.array.rank >= 2:
+                names.add(ref.array.name)
+    return names
+
+
+def _nest_heads(loop: Loop) -> Iterator[Loop]:
+    chain = loop.perfect_nest_loops()
+    bottom = chain[-1]
+    if bottom.is_innermost:
+        yield loop
+        return
+    for inner in bottom.inner_loops:
+        yield from _nest_heads(inner)

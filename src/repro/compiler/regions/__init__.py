@@ -1,0 +1,6 @@
+"""Region detection and ON/OFF marker placement (paper Section 2)."""
+
+from repro.compiler.regions.detect import RegionReport, detect_regions
+from repro.compiler.regions.markers import MarkerReport, insert_markers
+
+__all__ = ["RegionReport", "MarkerReport", "detect_regions", "insert_markers"]

@@ -1,0 +1,126 @@
+"""The region-detection algorithm (paper Section 2.2, Figure 2).
+
+Works from the innermost loops outwards:
+
+1. Each innermost loop is classified by the analyzable-reference ratio
+   of Section 2.3 ("sw" at or above the threshold, else "hw").
+2. A loop whose inner loops all share one preference inherits it —
+   including any of its own statements outside those inner loops
+   ("they will also be optimized using hardware", Figure 2 steps 2-3).
+3. A loop whose inner loops disagree becomes "mixed" (Figure 2 step 7):
+   no single strategy is chosen; instead its children form separate
+   regions, and its direct statements are classified individually as
+   one-iteration imaginary loops.
+
+The result is a partition of the program into uniform regions, each
+annotated on the IR (``Loop.preference`` / ``Statement.preference``)
+ready for marker insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.analysis.classify import (
+    DEFAULT_THRESHOLD,
+    HARDWARE,
+    MIXED,
+    SOFTWARE,
+    classify_loop,
+    classify_statement,
+)
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+
+__all__ = ["RegionReport", "detect_regions"]
+
+
+@dataclass
+class RegionReport:
+    """Outcome of region detection over one program."""
+
+    program_name: str
+    threshold: float
+    #: Maximal uniform regions: (preference, node) in program order.
+    regions: list[tuple[str, object]] = field(default_factory=list)
+    software_loops: int = 0
+    hardware_loops: int = 0
+    mixed_loops: int = 0
+
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    def preferences(self) -> list[str]:
+        return [pref for pref, _node in self.regions]
+
+    def summary(self) -> str:
+        return (
+            f"{self.program_name}: {self.region_count} regions "
+            f"({self.software_loops} sw / {self.hardware_loops} hw / "
+            f"{self.mixed_loops} mixed loops, threshold {self.threshold})"
+        )
+
+
+def detect_regions(
+    program: Program, threshold: float = DEFAULT_THRESHOLD
+) -> RegionReport:
+    """Annotate every loop and sandwiched statement; return the report.
+
+    Idempotent: re-running overwrites previous annotations.
+    """
+    report = RegionReport(program.name, threshold)
+    for node in program.body:
+        if isinstance(node, Loop):
+            _annotate_loop(node, threshold, report)
+        elif isinstance(node, Statement):
+            node.preference = classify_statement(node, threshold)
+    _collect_regions(program.body, report)
+    return report
+
+
+def _annotate_loop(loop: Loop, threshold: float, report: RegionReport) -> str:
+    """Post-order annotation; returns the loop's preference."""
+    inner = loop.inner_loops
+    if not inner:
+        loop.preference = classify_loop(loop, threshold)
+    else:
+        child_prefs = {
+            _annotate_loop(child, threshold, report) for child in inner
+        }
+        if len(child_prefs) == 1 and MIXED not in child_prefs:
+            # Uniform children: propagate outward (Figure 2 steps 2-3);
+            # the loop's own statements ride along with the region.
+            loop.preference = child_prefs.pop()
+            for statement in loop.statements():
+                statement.preference = None
+        else:
+            loop.preference = MIXED
+            # Statements sandwiched between differing inner regions get
+            # their own classification (imaginary one-trip loops).
+            for statement in loop.statements():
+                statement.preference = classify_statement(
+                    statement, threshold
+                )
+    if loop.preference == SOFTWARE:
+        report.software_loops += 1
+    elif loop.preference == HARDWARE:
+        report.hardware_loops += 1
+    else:
+        report.mixed_loops += 1
+    return loop.preference
+
+
+def _collect_regions(nodes, report: RegionReport) -> None:
+    """Record the maximal uniform regions in program order."""
+    for node in nodes:
+        if isinstance(node, MarkerStmt):
+            continue
+        if isinstance(node, Loop):
+            if node.preference in (SOFTWARE, HARDWARE):
+                report.regions.append((node.preference, node))
+            else:
+                _collect_regions(node.body, report)
+        elif isinstance(node, Statement) and node.preference is not None:
+            report.regions.append((node.preference, node))

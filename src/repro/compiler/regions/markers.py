@@ -1,0 +1,164 @@
+"""ON/OFF marker insertion with redundant-marker elimination.
+
+Conceptually two passes, as in paper Figure 1/Figure 2: every uniform
+region wants an activate (hw region) or deactivate (sw region)
+instruction at its header, and a second pass removes the redundant
+ones.  The implementation fuses the passes: it walks the program in
+execution order simulating the hardware state (initially OFF — "we
+start with a compiler approach", Section 2.2) and materializes a
+:class:`~repro.compiler.ir.stmts.MarkerStmt` only where the state must
+change.
+
+Loops need care: the state on entering iteration 2 of a mixed loop's
+body is the state at the *end* of the body, not the state before the
+loop.  When those differ, the body is re-emitted assuming an unknown
+entry state, which forces a marker before the first region inside —
+exactly the "reactivate it just above the loop at level 2 at the
+bottom" placement of Figure 2(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.analysis.classify import (
+    DEFAULT_THRESHOLD,
+    HARDWARE,
+    SOFTWARE,
+)
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+from repro.compiler.regions.detect import detect_regions
+
+__all__ = ["MarkerReport", "insert_markers"]
+
+#: Hardware state values during simulation.
+_ON = HARDWARE
+_OFF = SOFTWARE
+_UNKNOWN = "unknown"
+
+
+@dataclass
+class MarkerReport:
+    """Accounting of the marker-placement pass."""
+
+    program_name: str
+    activates: int = 0
+    deactivates: int = 0
+    #: Markers a naive one-per-region placement would have used.
+    naive_markers: int = 0
+
+    @property
+    def inserted(self) -> int:
+        return self.activates + self.deactivates
+
+    @property
+    def eliminated(self) -> int:
+        """Redundant markers avoided relative to naive placement."""
+        return max(self.naive_markers - self.inserted, 0)
+
+
+def insert_markers(
+    program: Program,
+    threshold: float = DEFAULT_THRESHOLD,
+    rerun_detection: bool = True,
+) -> MarkerReport:
+    """Insert ON/OFF markers in place; return the accounting report.
+
+    Region detection is (re)run first unless the caller has already
+    annotated the program and says so via ``rerun_detection=False``.
+    """
+    if rerun_detection:
+        detect_regions(program, threshold)
+    if program.markers():
+        raise ValueError(
+            f"{program.name}: program already contains ON/OFF markers"
+        )
+    report = MarkerReport(program.name)
+    report.naive_markers = _count_regions(program.body)
+    program.body, _exit_state = _emit(program.body, _OFF, report)
+    return report
+
+
+def _count_regions(nodes: list[Node]) -> int:
+    count = 0
+    for node in nodes:
+        if isinstance(node, Loop):
+            if node.preference in (SOFTWARE, HARDWARE):
+                count += 1
+            else:
+                count += _count_regions(node.body)
+        elif isinstance(node, Statement) and node.preference is not None:
+            count += 1
+    return count
+
+
+def _emit(
+    nodes: list[Node], state: str, report: MarkerReport
+) -> tuple[list[Node], str]:
+    """Rewrite ``nodes`` with the minimal markers; return new exit state."""
+    result: list[Node] = []
+    for node in nodes:
+        preference = _region_preference(node)
+        if preference is not None:
+            if state != preference:
+                result.append(_make_marker(preference, report))
+                state = preference
+            result.append(node)
+        elif isinstance(node, Loop):
+            # A mixed loop: markers go inside its body.  Try with the
+            # current entry state first; if the body would *exit* in a
+            # different state, iterations 2+ would re-enter with a
+            # stale assumption, so re-emit pessimistically (unknown
+            # entry forces a marker before the body's first region —
+            # the Figure 2(c) "reactivate at the bottom" shape).
+            saved = (report.activates, report.deactivates)
+            body, exit_state = _emit(node.body, state, report)
+            if exit_state not in (state, _UNKNOWN):
+                report.activates, report.deactivates = saved
+                _strip_markers(node.body)
+                body, exit_state = _emit(node.body, _UNKNOWN, report)
+            node.body = body
+            result.append(node)
+            if exit_state != _UNKNOWN:
+                state = exit_state
+        else:
+            result.append(node)
+    return result, state
+
+
+def _strip_markers(nodes: list[Node]) -> None:
+    """Remove markers inserted by an abandoned emission attempt.
+
+    Top-level markers of an attempt live in the returned copy, but
+    nested mixed loops are rewritten in place and must be cleaned
+    before retrying.
+    """
+    nodes[:] = [n for n in nodes if not isinstance(n, MarkerStmt)]
+    for node in nodes:
+        if isinstance(node, Loop) and node.preference not in (
+            SOFTWARE,
+            HARDWARE,
+        ):
+            _strip_markers(node.body)
+
+
+def _region_preference(node: Node) -> str | None:
+    """The uniform-region preference of ``node``, or None."""
+    if isinstance(node, Loop) and node.preference in (SOFTWARE, HARDWARE):
+        return node.preference
+    if isinstance(node, Statement) and node.preference in (
+        SOFTWARE,
+        HARDWARE,
+    ):
+        return node.preference
+    return None
+
+
+def _make_marker(preference: str, report: MarkerReport) -> MarkerStmt:
+    if preference == HARDWARE:
+        report.activates += 1
+        return MarkerStmt("on")
+    report.deactivates += 1
+    return MarkerStmt("off")

@@ -1,0 +1,16 @@
+"""Loop and data transformations (paper Section 3.2)."""
+
+from repro.compiler.transforms.interchange import apply_interchange
+from repro.compiler.transforms.layout import choose_layouts, apply_layouts
+from repro.compiler.transforms.scalar_replacement import apply_scalar_replacement
+from repro.compiler.transforms.tiling import apply_tiling
+from repro.compiler.transforms.unroll import apply_unroll_and_jam
+
+__all__ = [
+    "apply_interchange",
+    "apply_layouts",
+    "apply_scalar_replacement",
+    "apply_tiling",
+    "apply_unroll_and_jam",
+    "choose_layouts",
+]

@@ -1,0 +1,205 @@
+"""Loop interchange (Wolf & Lam [13]).
+
+Chooses the loop permutation that minimizes cache lines touched per
+innermost traversal, with temporal reuse weighted first — reproducing
+the paper's Section 3.2 example where the ``i`` loop (carrying temporal
+reuse of ``U[j]``) is moved innermost.
+
+The ranking uses a *layout-agnostic* potential cost, because the data
+transformation runs after interchange and will give stride-1 storage to
+whatever dimension the chosen innermost variable sweeps:
+
+* invariant reference → cost 1 (temporal reuse, a register-resident line);
+* variable appears in exactly one subscript with a unit coefficient →
+  cost ``trip * element / line`` (can be made spatial by layout);
+* otherwise → cost ``trip`` (a new line every iteration).
+
+Legality is checked with the direction-vector test; permutations that
+cannot be proven legal are not applied.  Only perfect nests with
+constant bounds are considered (triangular nests would need bound
+rewriting, which the paper's kernels do not require).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.analysis.dependence import (
+    distance_vectors,
+    permutation_legal,
+)
+from repro.compiler.analysis.reuse import address_stride
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.refs import AffineRef
+from repro.compiler.ir.stmts import Statement
+
+__all__ = ["apply_interchange", "InterchangeResult", "potential_cost"]
+
+_MAX_NEST_DEPTH = 4  # permutations enumerated exhaustively below this
+
+
+@dataclass(frozen=True)
+class InterchangeResult:
+    """What interchange did to one nest."""
+
+    applied: bool
+    order_before: tuple[str, ...]
+    order_after: tuple[str, ...]
+    reason: str = ""
+
+
+def potential_cost(
+    statements: list[Statement],
+    variable: str,
+    trip: int,
+    line_size: int,
+) -> float:
+    """Layout-agnostic lines-per-*iteration* estimate for ``variable``.
+
+    Per-iteration (not per-traversal) costs keep the comparison about
+    access structure: a 71- vs 72-trip difference between two loops
+    must not decide the permutation.
+
+    * invariant reference → ``1/trip`` (one line for the whole
+      traversal — temporal reuse);
+    * appears in exactly one subscript with a unit coefficient →
+      ``element/line`` (layout can make it stride-1 spatial);
+    * anything else → 1 line per iteration.
+    """
+    cost = 0.0
+    trip = max(trip, 1)
+    for statement in statements:
+        for ref in statement.references:
+            if isinstance(ref, AffineRef):
+                dims = [
+                    s.coefficient(variable)
+                    for s in ref.subscripts
+                    if s.coefficient(variable)
+                ]
+                if not dims:
+                    cost += 1.0 / trip
+                elif len(dims) == 1 and abs(dims[0]) == 1:
+                    cost += ref.array.element_size / line_size
+                else:
+                    cost += 1.0
+            elif not ref.analyzable:
+                cost += 1.0
+    return cost
+
+
+def current_cost(
+    statements: list[Statement],
+    variable: str,
+    trip: int,
+    line_size: int,
+) -> float:
+    """Lines-per-iteration under the *current* layouts (the tiebreak)."""
+    cost = 0.0
+    trip = max(trip, 1)
+    for statement in statements:
+        for ref in statement.references:
+            if isinstance(ref, AffineRef):
+                stride = abs(address_stride(ref, variable))
+                if stride == 0:
+                    cost += 1.0 / trip
+                elif stride < line_size:
+                    cost += stride / line_size
+                else:
+                    cost += 1.0
+            elif not ref.analyzable:
+                cost += 1.0
+    return cost
+
+
+def apply_interchange(nest_head: Loop, line_size: int) -> InterchangeResult:
+    """Permute the perfect nest rooted at ``nest_head`` in place."""
+    chain = nest_head.perfect_nest_loops()
+    original = tuple(loop.var for loop in chain)
+    if len(chain) < 2:
+        return InterchangeResult(False, original, original, "nest depth < 2")
+    if len(chain) > _MAX_NEST_DEPTH:
+        chain = chain[:_MAX_NEST_DEPTH]
+        original = tuple(loop.var for loop in chain)
+    if not _constant_bounds(chain):
+        return InterchangeResult(
+            False, original, original, "non-constant bounds"
+        )
+    innermost = chain[-1]
+    statements = list(innermost.all_statements())
+    if not statements:
+        return InterchangeResult(False, original, original, "empty nest")
+
+    nest_vars = [loop.var for loop in chain]
+    vectors = distance_vectors(nest_vars, statements)
+    if vectors is None:
+        return InterchangeResult(
+            False, original, original, "dependences not analyzable"
+        )
+
+    # Primary key: layout-agnostic potential cost.  Tie-break: the cost
+    # under the *current* layout — when layout could fix either
+    # orientation, prefer the one that is already cheap, leaving the
+    # data transformation free to serve other nests (this is what makes
+    # the ADI column sweep interchange rather than fight the row sweep
+    # over the array's layout).
+    costs = {}
+    for loop in chain:
+        trip = max(loop.trip_count_estimate(), 1)
+        costs[loop.var] = (
+            potential_cost(statements, loop.var, trip, line_size),
+            current_cost(statements, loop.var, trip, line_size),
+        )
+
+    best_perm: Optional[tuple[int, ...]] = None
+    best_key: Optional[tuple] = None
+    for perm in itertools.permutations(range(len(chain))):
+        if not permutation_legal(vectors, perm):
+            continue
+        # Innermost position dominates, then outward: lexicographic key.
+        key = tuple(costs[nest_vars[perm[level]]] for level in
+                    reversed(range(len(perm))))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_perm = perm
+    if best_perm is None:
+        return InterchangeResult(
+            False, original, original, "no legal permutation"
+        )
+    identity = tuple(range(len(chain)))
+    if best_perm == identity:
+        return InterchangeResult(
+            False, original, original, "already optimal"
+        )
+
+    _permute_chain(chain, best_perm)
+    return InterchangeResult(
+        True, original, tuple(loop.var for loop in chain), "interchanged"
+    )
+
+
+def _constant_bounds(chain: list[Loop]) -> bool:
+    for loop in chain:
+        if not loop.lower.is_constant:
+            return False
+        upper = loop.upper
+        if not (hasattr(upper, "is_constant") and upper.is_constant):
+            return False
+    return True
+
+
+def _permute_chain(chain: list[Loop], perm: tuple[int, ...]) -> None:
+    """Re-seat (var, bounds, step) along the chain per ``perm``.
+
+    The loop *objects* stay where they are (so parent links hold); only
+    their control fields move, which is exactly what interchange means
+    for a perfect nest.
+    """
+    controls = [(l.var, l.lower, l.upper, l.step) for l in chain]
+    for level, source in enumerate(perm):
+        var, lower, upper, step = controls[source]
+        chain[level].var = var
+        chain[level].lower = lower
+        chain[level].upper = upper
+        chain[level].step = step

@@ -1,0 +1,227 @@
+"""Data (memory-layout) transformations (O'Boyle & Knijnenburg [12],
+Kandemir et al. [5]) and array padding.
+
+After interchange fixes the loop order, each array votes for the
+storage order that makes its innermost-swept logical dimension the
+fastest-varying one — the paper's Section 3.2 example assigns array
+``V`` row-major and ``W`` column-major this way.  Votes are weighted by
+the estimated iteration count of the voting nest; the winning dimension
+is moved to the end of the array's ``dim_order``.
+
+A reference abstains when it already has *effective* spatial locality
+at the current layout: some enclosing loop sweeps it with a
+sub-line stride **and** the data touched between consecutive iterations
+of that loop fits comfortably in L1, so the line is still resident when
+the reuse arrives.  (A component array ``V[d, n]`` swept by a short
+inner ``d`` loop is the canonical case: its rows are consumed a few
+bytes per ``n`` step and changing the layout cannot reduce line
+traffic.)  Without this test the transformation "fixes" strides that
+were never costing misses.
+
+Layout is a *global* property of an array: all references everywhere
+see the new addressing, which is always legal (only addresses change,
+never values), but only software-analyzable nests get a vote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.analysis.classify import SOFTWARE
+from repro.compiler.analysis.reuse import address_stride, preferred_fastest_dim
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import AffineRef
+
+__all__ = [
+    "choose_layouts",
+    "apply_layouts",
+    "apply_padding",
+    "LayoutResult",
+]
+
+
+@dataclass
+class LayoutResult:
+    """Chosen storage orders and the votes that produced them."""
+
+    chosen: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    votes: dict[str, dict[int, float]] = field(default_factory=dict)
+    changed: list[str] = field(default_factory=list)
+
+
+def choose_layouts(
+    program: Program,
+    line_size: int = 32,
+    l1_size: int = 32 * 1024,
+) -> LayoutResult:
+    """Collect per-array fastest-dimension votes from software nests.
+
+    Every *innermost* loop inside a software region votes exactly once
+    (innermost loops inherit the region's preference from detection).
+    """
+    result = LayoutResult()
+    l1_lines = max(l1_size // line_size, 1)
+
+    def walk(nodes, ancestors: list[Loop]) -> None:
+        for node in nodes:
+            if not isinstance(node, Loop):
+                continue
+            chain = ancestors + [node]
+            if node.preference == SOFTWARE and node.is_innermost:
+                _vote_from_innermost(node, chain, line_size, l1_lines, result)
+            walk(node.body, chain)
+
+    walk(program.body, [])
+    for name, votes in result.votes.items():
+        array = program.arrays[name]
+        if array.rank < 2 or not votes:
+            continue
+        winner = max(votes.items(), key=lambda item: item[1])[0]
+        order = tuple(d for d in array.dim_order if d != winner) + (winner,)
+        result.chosen[name] = order
+    return result
+
+
+def _vote_from_innermost(
+    loop: Loop,
+    chain: list[Loop],
+    line_size: int,
+    l1_lines: int,
+    result: LayoutResult,
+) -> None:
+    """One innermost loop's votes, weighted by its trip count."""
+    weight = float(max(loop.trip_count_estimate(), 1))
+    statements = loop.statements()
+    bytes_per_iter = sum(
+        len(statement.references) * 8 for statement in statements
+    )
+    for statement in statements:
+        for ref in statement.references:
+            if not isinstance(ref, AffineRef) or ref.array.rank < 2:
+                continue
+            if _effective_spatial(
+                ref, chain, bytes_per_iter, line_size, l1_lines
+            ):
+                continue  # current layout already serves this reference
+            dim = preferred_fastest_dim(ref, loop.var)
+            if dim is None:
+                # The innermost loop does not move this reference; see
+                # whether an enclosing loop does, and if so prefer that
+                # dimension (the vpenta case: X[k, j] under innermost k
+                # votes for dim 0 through k itself, handled above).
+                continue
+            votes = result.votes.setdefault(ref.array.name, {})
+            votes[dim] = votes.get(dim, 0.0) + weight
+
+
+def _effective_spatial(
+    ref: AffineRef,
+    chain: list[Loop],
+    bytes_per_iter: int,
+    line_size: int,
+    l1_lines: int,
+) -> bool:
+    """Does ``ref`` already enjoy usable spatial locality?
+
+    Walks the enclosing loops from innermost outwards.  A sub-line
+    stride under loop v is *usable* when the data all references touch
+    between two consecutive v-iterations (its reuse distance) occupies
+    at most half of L1 — otherwise the line is gone before the next
+    sliver is wanted.
+    """
+    inner_trip_product = 1
+    lines_per_inner_iter = max(bytes_per_iter / line_size, 1.0)
+    for loop in reversed(chain):
+        stride = abs(address_stride(ref, loop.var))
+        if 0 < stride < line_size:
+            reuse_distance_lines = lines_per_inner_iter * inner_trip_product
+            if reuse_distance_lines <= l1_lines / 2:
+                return True
+        inner_trip_product *= max(loop.trip_count_estimate(), 1)
+    return False
+
+
+def apply_padding(
+    program: Program,
+    line_size: int,
+    l2_block_size: int = 128,
+    element_size: int = 8,
+    candidates: set[str] | None = None,
+) -> list[str]:
+    """Array padding for software-region arrays (intra- and inter-array).
+
+    The "aggressive array padding" the paper's compiler applies, in two
+    parts — both pure addressing changes, always legal:
+
+    * **intra-array**: one cache line of extra elements on the
+      fastest-varying extent, staggering successive rows/columns across
+      cache sets.  Skipped when the fastest extent is small (a 3-wide
+      component array would waste most of every line on pad).
+    * **inter-array** (``base_skew``): dummy bytes between consecutive
+      arrays so same-index elements of different arrays — which an
+      aligned allocator would put in the same set of every cache level
+      — are staggered by a few lines each.  This is what removes the
+      cross-array conflict misses that loop and layout transformations
+      cannot reach.
+
+    ``candidates`` narrows the target set; the optimizer passes the
+    arrays that collected layout votes, because a reference that
+    abstained from layout voting (it already has effective spatial
+    locality) is capacity- or compulsory-bound and padding cannot help
+    it.  With ``candidates=None`` every rank >= 2 array referenced from
+    a software region is considered.
+    """
+    pad_elements = max(line_size // element_size, 1)
+    # The per-array skew must displace whole blocks of *every* cache
+    # level: a skew smaller than an L2 block would leave same-index
+    # elements of different arrays in the same L2 set even though their
+    # L1 sets differ.  Three L1 lines plus one L2 block per array works
+    # at both granularities.
+    skew_unit = 3 * line_size + l2_block_size
+    if candidates is not None:
+        touched = set(candidates)
+    else:
+        touched = set()
+        for loop in program.loops():
+            if loop.preference != SOFTWARE:
+                continue
+            for statement in loop.all_statements():
+                for ref in statement.references:
+                    if isinstance(ref, AffineRef) and ref.array.rank >= 2:
+                        touched.add(ref.array.name)
+    padded: list[str] = []
+    # Declaration order keeps the skews deterministic.
+    skew_index = 0
+    for name, array in program.arrays.items():
+        if name not in touched:
+            continue
+        skew_index += 1
+        changed = False
+        if array.base_skew == 0:
+            array.base_skew = skew_index * skew_unit
+            changed = True
+        fastest_extent = array.shape[array.dim_order[-1]]
+        if array.pad == 0 and fastest_extent >= 8 * pad_elements:
+            array.pad = pad_elements
+            changed = True
+        if changed:
+            padded.append(name)
+    return sorted(padded)
+
+
+def apply_layouts(program: Program, result: LayoutResult) -> list[str]:
+    """Mutate array declarations to the chosen orders; return changed names.
+
+    In-place mutation is deliberate: every reference aliases the
+    declaration object, so the whole program (hardware regions
+    included) switches addressing consistently.
+    """
+    changed = []
+    for name, order in result.chosen.items():
+        array = program.arrays[name]
+        if tuple(array.dim_order) != order:
+            array.dim_order = order
+            changed.append(name)
+    result.changed = changed
+    return changed

@@ -1,0 +1,173 @@
+"""Iteration-space tiling (Wolf & Lam [13]).
+
+Tiles a perfect nest whose data footprint exceeds the L1 capacity so
+the reused working set fits in cache.  Strip-mine-and-interchange: the
+tiled levels get controlling loops of step ``tile`` outside the nest,
+and the original loops shrink to ``[tt, min(upper, tt + tile))``.
+
+Tiling is applied only when it can pay off: nest depth at least two,
+constant bounds, a legal full permutation (tiling reorders traversal
+like interchange does), and at least one reference with *temporal*
+reuse carried by a non-innermost loop — without such reuse tiling only
+adds loop overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from repro.compiler.analysis.dependence import (
+    distance_vectors,
+    permutation_legal,
+)
+from repro.compiler.analysis.footprint import nest_footprint_bytes
+from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.refs import AffineRef
+from repro.compiler.ir.stmts import Statement
+
+__all__ = ["apply_tiling", "TilingResult", "select_tile_size"]
+
+
+@dataclass(frozen=True)
+class TilingResult:
+    applied: bool
+    tile_size: int = 0
+    tiled_vars: tuple[str, ...] = ()
+    reason: str = ""
+
+
+def select_tile_size(
+    l1_bytes: int, statements: list[Statement], depth: int
+) -> int:
+    """Tile edge so the tile-local working set fits in a fraction of L1.
+
+    For a depth-2 tile the working set is roughly
+    ``arrays * tile^2 * element_size``; a safety factor of 2 leaves room
+    for conflict misses within the tile.
+    """
+    arrays = {
+        ref.array.name
+        for statement in statements
+        for ref in statement.references
+        if isinstance(ref, AffineRef)
+    }
+    element = 8
+    count = max(len(arrays), 1)
+    budget = l1_bytes / (2 * count * element)
+    tile = int(math.sqrt(budget)) if depth >= 2 else int(budget)
+    # Round down to a power of two for friendly alignment; clamp.
+    if tile < 4:
+        return 4
+    return 1 << (tile.bit_length() - 1)
+
+
+def apply_tiling(nest_head: Loop, l1_bytes: int) -> TilingResult:
+    """Tile the perfect nest rooted at ``nest_head`` in place."""
+    chain = nest_head.perfect_nest_loops()
+    if len(chain) < 2:
+        return TilingResult(False, reason="nest depth < 2")
+    innermost = chain[-1]
+    if not innermost.is_innermost:
+        return TilingResult(False, reason="imperfect nest")
+    if any(
+        not loop.lower.is_constant
+        or isinstance(loop.upper, MinExpr)
+        or not loop.upper.is_constant
+        for loop in chain
+    ):
+        return TilingResult(False, reason="non-constant bounds")
+
+    statements = list(innermost.all_statements())
+    footprint = nest_footprint_bytes(chain, statements)
+    if footprint <= l1_bytes:
+        return TilingResult(False, reason="footprint fits in L1")
+    if not _has_outer_temporal_reuse(chain, statements):
+        return TilingResult(False, reason="no outer-carried reuse")
+
+    nest_vars = [loop.var for loop in chain]
+    vectors = distance_vectors(nest_vars, statements)
+    # Tiling reorders iterations like a permutation that brings tile
+    # loops outward; require full permutability (all-zero or
+    # all-non-negative distance vectors in every order).
+    if vectors is None or not all(
+        permutation_legal(vectors, perm)
+        for perm in _rotations(len(chain))
+    ):
+        return TilingResult(False, reason="not fully permutable")
+
+    tile = select_tile_size(l1_bytes, statements, len(chain))
+    for loop in chain:
+        if loop.trip_count_estimate() <= tile:
+            return TilingResult(
+                False, tile, reason="trip count not larger than tile"
+            )
+
+    # Strip-mine each level: collect controlling loops, innermost last.
+    tile_loops = []
+    for loop in chain:
+        tile_var = loop.var + "__t"
+        tile_loops.append(
+            Loop(
+                var=tile_var,
+                lower=loop.lower,
+                upper=loop.upper,
+                body=[],
+                step=tile,
+            )
+        )
+        loop.lower = var(tile_var)
+        loop.upper = MinExpr(loop.upper, var(tile_var) + tile)
+
+    # Wire the tile loops around the original nest head by *re-seating*
+    # the head: the outermost original loop object must stay in its
+    # parent's body list, so it becomes the outermost tile loop and the
+    # displaced control moves into a fresh Loop object.
+    head = chain[0]
+    inner_clone = Loop(
+        var=head.var,
+        lower=head.lower,
+        upper=head.upper,
+        body=head.body,
+        step=head.step,
+        preference=head.preference,
+    )
+    chain[0] = inner_clone
+    outer = tile_loops[0]
+    head.var = outer.var
+    head.lower = outer.lower
+    head.upper = outer.upper
+    head.step = outer.step
+    current = head
+    for tile_loop in tile_loops[1:]:
+        current.body = [tile_loop]
+        current = tile_loop
+    current.body = [inner_clone]
+
+    return TilingResult(
+        True,
+        tile,
+        tuple(loop.var for loop in chain),
+        "tiled",
+    )
+
+
+def _has_outer_temporal_reuse(
+    chain: list[Loop], statements: list[Statement]
+) -> bool:
+    """Some reference is invariant in a non-innermost loop variable."""
+    outer_vars = [loop.var for loop in chain[:-1]]
+    for statement in statements:
+        for ref in statement.references:
+            if isinstance(ref, AffineRef):
+                for outer in outer_vars:
+                    if not ref.depends_on(outer):
+                        return True
+    return False
+
+
+def _rotations(count: int):
+    """All rotations of the identity — a cheap full-permutability probe."""
+    identity = tuple(range(count))
+    for shift in range(count):
+        yield identity[shift:] + identity[:shift]

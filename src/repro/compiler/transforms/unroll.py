@@ -1,0 +1,115 @@
+"""Unroll-and-jam (Callahan, Carr & Kennedy [4]).
+
+Unrolls a non-innermost loop by a small factor and jams the copies into
+the inner body: the inner loop then carries several consecutive outer
+iterations per pass, exposing register reuse that scalar replacement
+harvests and amortizing branch overhead.
+
+Applied conservatively: constant bounds, trip count divisible by the
+factor, and no loop-carried dependence on the unrolled variable (all
+analyzable distance vectors must have a zero component for it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.analysis.dependence import distance_vectors
+from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.refs import AffineRef, Reference
+from repro.compiler.ir.stmts import Statement
+
+__all__ = ["apply_unroll_and_jam", "UnrollResult"]
+
+DEFAULT_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class UnrollResult:
+    applied: bool
+    variable: str = ""
+    factor: int = 0
+    reason: str = ""
+
+
+def apply_unroll_and_jam(
+    nest_head: Loop, factor: int = DEFAULT_FACTOR
+) -> UnrollResult:
+    """Unroll ``nest_head`` by ``factor`` and jam into its inner loop."""
+    if factor < 2:
+        return UnrollResult(False, reason="factor < 2")
+    inner_loops = nest_head.inner_loops
+    if len(inner_loops) != 1 or nest_head.statements():
+        return UnrollResult(False, reason="not a 2-level perfect prefix")
+    inner = inner_loops[0]
+    if not inner.is_innermost:
+        # Jam at the deepest level instead: recurse one level down.
+        return apply_unroll_and_jam(inner, factor)
+
+    outer_var = nest_head.var
+    if not nest_head.lower.is_constant or isinstance(
+        nest_head.upper, MinExpr
+    ) or not nest_head.upper.is_constant:
+        return UnrollResult(False, reason="non-constant outer bounds")
+    trip = nest_head.trip_count_estimate()
+    if trip % factor:
+        return UnrollResult(False, reason="trip not divisible by factor")
+    if _bounds_depend_on(inner, outer_var):
+        return UnrollResult(False, reason="inner bounds use outer var")
+
+    statements = list(inner.all_statements())
+    if not statements or not all(
+        _unrollable_statement(s) for s in statements
+    ):
+        return UnrollResult(False, reason="body not unrollable")
+    vectors = distance_vectors([outer_var, inner.var], statements)
+    if vectors is None or any(vector[0] != 0 for vector in vectors):
+        return UnrollResult(False, reason="carried dependence on outer var")
+
+    new_body: list = []
+    for statement in inner.body:
+        if not isinstance(statement, Statement):
+            return UnrollResult(False, reason="non-statement in inner body")
+        for copy_index in range(factor):
+            new_body.append(_shift_statement(statement, outer_var, copy_index))
+    inner.body = new_body
+    nest_head.step *= factor
+    return UnrollResult(True, outer_var, factor, "unrolled and jammed")
+
+
+def _bounds_depend_on(loop: Loop, variable: str) -> bool:
+    upper_vars = loop.upper.variables
+    return variable in loop.lower.variables or variable in upper_vars
+
+
+def _unrollable_statement(statement: Statement) -> bool:
+    """Only affine/scalar references can be shifted symbolically."""
+    return all(
+        isinstance(ref, AffineRef) or ref.analyzable
+        for ref in statement.references
+    )
+
+
+def _shift_statement(
+    statement: Statement, variable: str, offset: int
+) -> Statement:
+    if offset == 0:
+        return statement
+    return Statement(
+        reads=[_shift_ref(r, variable, offset) for r in statement.reads],
+        writes=[_shift_ref(w, variable, offset) for w in statement.writes],
+        work=statement.work,
+        label=statement.label,
+        preference=statement.preference,
+    )
+
+
+def _shift_ref(ref: Reference, variable: str, offset: int) -> Reference:
+    if isinstance(ref, AffineRef):
+        shifted = tuple(
+            subscript.substitute(variable, var(variable) + offset)
+            for subscript in ref.subscripts
+        )
+        return AffineRef(ref.array, shifted)
+    return ref

@@ -1,0 +1,36 @@
+"""The integrated selective framework and experiment drivers.
+
+This package glues everything together the way Sections 4.3/4.4
+describe: it builds the three code versions of each benchmark (base,
+optimized, optimized+markers), attaches the chosen hardware mechanism,
+and times the four simulated versions — *Pure Hardware*, *Pure
+Software*, *Combined*, and *Selective* — against any machine
+configuration.
+"""
+
+from repro.core.experiment import BenchmarkRun, run_benchmark
+from repro.core.runner import SuiteResult, run_suite
+from repro.core.sweep import SweepResult, run_sweep
+from repro.core.versions import (
+    BYPASS,
+    MECHANISMS,
+    VERSIONS,
+    VICTIM,
+    BenchmarkCodes,
+    prepare_codes,
+)
+
+__all__ = [
+    "BYPASS",
+    "BenchmarkCodes",
+    "BenchmarkRun",
+    "MECHANISMS",
+    "SuiteResult",
+    "SweepResult",
+    "VERSIONS",
+    "VICTIM",
+    "prepare_codes",
+    "run_benchmark",
+    "run_suite",
+    "run_sweep",
+]

@@ -1,0 +1,104 @@
+"""Running the four simulated versions of one benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.pipeline import CPUSimulator
+from repro.cpu.results import SimulationResult
+from repro.hwopt.gate import HardwareGate
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.params import MachineParams
+from repro.core.versions import MECHANISMS, BenchmarkCodes, make_assist
+
+__all__ = ["BenchmarkRun", "run_benchmark", "simulate_trace"]
+
+
+def simulate_trace(
+    trace: Trace,
+    machine: MachineParams,
+    mechanism: Optional[str] = None,
+    initially_on: bool = True,
+    classify_misses: bool = False,
+) -> SimulationResult:
+    """Time one trace on a fresh machine instance.
+
+    ``mechanism`` None means no hardware assist at all; otherwise the
+    named assist is attached with the given initial gate state (the
+    Selective version starts OFF — marker placement assumes the program
+    begins in compiler mode).
+    """
+    assist = make_assist(mechanism, machine) if mechanism else None
+    hierarchy = MemoryHierarchy(machine, assist, classify_misses)
+    gate = HardwareGate(assist, initially_on=initially_on)
+    simulator = CPUSimulator(machine, hierarchy, gate)
+    return simulator.run(trace)
+
+
+@dataclass
+class BenchmarkRun:
+    """All version results for one benchmark on one configuration.
+
+    ``results`` maps version keys to simulation results.  Version keys
+    are "base", "pure_sw", and mechanism-qualified "pure_hw/bypass",
+    "combined/victim", "selective/bypass", ...
+    """
+
+    benchmark: str
+    category: str
+    machine_name: str
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SimulationResult:
+        return self.results["base"]
+
+    def improvement(self, version_key: str) -> float:
+        """% execution-cycle improvement of a version over the baseline
+        (the paper's Figures 4-9 metric)."""
+        return self.results[version_key].improvement_over(self.baseline)
+
+    def version_keys(self) -> list[str]:
+        return list(self.results)
+
+
+def run_benchmark(
+    codes: BenchmarkCodes,
+    machine: MachineParams,
+    mechanisms: tuple[str, ...] = MECHANISMS,
+    classify_misses: bool = False,
+) -> BenchmarkRun:
+    """Simulate base + the four versions (per mechanism) of a benchmark.
+
+    Version → (code, hardware) wiring per Section 4.3:
+
+    ==============  ================  =========================
+    version         code              hardware mechanism
+    ==============  ================  =========================
+    base            base trace        none
+    pure_hw         base trace        always on
+    pure_sw         optimized trace   none
+    combined        optimized trace   always on
+    selective       selective trace   toggled by ON/OFF markers
+    ==============  ================  =========================
+    """
+    run = BenchmarkRun(codes.name, codes.category, machine.name)
+    run.results["base"] = simulate_trace(
+        codes.base_trace, machine, classify_misses=classify_misses
+    )
+    run.results["pure_sw"] = simulate_trace(
+        codes.optimized_trace, machine, classify_misses=classify_misses
+    )
+    for mechanism in mechanisms:
+        run.results[f"pure_hw/{mechanism}"] = simulate_trace(
+            codes.base_trace, machine, mechanism, initially_on=True
+        )
+        run.results[f"combined/{mechanism}"] = simulate_trace(
+            codes.optimized_trace, machine, mechanism, initially_on=True
+        )
+        run.results[f"selective/{mechanism}"] = simulate_trace(
+            codes.selective_trace, machine, mechanism, initially_on=False
+        )
+    return run

@@ -1,0 +1,81 @@
+"""High-level suite driver: benchmarks × configurations.
+
+Memory discipline: traces are generated per benchmark and simulated on
+every requested configuration before the next benchmark is prepared,
+so at most one benchmark's three traces are alive at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.compiler.optimizer import LocalityOptimizer
+from repro.core.experiment import run_benchmark
+from repro.core.sweep import SweepResult
+from repro.core.versions import MECHANISMS, prepare_codes
+from repro.params import SENSITIVITY_CONFIGS, MachineParams, base_config
+from repro.workloads.base import SMALL, Scale
+from repro.workloads.registry import all_specs, get_spec
+
+__all__ = ["SuiteResult", "run_suite"]
+
+
+@dataclass
+class SuiteResult:
+    """Results for a set of benchmarks across configurations."""
+
+    scale_name: str
+    sweeps: dict[str, SweepResult] = field(default_factory=dict)
+
+    def sweep(self, config_name: str) -> SweepResult:
+        return self.sweeps[config_name]
+
+    def config_names(self) -> list[str]:
+        return list(self.sweeps)
+
+
+def run_suite(
+    scale: Scale = SMALL,
+    benchmarks: Optional[Sequence[str]] = None,
+    configs: Optional[dict[str, Callable[[], MachineParams]]] = None,
+    mechanisms: tuple[str, ...] = MECHANISMS,
+    classify_misses: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SuiteResult:
+    """Run the benchmark suite across machine configurations.
+
+    ``configs`` defaults to all six Table 3 rows; machines are scaled
+    by the scale's divisor so the working-set/cache ratio matches the
+    paper's full-size runs (see DESIGN.md).  ``benchmarks`` defaults to
+    all 13 names in Table 2 order.
+    """
+    if configs is None:
+        configs = dict(SENSITIVITY_CONFIGS)
+    specs = (
+        [get_spec(name) for name in benchmarks]
+        if benchmarks is not None
+        else all_specs()
+    )
+    machines = {
+        name: factory().scaled(scale.machine_divisor)
+        for name, factory in configs.items()
+    }
+    reference = base_config().scaled(scale.machine_divisor)
+    optimizer = LocalityOptimizer(reference)
+
+    suite = SuiteResult(scale.name)
+    for name, machine in machines.items():
+        suite.sweeps[name] = SweepResult(machine.name)
+
+    for spec in specs:
+        if progress:
+            progress(f"preparing {spec.name}")
+        codes = prepare_codes(spec, scale, reference, optimizer)
+        for config_name, machine in machines.items():
+            if progress:
+                progress(f"  {spec.name} on {config_name}")
+            suite.sweeps[config_name].runs[spec.name] = run_benchmark(
+                codes, machine, mechanisms, classify_misses
+            )
+    return suite

@@ -1,0 +1,58 @@
+"""Configuration sweeps: one benchmark set across machine variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Optional
+
+from repro.core.experiment import BenchmarkRun, run_benchmark
+from repro.core.versions import MECHANISMS, BenchmarkCodes
+from repro.params import MachineParams
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Results of one benchmark set on one machine configuration."""
+
+    machine_name: str
+    runs: dict[str, BenchmarkRun] = field(default_factory=dict)
+
+    def improvements(self, version_key: str) -> dict[str, float]:
+        """Per-benchmark % improvement for one version."""
+        return {
+            name: run.improvement(version_key)
+            for name, run in self.runs.items()
+        }
+
+    def average_improvement(
+        self, version_key: str, category: Optional[str] = None
+    ) -> float:
+        """Average % improvement, optionally within one category."""
+        values = [
+            run.improvement(version_key)
+            for run in self.runs.values()
+            if category is None or run.category == category
+        ]
+        if not values:
+            raise ValueError(
+                f"no runs match version {version_key!r} category {category!r}"
+            )
+        return mean(values)
+
+
+def run_sweep(
+    codes: list[BenchmarkCodes],
+    machine: MachineParams,
+    mechanisms: tuple[str, ...] = MECHANISMS,
+    classify_misses: bool = False,
+) -> SweepResult:
+    """Run every benchmark's versions on one machine configuration."""
+    sweep = SweepResult(machine.name)
+    for benchmark_codes in codes:
+        sweep.runs[benchmark_codes.name] = run_benchmark(
+            benchmark_codes, machine, mechanisms, classify_misses
+        )
+    return sweep

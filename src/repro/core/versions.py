@@ -1,0 +1,132 @@
+"""Code-version preparation (paper Section 4.4).
+
+For each benchmark three codes exist:
+
+* **base** — the program as written, no locality transformations (the
+  paper's O3-without-loop-nest-optimization build);
+* **optimized** — the locality-optimized program (interchange, layout,
+  tiling, unroll-and-jam, scalar replacement on every analyzable
+  region), shared by the Pure-Software, Combined, and Selective
+  versions;
+* **selective** — the same optimization pipeline applied to a program
+  that *first* received the region markers of Section 2, so the
+  optimized code carries ON/OFF instructions at region boundaries
+  (matching the paper's tool order: mark, transform, simulate).
+
+Optimization is done once against the experiment's reference machine;
+per the paper, the same optimized code is then run on every
+sensitivity configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.optimizer import LocalityOptimizer, OptimizationReport
+from repro.compiler.regions.detect import RegionReport
+from repro.compiler.regions.markers import MarkerReport, insert_markers
+from repro.hwopt.controller import CacheBypassAssist, VictimCacheAssist
+from repro.isa.trace import Trace
+from repro.memory.assist import AssistInterface
+from repro.params import MachineParams
+from repro.tracegen.interpreter import TraceGenerator
+from repro.workloads.base import Scale, WorkloadSpec
+
+__all__ = [
+    "VERSIONS",
+    "MECHANISMS",
+    "BYPASS",
+    "VICTIM",
+    "BenchmarkCodes",
+    "prepare_codes",
+    "make_assist",
+]
+
+#: The four simulated versions of Section 4.3 (plus the baseline run
+#: they are all normalized against).
+VERSIONS = ("base", "pure_hw", "pure_sw", "combined", "selective")
+
+BYPASS = "bypass"
+VICTIM = "victim"
+#: The paper's two evaluated mechanisms.
+MECHANISMS = (BYPASS, VICTIM)
+#: Extension mechanism (stream-buffer prefetching): the selective
+#: framework is mechanism-agnostic, so any assist can be gated.
+PREFETCH = "prefetch"
+
+
+@dataclass
+class BenchmarkCodes:
+    """The three traces (plus compiler reports) of one benchmark."""
+
+    name: str
+    category: str
+    scale: Scale
+    base_trace: Trace
+    optimized_trace: Trace
+    selective_trace: Trace
+    optimization: OptimizationReport
+    markers: MarkerReport
+    regions: RegionReport
+
+
+def prepare_codes(
+    spec: WorkloadSpec,
+    scale: Scale,
+    machine: MachineParams,
+    optimizer: Optional[LocalityOptimizer] = None,
+) -> BenchmarkCodes:
+    """Build, optimize, mark, and trace one benchmark.
+
+    Workload builders are deterministic, so the three programs start
+    from identical IR and identical address maps; they diverge only
+    through the transformations applied.
+    """
+    base_program = spec.instantiate(scale)
+    base_trace = TraceGenerator(
+        base_program, trace_name=f"{spec.name}/base"
+    ).generate()
+
+    opt = optimizer or LocalityOptimizer(machine)
+
+    optimized_program = spec.instantiate(scale)
+    optimization_report = opt.optimize(optimized_program)
+    optimized_trace = TraceGenerator(
+        optimized_program, trace_name=f"{spec.name}/optimized"
+    ).generate()
+
+    selective_program = spec.instantiate(scale)
+    marker_report = insert_markers(selective_program)
+    region_report = opt.optimize(selective_program).regions
+    selective_trace = TraceGenerator(
+        selective_program, trace_name=f"{spec.name}/selective"
+    ).generate()
+
+    return BenchmarkCodes(
+        name=spec.name,
+        category=spec.category,
+        scale=scale,
+        base_trace=base_trace,
+        optimized_trace=optimized_trace,
+        selective_trace=selective_trace,
+        optimization=optimization_report,
+        markers=marker_report,
+        regions=region_report,
+    )
+
+
+def make_assist(mechanism: str, machine: MachineParams) -> AssistInterface:
+    """Instantiate the requested hardware mechanism."""
+    if mechanism == BYPASS:
+        return CacheBypassAssist(machine)
+    if mechanism == VICTIM:
+        return VictimCacheAssist(machine)
+    if mechanism == PREFETCH:
+        from repro.hwopt.prefetch import StreamBufferAssist
+
+        return StreamBufferAssist(machine)
+    raise ValueError(
+        f"unknown mechanism {mechanism!r}; expected one of "
+        f"{MECHANISMS + (PREFETCH,)}"
+    )

@@ -1,0 +1,16 @@
+"""Trace-driven processor timing model.
+
+A simplified out-of-order core standing in for SimpleScalar's
+sim-outorder (paper Table 1): 4-wide issue, a bounded load/store window
+(LSQ) that lets independent misses overlap, two memory ports, a bimodal
+branch predictor, and instruction-fetch stalls through the L1I path.
+The substitution is documented in DESIGN.md — the paper's metric
+(execution cycles dominated by data-cache behaviour) is preserved while
+the model stays O(trace length).
+"""
+
+from repro.cpu.branch import BimodalPredictor
+from repro.cpu.pipeline import CPUSimulator
+from repro.cpu.results import SimulationResult
+
+__all__ = ["BimodalPredictor", "CPUSimulator", "SimulationResult"]

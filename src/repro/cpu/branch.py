@@ -1,0 +1,47 @@
+"""Bimodal branch predictor (2048 two-bit counters, per Table 1)."""
+
+from __future__ import annotations
+
+__all__ = ["BimodalPredictor"]
+
+
+class BimodalPredictor:
+    """Classic bimodal predictor: a table of 2-bit saturating counters.
+
+    Counters are indexed by ``(pc >> 2) % entries`` and initialised to
+    weakly-taken (2), matching SimpleScalar's default.
+    """
+
+    def __init__(self, entries: int = 2048):
+        if entries <= 0:
+            raise ValueError("predictor needs at least one entry")
+        self.entries = entries
+        self._counters = [2] * entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``; train on the outcome.
+
+        Returns True when the prediction was correct.
+        """
+        index = (pc >> 2) % self.entries
+        counter = self._counters[index]
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[index] = counter - 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions

@@ -1,0 +1,204 @@
+"""The trace-driven timing model.
+
+Model (one pass over the trace, O(N)):
+
+* **Issue bandwidth** — up to ``issue_width`` instructions issue per
+  cycle; compressed ALU bursts advance the issue clock in bulk.
+* **Load/store window** — outstanding memory operations occupy LSQ
+  slots; a new memory op cannot issue until the op ``lsq_entries``
+  before it has completed.  Independent misses therefore overlap
+  (memory-level parallelism) up to the window size.
+* **Memory ports** — at most ``mem_ports`` memory operations can start
+  per cycle; port contention delays the start of an access.
+* **Refill bandwidth** — every L1 miss occupies a shared refill bus
+  for its line's transfer beats (4 beats for a 32-byte line over the
+  8-byte bus), so miss-thrashing code pays for its miss *count* even
+  when the latencies would overlap in the LSQ window.
+* **MSHRs** — at most ``max_outstanding_misses`` DRAM misses are in
+  flight; a storm streams at that many per memory latency.  This keeps
+  DRAM-bound code *latency*-sensitive (as in SimpleScalar's
+  fixed-latency memory) instead of purely bandwidth-bound, which is
+  what reproduces the paper's Figure 5 trend.
+* **Branches** — a bimodal predictor; a mispredict adds the redirect
+  penalty to the issue clock.
+* **Instruction fetch** — the pc stream is run through the L1I/L2 path;
+  a front-end miss stalls issue by the access time beyond an L1I hit.
+  Sequential fetches within one I-cache line are free.
+* **HW_ON/HW_OFF** — occupy an issue slot each and toggle the hardware
+  gate, so the paper's "overhead of ON/OFF instructions" is counted.
+
+Final cycle count is the completion time of the last instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.branch import BimodalPredictor
+from repro.cpu.results import SimulationResult
+from repro.hwopt.gate import HardwareGate
+from repro.isa.instructions import Opcode
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.params import MachineParams
+
+__all__ = ["CPUSimulator"]
+
+
+class CPUSimulator:
+    """Times a :class:`repro.isa.Trace` against a memory hierarchy."""
+
+    def __init__(
+        self,
+        machine: MachineParams,
+        hierarchy: MemoryHierarchy,
+        gate: Optional[HardwareGate] = None,
+        model_ifetch: bool = True,
+    ):
+        self.machine = machine
+        self.hierarchy = hierarchy
+        self.gate = gate or HardwareGate(hierarchy.assist)
+        self.predictor = BimodalPredictor(machine.bimodal_entries)
+        self.model_ifetch = model_ifetch
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate the whole trace; return cycles and statistics."""
+        machine = self.machine
+        hierarchy = self.hierarchy
+        gate = self.gate
+        predictor = self.predictor
+        issue_width = machine.issue_width
+        mispredict_penalty = machine.branch_mispredict_penalty
+        l1i_hit = machine.l1i.latency
+        ifetch_line_mask = ~(machine.l1i.block_size - 1)
+        model_ifetch = self.model_ifetch
+
+        lsq_size = machine.lsq_entries
+        lsq_done = [0] * lsq_size  # completion time per LSQ slot (ring)
+        lsq_index = 0
+        num_ports = machine.mem_ports
+        port_free = [0] * num_ports
+        # Shared refill bus: beats to move one L1 line from L2.  DRAM
+        # fills occupy the same L1-side bus slot; their own (much
+        # longer) DRAM-bus transfer is part of the access latency, as
+        # in SimpleScalar — modelling DRAM-side *contention* on top
+        # would make miss-storm code bandwidth-bound and insensitive
+        # to memory latency, which the paper's simulator is not.
+        l2_refill_beats = max(
+            machine.l1d.block_size // machine.mem_bus_width, 1
+        )
+        refill_bus_free = 0
+        # MSHR ring: a DRAM-served miss waits for the one issued
+        # max_outstanding_misses earlier to complete.
+        mshr_count = machine.max_outstanding_misses
+        mshr_done = [0] * mshr_count
+        mshr_index = 0
+
+        issue_cycle = 0  # cycle currently being filled with issues
+        slot = 0  # issue slots used in issue_cycle
+        last_done = 0  # completion time of the latest-finishing op
+
+        instructions = loads = stores = branches = 0
+        current_ifetch_line = -1
+
+        data_access = hierarchy.data_access
+        inst_fetch = hierarchy.inst_fetch
+
+        for op, arg, pc in trace.instructions:
+            # -- front end: instruction fetch ---------------------------
+            if model_ifetch:
+                line = pc & ifetch_line_mask
+                if line != current_ifetch_line:
+                    current_ifetch_line = line
+                    fetch_latency = inst_fetch(pc)
+                    if fetch_latency > l1i_hit:
+                        issue_cycle += fetch_latency - l1i_hit
+                        slot = 0
+
+            # -- issue slot accounting ----------------------------------
+            if op == Opcode.ALU:
+                count = arg if arg > 0 else 1
+                instructions += count
+                slot += count
+                if slot >= issue_width:
+                    issue_cycle += slot // issue_width
+                    slot %= issue_width
+                continue
+
+            instructions += 1
+            slot += 1
+            if slot >= issue_width:
+                issue_cycle += 1
+                slot = 0
+
+            if op == Opcode.LOAD or op == Opcode.STORE:
+                is_write = op == Opcode.STORE
+                if is_write:
+                    stores += 1
+                else:
+                    loads += 1
+                # The op at this LSQ slot lsq_size ago must have finished.
+                pending = lsq_done[lsq_index]
+                if pending > issue_cycle:
+                    issue_cycle = pending
+                    slot = 0
+                # Port arbitration: earliest free port.
+                port = 0
+                earliest = port_free[0]
+                for p in range(1, num_ports):
+                    if port_free[p] < earliest:
+                        earliest = port_free[p]
+                        port = p
+                start = issue_cycle if issue_cycle > earliest else earliest
+                port_free[port] = start + 1
+                access = data_access(arg, is_write)
+                if access.l1_hit or access.served_by == "assist":
+                    done = start + access.latency
+                else:
+                    # A refill: serialize on the shared L1 fill bus.
+                    if refill_bus_free > start:
+                        start = refill_bus_free
+                    refill_bus_free = start + l2_refill_beats
+                    if access.served_by == "mem":
+                        # DRAM: bounded memory-level parallelism.
+                        pending_miss = mshr_done[mshr_index]
+                        if pending_miss > start:
+                            start = pending_miss
+                        done = start + access.latency
+                        mshr_done[mshr_index] = done
+                        mshr_index += 1
+                        if mshr_index == mshr_count:
+                            mshr_index = 0
+                    else:
+                        done = start + access.latency
+                lsq_done[lsq_index] = done
+                lsq_index += 1
+                if lsq_index == lsq_size:
+                    lsq_index = 0
+                if done > last_done:
+                    last_done = done
+            elif op == Opcode.BRANCH:
+                branches += 1
+                if not predictor.predict_and_update(pc, arg != 0):
+                    issue_cycle += mispredict_penalty
+                    slot = 0
+            elif op == Opcode.HW_ON:
+                gate.activate()
+            elif op == Opcode.HW_OFF:
+                gate.deactivate()
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise ValueError(f"unknown opcode {op!r}")
+
+        total_cycles = max(issue_cycle + (1 if slot else 0), last_done)
+        return SimulationResult(
+            trace_name=trace.name,
+            machine_name=machine.name,
+            cycles=total_cycles,
+            instructions=instructions,
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            branch_mispredictions=self.predictor.mispredictions,
+            hw_toggles=gate.toggles,
+            memory=hierarchy.snapshot(),
+        )

@@ -1,0 +1,50 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.stats import HierarchySnapshot
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of timing one trace on one machine configuration."""
+
+    trace_name: str
+    machine_name: str
+    cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    branch_mispredictions: int
+    hw_toggles: int
+    memory: HierarchySnapshot
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.memory.l1d.miss_rate
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.memory.l2.miss_rate
+
+    def improvement_over(self, baseline: "SimulationResult") -> float:
+        """Percentage cycle improvement relative to ``baseline``.
+
+        This is the paper's reported metric in Figures 4-9 and Table 3:
+        positive numbers mean fewer cycles than the baseline.
+        """
+        if baseline.cycles == 0:
+            return 0.0
+        return 100.0 * (baseline.cycles - self.cycles) / baseline.cycles

@@ -1,0 +1,39 @@
+"""Reproduction harness for the paper's tables and figures.
+
+* :mod:`repro.evaluation.table2` — benchmark characteristics (Table 2);
+* :mod:`repro.evaluation.table3` — average improvements per version,
+  mechanism and hardware configuration (Table 3);
+* :mod:`repro.evaluation.figures` — per-benchmark improvement series
+  for Figures 4-9;
+* :mod:`repro.evaluation.report` — plain-text rendering of all of the
+  above, in the same row/column structure the paper prints.
+"""
+
+from repro.evaluation.claims import (
+    PAPER_CLAIMS,
+    Claim,
+    ClaimVerdict,
+    check_claims,
+)
+from repro.evaluation.figures import FIGURES, FigureSeries, figure_series
+from repro.evaluation.report import render_figure, render_table2, render_table3
+from repro.evaluation.table2 import Table2Row, table2_rows
+from repro.evaluation.table3 import TABLE3_COLUMNS, Table3Row, table3_rows
+
+__all__ = [
+    "Claim",
+    "ClaimVerdict",
+    "FIGURES",
+    "FigureSeries",
+    "PAPER_CLAIMS",
+    "check_claims",
+    "TABLE3_COLUMNS",
+    "Table2Row",
+    "Table3Row",
+    "figure_series",
+    "render_figure",
+    "render_table2",
+    "render_table3",
+    "table2_rows",
+    "table3_rows",
+]

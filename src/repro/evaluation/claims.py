@@ -1,0 +1,139 @@
+"""Machine-checkable versions of the paper's Section 5/6 claims.
+
+Every qualitative statement the paper makes about its results is
+encoded as a predicate over a finished
+:class:`~repro.core.sweep.SweepResult`; :func:`check_claims` evaluates
+them all and returns structured verdicts.  The benchmarks print these,
+and EXPERIMENTS.md records which claims reproduce and which deviate
+(and why).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable
+
+from repro.core.sweep import SweepResult
+
+__all__ = ["Claim", "ClaimVerdict", "PAPER_CLAIMS", "check_claims"]
+
+_REGULAR = ("swim", "mgrid", "vpenta", "adi")
+_IRREGULAR = ("perl", "compress", "li", "applu")
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement from the paper."""
+
+    key: str
+    text: str
+    check: Callable[[SweepResult], bool]
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    claim: Claim
+    holds: bool
+    detail: str = ""
+
+
+def _category_average(sweep: SweepResult, key: str, names) -> float:
+    return mean(sweep.runs[n].improvement(key) for n in names
+                if n in sweep.runs)
+
+
+def _selective_never_worse_than_combined(sweep: SweepResult) -> bool:
+    return all(
+        run.improvement("selective/bypass")
+        >= run.improvement("combined/bypass") - 1.5
+        for run in sweep.runs.values()
+    )
+
+
+def _software_best_on_regular(sweep: SweepResult) -> bool:
+    sw = _category_average(sweep, "pure_sw", _REGULAR)
+    hw = _category_average(sweep, "pure_hw/bypass", _REGULAR)
+    hv = _category_average(sweep, "pure_hw/victim", _REGULAR)
+    return sw > hw and sw > hv
+
+
+def _software_useless_on_irregular(sweep: SweepResult) -> bool:
+    return abs(_category_average(sweep, "pure_sw", _IRREGULAR)) < 2.0
+
+
+def _victim_never_hurts(sweep: SweepResult) -> bool:
+    return all(
+        run.improvement("pure_hw/victim") >= -0.5
+        for run in sweep.runs.values()
+    )
+
+
+def _bypass_can_hurt(sweep: SweepResult) -> bool:
+    worst = min(
+        run.improvement("pure_hw/bypass") for run in sweep.runs.values()
+    )
+    return -13.0 <= worst < 0.0
+
+
+def _selective_beats_pure_versions(sweep: SweepResult) -> bool:
+    selective = sweep.average_improvement("selective/bypass")
+    return (
+        selective > sweep.average_improvement("pure_hw/bypass")
+        and selective >= sweep.average_improvement("pure_sw") - 1.0
+    )
+
+
+#: The claims of Sections 5.1/5.2/6, keyed for reporting.
+PAPER_CLAIMS = [
+    Claim(
+        "selective-ge-combined",
+        "Selective has better or at least the same performance as the "
+        "combined approach for all the benchmarks (5.1)",
+        _selective_never_worse_than_combined,
+    ),
+    Claim(
+        "software-wins-regular",
+        "The pure software approach does best for codes with regular "
+        "access (5.1)",
+        _software_best_on_regular,
+    ),
+    Claim(
+        "software-useless-irregular",
+        "Improvement from pure software for irregular codes is near "
+        "zero (5.1: 0.8%)",
+        _software_useless_on_irregular,
+    ),
+    Claim(
+        "victim-never-hurts",
+        "Victim caches performed always better than the base "
+        "configuration (5.2)",
+        _victim_never_hurts,
+    ),
+    Claim(
+        "bypass-can-hurt",
+        "Cache bypassing decreased performance for some ill cases, "
+        "bounded by about 12% (5.2)",
+        _bypass_can_hurt,
+    ),
+    Claim(
+        "selective-best-overall",
+        "The selective scheme consistently gave the best performance "
+        "among hardware-only/software-only on average (6)",
+        _selective_beats_pure_versions,
+    ),
+]
+
+
+def check_claims(sweep: SweepResult) -> list[ClaimVerdict]:
+    """Evaluate every encoded claim against one configuration's sweep."""
+    verdicts = []
+    for claim in PAPER_CLAIMS:
+        try:
+            holds = claim.check(sweep)
+            detail = ""
+        except Exception as error:  # surface, don't crash the report
+            holds = False
+            detail = f"check failed: {error!r}"
+        verdicts.append(ClaimVerdict(claim, holds, detail))
+    return verdicts

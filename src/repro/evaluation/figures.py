@@ -1,0 +1,62 @@
+"""Figures 4-9 — per-benchmark improvement bars.
+
+Each figure in the paper shows, for one machine configuration, the
+percentage execution-cycle improvement of the four versions (with cache
+bypassing as the hardware mechanism) over the base architecture, one
+bar group per benchmark.  :func:`figure_series` returns the same data:
+benchmark → {version: % improvement}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sweep import SweepResult
+
+__all__ = ["FIGURES", "FigureSeries", "figure_series", "FIGURE_VERSIONS"]
+
+#: Figure number → the Table 3 configuration row it plots.
+FIGURES = {
+    4: "Base Confg.",
+    5: "Higher Mem. Lat.",
+    6: "Larger L2 Size",
+    7: "Larger L1 Size",
+    8: "Higher L2 Asc.",
+    9: "Higher L1 Asc.",
+}
+
+#: The four bars of each group, in the paper's legend order.
+FIGURE_VERSIONS = {
+    "Pure Hardware": "pure_hw/bypass",
+    "Pure Software": "pure_sw",
+    "Combined": "combined/bypass",
+    "Selective": "selective/bypass",
+}
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """The data behind one figure."""
+
+    figure: int
+    config_name: str
+    #: benchmark → {version label → % improvement}
+    bars: dict[str, dict[str, float]]
+
+    def version_average(self, label: str) -> float:
+        values = [group[label] for group in self.bars.values()]
+        return sum(values) / len(values)
+
+
+def figure_series(figure: int, sweep: SweepResult) -> FigureSeries:
+    """Extract one figure's bar groups from a finished sweep."""
+    if figure not in FIGURES:
+        raise KeyError(f"no figure {figure}; paper has {sorted(FIGURES)}")
+    bars = {
+        benchmark: {
+            label: run.improvement(version_key)
+            for label, version_key in FIGURE_VERSIONS.items()
+        }
+        for benchmark, run in sweep.runs.items()
+    }
+    return FigureSeries(figure, FIGURES[figure], bars)

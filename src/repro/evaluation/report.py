@@ -1,0 +1,72 @@
+"""Plain-text rendering of the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.evaluation.figures import FIGURE_VERSIONS, FigureSeries
+from repro.evaluation.table2 import Table2Row
+from repro.evaluation.table3 import PAPER_TABLE3, TABLE3_COLUMNS, Table3Row
+
+__all__ = ["render_table2", "render_table3", "render_figure"]
+
+
+def render_table2(rows: Iterable[Table2Row]) -> str:
+    """Table 2: benchmark characteristics."""
+    lines = [
+        "Table 2. Benchmark characteristics (scaled inputs).",
+        f"{'Benchmark':<10} {'Class':<10} {'Instrs':>10} "
+        f"{'L1 Miss %':>10} {'L2 Miss %':>10} {'Conflict %':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<10} {row.category:<10} "
+            f"{row.instructions:>10,} {row.l1_miss_rate:>10.2f} "
+            f"{row.l2_miss_rate:>10.2f} {row.conflict_fraction:>11.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(
+    rows: Iterable[Table3Row], include_paper: bool = True
+) -> str:
+    """Table 3: average improvements, measured (and paper values)."""
+    headers = list(TABLE3_COLUMNS)
+    lines = ["Table 3. Average improvements (%)."]
+    lines.append(
+        f"{'Experiment':<18}" + "".join(f"{h[:14]:>16}" for h in headers)
+    )
+    for row in rows:
+        lines.append(
+            f"{row.experiment:<18}"
+            + "".join(f"{value:>16.2f}" for value in row.averages)
+        )
+        if include_paper and row.experiment in PAPER_TABLE3:
+            paper = PAPER_TABLE3[row.experiment]
+            lines.append(
+                f"{'  (paper)':<18}"
+                + "".join(f"{value:>16.2f}" for value in paper)
+            )
+    return "\n".join(lines)
+
+
+def render_figure(series: FigureSeries) -> str:
+    """One figure: per-benchmark bars for the four versions."""
+    labels = list(FIGURE_VERSIONS)
+    lines = [
+        f"Figure {series.figure}. {series.config_name} — % improvement "
+        f"in execution cycles over the base configuration.",
+        f"{'Benchmark':<10}" + "".join(f"{label:>15}" for label in labels),
+    ]
+    for benchmark, group in series.bars.items():
+        lines.append(
+            f"{benchmark:<10}"
+            + "".join(f"{group[label]:>15.2f}" for label in labels)
+        )
+    lines.append(
+        f"{'average':<10}"
+        + "".join(
+            f"{series.version_average(label):>15.2f}" for label in labels
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Table 3 — average improvements across hardware configurations.
+
+The paper's Table 3 has one row per machine configuration (base,
+higher memory latency, larger L2, larger L1, higher L2 associativity,
+higher L1 associativity) and seven columns of suite-average percentage
+improvements: Pure Software, Cache Bypass (pure hardware), Combined
+(bypass+software), Selective (bypass+software), Victim Caches (pure
+hardware), Combined (victim+software), Selective (victim+software).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runner import SuiteResult, run_suite
+from repro.core.sweep import SweepResult
+from repro.params import SENSITIVITY_CONFIGS
+from repro.workloads.base import SMALL, Scale
+
+__all__ = ["TABLE3_COLUMNS", "Table3Row", "table3_rows", "sweep_to_row"]
+
+#: Column header → version key, in the paper's column order.
+TABLE3_COLUMNS = {
+    "Pure Software": "pure_sw",
+    "Cache Bypass": "pure_hw/bypass",
+    "Combined (bypass+software)": "combined/bypass",
+    "Selective (bypass+software)": "selective/bypass",
+    "Victim Caches": "pure_hw/victim",
+    "Combined (victim+software)": "combined/victim",
+    "Selective (victim+software)": "selective/victim",
+}
+
+#: The paper's Table 3 values, for side-by-side comparison in reports.
+PAPER_TABLE3 = {
+    "Base Confg.": (16.12, 5.07, 17.37, 24.98, 1.38, 16.45, 23.82),
+    "Higher Mem. Lat.": (15.82, 7.69, 17.66, 26.07, 4.52, 16.24, 24.88),
+    "Larger L2 Size": (14.81, 4.75, 15.79, 22.25, 0.80, 14.05, 20.10),
+    "Larger L1 Size": (17.42, 4.94, 17.04, 24.17, 1.16, 16.45, 22.55),
+    "Higher L2 Asc.": (14.05, 4.82, 15.00, 21.22, 0.92, 13.12, 19.39),
+    "Higher L1 Asc.": (13.96, 3.96, 14.51, 20.93, 2.14, 12.06, 19.21),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """Suite-average improvements for one configuration."""
+
+    experiment: str
+    averages: tuple[float, ...]  # one per TABLE3_COLUMNS entry
+
+    def by_column(self) -> dict[str, float]:
+        return dict(zip(TABLE3_COLUMNS, self.averages))
+
+
+def sweep_to_row(name: str, sweep: SweepResult) -> Table3Row:
+    """Collapse one configuration's sweep into a Table 3 row."""
+    averages = tuple(
+        sweep.average_improvement(version_key)
+        for version_key in TABLE3_COLUMNS.values()
+    )
+    return Table3Row(name, averages)
+
+
+def table3_rows(
+    scale: Scale = SMALL,
+    suite: SuiteResult | None = None,
+) -> list[Table3Row]:
+    """Run (or reuse) the full sweep; return all six Table 3 rows."""
+    if suite is None:
+        suite = run_suite(scale, configs=dict(SENSITIVITY_CONFIGS))
+    return [
+        sweep_to_row(name, suite.sweeps[name]) for name in suite.sweeps
+    ]

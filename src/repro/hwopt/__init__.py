@@ -1,0 +1,30 @@
+"""Run-time hardware cache-locality optimizers (paper Section 3.1).
+
+Two mechanisms, both attachable to the memory hierarchy through
+:class:`repro.memory.assist.AssistInterface` and both gateable by the
+compiler-inserted activate/deactivate (ON/OFF) instructions:
+
+* :class:`CacheBypassAssist` — Johnson & Hwu's selective variable-size
+  caching: a Memory Access Table (MAT) tracks per-macro-block access
+  frequencies, a Spatial Locality Detection Table (SLDT) detects spatial
+  reuse, and rarely-accessed data is diverted into a small fully
+  associative bypass buffer instead of polluting L1.
+* :class:`VictimCacheAssist` — Jouppi-style victim caches on L1 and L2.
+"""
+
+from repro.hwopt.bypass import BypassBuffer
+from repro.hwopt.controller import CacheBypassAssist, VictimCacheAssist
+from repro.hwopt.gate import HardwareGate
+from repro.hwopt.mat import MemoryAccessTable
+from repro.hwopt.prefetch import StreamBufferAssist
+from repro.hwopt.sldt import SpatialLocalityDetector
+
+__all__ = [
+    "BypassBuffer",
+    "CacheBypassAssist",
+    "HardwareGate",
+    "MemoryAccessTable",
+    "SpatialLocalityDetector",
+    "StreamBufferAssist",
+    "VictimCacheAssist",
+]

@@ -1,0 +1,53 @@
+"""ON/OFF gating of a hardware assist (paper Section 2).
+
+The compiler marks region boundaries with activate/deactivate
+instructions; at run time these toggle the assist's ``enabled`` flag.
+The gate records how often the mechanism was switched so the experiment
+harness can report ON/OFF instruction overhead (each executed toggle
+also costs an issue slot in the CPU model, per Section 4.1: "the
+performance overhead of ON/OFF instructions have also been taken into
+account").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memory.assist import AssistInterface
+
+__all__ = ["HardwareGate"]
+
+
+class HardwareGate:
+    """Controls an assist's enabled flag and counts transitions."""
+
+    def __init__(
+        self,
+        assist: Optional[AssistInterface],
+        initially_on: bool = True,
+    ):
+        self.assist = assist
+        self.activations = 0
+        self.deactivations = 0
+        if assist is not None:
+            assist.enabled = initially_on
+
+    @property
+    def enabled(self) -> bool:
+        return self.assist is not None and self.assist.enabled
+
+    def activate(self) -> None:
+        """Handle an ON instruction."""
+        self.activations += 1
+        if self.assist is not None:
+            self.assist.enabled = True
+
+    def deactivate(self) -> None:
+        """Handle an OFF instruction."""
+        self.deactivations += 1
+        if self.assist is not None:
+            self.assist.enabled = False
+
+    @property
+    def toggles(self) -> int:
+        return self.activations + self.deactivations

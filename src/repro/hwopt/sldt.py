@@ -1,0 +1,84 @@
+"""Spatial Locality Detection Table (Johnson, Merten & Hwu, MICRO'97 [9]).
+
+A small fully-associative table tracks the cache lines touched most
+recently.  Each entry records which words of the line were referenced.
+When an entry is displaced, the detector judges whether the line showed
+spatial locality (several distinct words touched) and updates a
+per-macro-block *spatial counter* — incremented on spatial evidence,
+decremented otherwise, saturating within the configured bounds.
+
+The cache-bypass controller consults :meth:`spatial_quality` to choose
+the fetch size: macro-blocks with a counter at or above the threshold
+get a larger (multi-line) fetch and are kept cacheable even when their
+access frequency alone would argue for bypassing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.params import BypassParams
+
+__all__ = ["SpatialLocalityDetector"]
+
+
+class SpatialLocalityDetector:
+    """SLDT plus per-macro-block saturating spatial counters."""
+
+    WORD_BYTES = 8
+
+    def __init__(self, params: BypassParams, line_size: int = 32):
+        if line_size <= self.WORD_BYTES:
+            raise ValueError("line_size must exceed the word size")
+        self.params = params
+        self._line_shift = line_size.bit_length() - 1
+        self._mb_shift = params.macro_block_size.bit_length() - 1
+        self._capacity = params.sldt_entries
+        # line number -> set of word offsets touched (insertion = LRU order)
+        self._table: OrderedDict[int, set[int]] = OrderedDict()
+        # macro-block number -> saturating spatial counter
+        self._spatial: dict[int, int] = {}
+        self.spatial_promotions = 0
+        self.spatial_demotions = 0
+
+    def observe(self, addr: int) -> None:
+        """Record one access; may retire the LRU entry and judge it."""
+        line = addr >> self._line_shift
+        word = (addr >> 3) & ((1 << (self._line_shift - 3)) - 1)
+        entry = self._table.get(line)
+        if entry is not None:
+            entry.add(word)
+            self._table.move_to_end(line)
+            return
+        if len(self._table) >= self._capacity:
+            old_line, words = self._table.popitem(last=False)
+            self._judge(old_line, words)
+        self._table[line] = {word}
+
+    def spatial_quality(self, addr: int) -> int:
+        """Spatial counter of ``addr``'s macro-block (0 when unknown)."""
+        return self._spatial.get(addr >> self._mb_shift, 0)
+
+    def expects_spatial(self, addr: int) -> bool:
+        """True when the macro-block has shown enough spatial locality."""
+        return self.spatial_quality(addr) >= self.params.spatial_threshold
+
+    def _judge(self, line: int, words: set[int]) -> None:
+        """Classify a retiring SLDT entry and update the spatial counter."""
+        mb = (line << self._line_shift) >> self._mb_shift
+        counter = self._spatial.get(mb, 0)
+        if len(words) >= 2:
+            if counter < self.params.spatial_counter_max:
+                counter += 1
+            self.spatial_promotions += 1
+        else:
+            if counter > self.params.spatial_counter_min:
+                counter -= 1
+            self.spatial_demotions += 1
+        self._spatial[mb] = counter
+
+    def flush_judgements(self) -> None:
+        """Retire every live entry (end-of-run bookkeeping, tests)."""
+        while self._table:
+            line, words = self._table.popitem(last=False)
+            self._judge(line, words)

@@ -1,0 +1,52 @@
+"""Compact binary encoding of traces.
+
+Traces can be large; this fixed-width little-endian encoding (one
+13-byte record per instruction: opcode byte, 8-byte arg, 4-byte pc)
+allows writing them to disk and round-tripping them in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.trace import Trace
+
+__all__ = ["encode_trace", "decode_trace"]
+
+_RECORD = struct.Struct("<BqI")
+_MAGIC = b"RPTR\x01"
+
+
+def encode_trace(trace: Trace) -> bytes:
+    """Serialize ``trace`` (name + records) to bytes."""
+    name_bytes = trace.name.encode("utf-8")
+    if len(name_bytes) > 0xFFFF:
+        raise ValueError("trace name too long to encode")
+    parts = [_MAGIC, struct.pack("<H", len(name_bytes)), name_bytes]
+    parts.extend(
+        _RECORD.pack(inst.op, inst.arg, inst.pc) for inst in trace.instructions
+    )
+    return b"".join(parts)
+
+
+def decode_trace(data: bytes) -> Trace:
+    """Inverse of :func:`encode_trace`.
+
+    Raises ValueError on a bad magic header or a truncated stream.
+    """
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise ValueError("not an encoded trace (bad magic)")
+    offset = len(_MAGIC)
+    (name_len,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    name = data[offset : offset + name_len].decode("utf-8")
+    offset += name_len
+    body = data[offset:]
+    if len(body) % _RECORD.size:
+        raise ValueError("truncated trace record stream")
+    instructions = [
+        Instruction(Opcode(op), arg, pc)
+        for op, arg, pc in _RECORD.iter_unpack(body)
+    ]
+    return Trace(name, instructions)

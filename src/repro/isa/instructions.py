@@ -1,0 +1,54 @@
+"""Instruction records for the trace-driven simulator."""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+__all__ = ["Opcode", "Instruction"]
+
+
+class Opcode(enum.IntEnum):
+    """Instruction classes the timing model distinguishes.
+
+    ALU instructions are *compressed*: one record stands for ``arg``
+    consecutive non-memory instructions, which keeps traces dominated by
+    the memory operations the paper studies.  HW_ON / HW_OFF are the
+    activate/deactivate instructions of Section 2; each occupies an
+    issue slot like a real instruction so its overhead is modelled.
+    """
+
+    LOAD = 0
+    STORE = 1
+    ALU = 2
+    BRANCH = 3
+    HW_ON = 4
+    HW_OFF = 5
+
+
+class Instruction(NamedTuple):
+    """One trace record.
+
+    Attributes:
+        op: The :class:`Opcode`.
+        arg: Byte address for LOAD/STORE; repeat count (>= 1) for ALU;
+            1/0 taken flag for BRANCH; unused (0) for HW_ON/HW_OFF.
+        pc: Synthetic program-counter of the static instruction.  Loop
+            bodies reuse the same pc every iteration, so the instruction
+            cache and the bimodal branch predictor behave realistically.
+    """
+
+    op: Opcode
+    arg: int = 0
+    pc: int = 0
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op is Opcode.LOAD or self.op is Opcode.STORE
+
+    @property
+    def dynamic_count(self) -> int:
+        """Number of dynamic instructions this record stands for."""
+        if self.op is Opcode.ALU:
+            return max(self.arg, 1)
+        return 1

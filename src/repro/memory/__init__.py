@@ -1,0 +1,33 @@
+"""Memory-hierarchy substrate: caches, TLBs, DRAM, and the hierarchy.
+
+This package implements the machine of the paper's Table 1: split 4-way
+L1 caches, a unified L2, data/instruction TLBs, and a fixed-latency main
+memory behind an 8-byte bus.  The hierarchy exposes hook points (see
+:mod:`repro.memory.assist`) through which the run-time hardware
+optimizers of :mod:`repro.hwopt` (cache bypassing, victim caches) attach.
+"""
+
+from repro.memory.assist import AssistInterface, FillDecision
+from repro.memory.block import CacheBlock
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.column import ColumnAssociativeCache
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.stats import CacheStats, HierarchySnapshot
+from repro.memory.tlb import TLB
+from repro.memory.victim import VictimCache
+
+__all__ = [
+    "AccessResult",
+    "AssistInterface",
+    "CacheBlock",
+    "CacheStats",
+    "ColumnAssociativeCache",
+    "FillDecision",
+    "HierarchySnapshot",
+    "MainMemory",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+    "TLB",
+    "VictimCache",
+]

@@ -1,0 +1,134 @@
+"""Hook interface between the memory hierarchy and hardware assists.
+
+The paper's hardware locality mechanisms (cache bypassing via MAT/SLDT,
+victim caches — Section 3.1) observe L1 traffic and interpose on misses
+and evictions.  :class:`repro.memory.hierarchy.MemoryHierarchy` calls the
+methods below at the corresponding points; the concrete mechanisms live
+in :mod:`repro.hwopt` and implement this interface.
+
+The ``enabled`` flag is the paper's ON/OFF state: the compiler-inserted
+activate/deactivate instructions toggle it at run time, and while it is
+False the hierarchy "simply ignores the mechanism" (Section 4.1) — no
+probes, no updates, no insertions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.block import CacheBlock
+
+__all__ = ["FillDecision", "AssistInterface", "ServeResult", "DEFAULT_FILL"]
+
+
+@dataclass(frozen=True)
+class FillDecision:
+    """What to do with a line arriving from the next level.
+
+    Attributes:
+        cache_in_l1: Install in L1 normally (True) or divert to the
+            assist's own buffer (False — a bypassed fill).
+        extra_blocks: Number of sequentially-next lines to fetch in the
+            same transaction (SLDT-driven variable-size fetch; 0 = just
+            the demanded line).
+    """
+
+    cache_in_l1: bool = True
+    extra_blocks: int = 0
+
+
+#: Decision used when no assist is attached or the assist is disabled.
+DEFAULT_FILL = FillDecision()
+
+#: ``lookup_alternate`` outcome: (extra latency in cycles, block to
+#: promote into L1 — None when the data is served in place, as from the
+#: bypass buffer).
+ServeResult = tuple[int, Optional[CacheBlock]]
+
+
+class AssistInterface(abc.ABC):
+    """Run-time hardware locality mechanism attached to the L1/L2 seam."""
+
+    #: ON/OFF state toggled by the activate/deactivate instructions.
+    enabled: bool = True
+
+    @abc.abstractmethod
+    def note_access(self, addr: int, is_write: bool, l1_hit: bool) -> None:
+        """Observe every L1 data access (hit or miss)."""
+
+    @abc.abstractmethod
+    def lookup_alternate(
+        self, addr: int, line: int, is_write: bool = False
+    ) -> Optional[ServeResult]:
+        """Probe the assist's own storage on an L1 miss.
+
+        On a hit returns ``(extra_latency, promote_block)``: a victim
+        cache returns the block for promotion into L1 (a swap), while the
+        bypass buffer serves the data in place and returns ``None`` for
+        the block.  Returns ``None`` on an assist miss.  Both the byte
+        address and the L1 line number are supplied because the bypass
+        buffer tracks double words, not lines.
+        """
+
+    @abc.abstractmethod
+    def fill_decision(
+        self, addr: int, victim_line: Optional[int]
+    ) -> FillDecision:
+        """Decide placement and fetch size for a line fetched after a miss.
+
+        ``victim_line`` is the L1 line that a normal fill would displace
+        (None if the set has a free way) — the Johnson & Hwu rule bypasses
+        the incoming line when its macro-block is accessed less frequently
+        than the victim's.
+        """
+
+    @abc.abstractmethod
+    def accept_bypassed(
+        self, addr: int, block: CacheBlock
+    ) -> Optional[CacheBlock]:
+        """Store a line the fill decision diverted away from L1.
+
+        Returns any block displaced from assist storage (to be written
+        back if dirty).
+        """
+
+    @abc.abstractmethod
+    def on_l1_evict(self, block: CacheBlock) -> Optional[CacheBlock]:
+        """Observe an L1 eviction; may capture the block (victim cache).
+
+        Returns a displaced block, or the original block if the assist
+        does not capture evictions (the hierarchy then writes it back as
+        usual).
+        """
+
+    @abc.abstractmethod
+    def lookup_l2_alternate(self, line: int) -> Optional[CacheBlock]:
+        """Probe L2-side assist storage (L2 victim cache) on an L2 miss."""
+
+    @abc.abstractmethod
+    def on_l2_evict(self, block: CacheBlock) -> Optional[CacheBlock]:
+        """Observe an L2 eviction (L2 victim cache capture)."""
+
+    @abc.abstractmethod
+    def count_prefetch(self) -> None:
+        """Record one extra line fetched by a variable-size fetch."""
+
+    # ------------------------------------------------------------------
+    # aggregate counters surfaced into HierarchySnapshot
+
+    @property
+    @abc.abstractmethod
+    def assist_hits(self) -> int:
+        """Demand accesses satisfied from assist storage."""
+
+    @property
+    @abc.abstractmethod
+    def bypassed_fills(self) -> int:
+        """Fills diverted away from L1."""
+
+    @property
+    @abc.abstractmethod
+    def prefetched_blocks(self) -> int:
+        """Extra lines fetched by variable-size fetches."""

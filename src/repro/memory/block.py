@@ -1,0 +1,24 @@
+"""Cache block (line) record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheBlock"]
+
+
+@dataclass
+class CacheBlock:
+    """One cache line's metadata.
+
+    ``block_addr`` is the byte address shifted right by the line's offset
+    bits (i.e. a line number, unique across the whole address space);
+    data contents are never modelled, only presence and dirtiness.
+    """
+
+    block_addr: int
+    dirty: bool = False
+
+    def byte_addr(self, block_size: int) -> int:
+        """First byte address covered by this line."""
+        return self.block_addr * block_size

@@ -1,0 +1,35 @@
+"""Main-memory model: fixed access latency plus bus-transfer time."""
+
+from __future__ import annotations
+
+from repro.params import MachineParams
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """Fixed-latency DRAM behind a narrow bus.
+
+    A read of a ``block_size``-byte line costs ``mem_latency`` cycles for
+    the critical word plus one cycle per additional ``mem_bus_width``-byte
+    beat (Table 1: 100 cycles, 8-byte bus).  Writebacks are counted but,
+    as in SimpleScalar's default, are assumed buffered and do not stall
+    the processor.
+    """
+
+    def __init__(self, machine: MachineParams):
+        self._machine = machine
+        self.reads = 0
+        self.writes = 0
+
+    def read_block(self, block_size: int) -> int:
+        """Fetch one line; return the latency in cycles."""
+        self.reads += 1
+        return self._machine.mem_latency + self._machine.block_transfer_cycles(
+            block_size
+        )
+
+    def write_block(self, block_size: int) -> int:
+        """Write back one line; buffered, so zero visible latency."""
+        self.writes += 1
+        return 0

@@ -1,0 +1,227 @@
+"""Multi-level memory hierarchy with hardware-assist hook points.
+
+Implements the Table 1 machine: split L1 (2-cycle), unified L2
+(10-cycle), 100-cycle DRAM behind an 8-byte bus, and 4-way TLBs.  An
+optional :class:`repro.memory.assist.AssistInterface` (cache bypassing
+or victim caching, from :mod:`repro.hwopt`) is consulted on L1 misses,
+fills and evictions — but only while its ``enabled`` flag is on, which
+is how the compiler-inserted activate/deactivate instructions take
+effect.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.memory.assist import DEFAULT_FILL, AssistInterface
+from repro.memory.block import CacheBlock
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import MainMemory
+from repro.memory.stats import HierarchySnapshot, clone_stats
+from repro.memory.tlb import TLB
+from repro.params import MachineParams
+
+__all__ = ["AccessResult", "MemoryHierarchy"]
+
+
+class AccessResult(NamedTuple):
+    """Outcome of a single data access."""
+
+    latency: int
+    l1_hit: bool
+    served_by: str  # "l1" | "assist" | "l2" | "l2assist" | "mem"
+
+
+class MemoryHierarchy:
+    """L1D/L1I + unified L2 + DRAM, with optional hardware assist."""
+
+    def __init__(
+        self,
+        machine: MachineParams,
+        assist: Optional[AssistInterface] = None,
+        classify_misses: bool = False,
+    ):
+        self.machine = machine
+        self.assist = assist
+        self.l1d = SetAssociativeCache(machine.l1d, classify_misses)
+        self.l1i = SetAssociativeCache(machine.l1i)
+        self.l2 = SetAssociativeCache(machine.l2, classify_misses)
+        self.dtlb = TLB(machine.dtlb)
+        self.itlb = TLB(machine.itlb)
+        self.memory = MainMemory(machine)
+        # Cycles of L1-fill bus occupancy per extra prefetched line.
+        self._l1_beats = max(
+            machine.l1d.block_size // machine.mem_bus_width, 1
+        )
+
+    # ------------------------------------------------------------------
+    # public access paths
+
+    def data_access(self, addr: int, is_write: bool = False) -> AccessResult:
+        """Perform one load/store; return its latency and provenance."""
+        assist = self.assist if (self.assist and self.assist.enabled) else None
+        latency = 0
+        if not self.dtlb.lookup(addr):
+            latency += self.machine.dtlb.miss_penalty
+        latency += self.machine.l1d.latency
+        if self.l1d.lookup(addr, is_write):
+            if assist:
+                assist.note_access(addr, is_write, l1_hit=True)
+            return AccessResult(latency, True, "l1")
+        if assist:
+            assist.note_access(addr, is_write, l1_hit=False)
+            line = self.l1d.line_of(addr)
+            served = assist.lookup_alternate(addr, line, is_write)
+            if served is not None:
+                extra_latency, promoted = served
+                latency += extra_latency
+                if promoted is not None:
+                    self._install_l1(addr, promoted.dirty or is_write, assist)
+                return AccessResult(latency, False, "assist")
+        latency += self._fetch_into_l1(addr, is_write, assist)
+        return AccessResult(latency, False, self._last_source)
+
+    def inst_fetch(self, addr: int) -> int:
+        """Fetch an instruction; return the latency in cycles.
+
+        The instruction path has no hardware assist in the paper (the
+        mechanisms target the data cache).
+        """
+        latency = 0
+        if not self.itlb.lookup(addr):
+            latency += self.machine.itlb.miss_penalty
+        latency += self.machine.l1i.latency
+        if self.l1i.lookup(addr):
+            return latency
+        latency += self._access_l2(addr, assist=None)
+        evicted = self.l1i.fill(addr)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l2(evicted, self.machine.l1i.block_size)
+        return latency
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _fetch_into_l1(
+        self, addr: int, is_write: bool, assist: Optional[AssistInterface]
+    ) -> int:
+        """Bring the line for ``addr`` from L2/memory; place per assist."""
+        latency = self._access_l2(addr, assist)
+        if assist:
+            victim_line = self.l1d.victim_candidate(addr)
+            decision = assist.fill_decision(addr, victim_line)
+        else:
+            decision = DEFAULT_FILL
+        line = self.l1d.line_of(addr)
+        if decision.cache_in_l1:
+            self._install_l1(addr, is_write, assist)
+        else:
+            displaced = assist.accept_bypassed(addr, CacheBlock(line, is_write))
+            if displaced is not None and displaced.dirty:
+                self._writeback_to_l2(displaced, self.machine.l1d.block_size)
+        if assist and decision.extra_blocks > 0:
+            latency += self._prefetch_extra(
+                line, decision.extra_blocks, decision.cache_in_l1, assist
+            )
+        return latency
+
+    def _access_l2(self, addr: int, assist: Optional[AssistInterface]) -> int:
+        """Look up L2 (then L2 assist, then DRAM); fill L2 on the way."""
+        latency = self.machine.l2.latency
+        if self.l2.lookup(addr):
+            self._last_source = "l2"
+            return latency
+        if assist:
+            l2_line = self.l2.line_of(addr)
+            block = assist.lookup_l2_alternate(l2_line)
+            if block is not None:
+                latency += 1
+                self._install_l2(addr, block.dirty, assist)
+                self._last_source = "l2assist"
+                return latency
+        latency += self.memory.read_block(self.machine.l2.block_size)
+        self._install_l2(addr, False, assist)
+        self._last_source = "mem"
+        return latency
+
+    def _install_l1(
+        self, addr: int, dirty: bool, assist: Optional[AssistInterface]
+    ) -> None:
+        evicted = self.l1d.fill(addr, dirty)
+        if evicted is None:
+            return
+        if assist:
+            evicted = assist.on_l1_evict(evicted)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l2(evicted, self.machine.l1d.block_size)
+
+    def _install_l2(
+        self, addr: int, dirty: bool, assist: Optional[AssistInterface]
+    ) -> None:
+        evicted = self.l2.fill(addr, dirty)
+        if evicted is None:
+            return
+        if assist:
+            evicted = assist.on_l2_evict(evicted)
+        if evicted is not None and evicted.dirty:
+            self.memory.write_block(self.machine.l2.block_size)
+
+    def _writeback_to_l2(self, block: CacheBlock, block_size: int) -> None:
+        """Write an evicted dirty L1-side line down the hierarchy."""
+        byte_addr = block.byte_addr(block_size)
+        if self.l2.probe(byte_addr):
+            self.l2.fill(byte_addr, dirty=True)
+        else:
+            self.memory.write_block(block_size)
+
+    def _prefetch_extra(
+        self,
+        line: int,
+        count: int,
+        cache_in_l1: bool,
+        assist: AssistInterface,
+    ) -> int:
+        """Stream ``count`` sequentially-next lines (SLDT larger fetch).
+
+        Each extra line costs its bus beats; lines already resident are
+        skipped at no cost.  Prefetched lines do not recurse into L2
+        statistics — they ride the same L2/memory transaction.
+        """
+        latency = 0
+        block_size = self.machine.l1d.block_size
+        for i in range(1, count + 1):
+            next_addr = (line + i) * block_size
+            if self.l1d.probe(next_addr):
+                continue
+            latency += self._l1_beats
+            assist.count_prefetch()
+            if cache_in_l1:
+                self._install_l1(next_addr, False, assist)
+            else:
+                displaced = assist.accept_bypassed(
+                    next_addr, CacheBlock(line + i, False)
+                )
+                if displaced is not None and displaced.dirty:
+                    self._writeback_to_l2(displaced, block_size)
+        return latency
+
+    _last_source = "mem"
+
+    # ------------------------------------------------------------------
+    # statistics
+
+    def snapshot(self) -> HierarchySnapshot:
+        """Copy all counters into an immutable record."""
+        assist = self.assist
+        return HierarchySnapshot(
+            l1d=clone_stats(self.l1d.stats),
+            l1i=clone_stats(self.l1i.stats),
+            l2=clone_stats(self.l2.stats),
+            dtlb_misses=self.dtlb.misses,
+            itlb_misses=self.itlb.misses,
+            mem_reads=self.memory.reads,
+            mem_writes=self.memory.writes,
+            assist_hits=assist.assist_hits if assist else 0,
+            bypassed_fills=assist.bypassed_fills if assist else 0,
+            prefetched_blocks=assist.prefetched_blocks if assist else 0,
+        )

@@ -1,0 +1,102 @@
+"""Statistics records for caches and the memory hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "HierarchySnapshot"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache (or cache-like structure).
+
+    Miss classification (``compulsory``/``capacity``/``conflict``) is only
+    populated when the owning cache was built with ``classify_misses=True``;
+    otherwise the three counters stay at zero while ``misses`` still counts.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    compulsory_misses: int = 0
+    capacity_misses: int = 0
+    conflict_misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0.0 when the cache was never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def conflict_fraction(self) -> float:
+        """Fraction of misses classified as conflict misses."""
+        if self.misses == 0:
+            return 0.0
+        return self.conflict_misses / self.misses
+
+    def reset(self) -> None:
+        for f in (
+            "accesses",
+            "hits",
+            "misses",
+            "evictions",
+            "writebacks",
+            "compulsory_misses",
+            "capacity_misses",
+            "conflict_misses",
+        ):
+            setattr(self, f, 0)
+
+
+@dataclass(frozen=True)
+class HierarchySnapshot:
+    """Immutable snapshot of the whole hierarchy's counters.
+
+    Produced by :meth:`repro.memory.hierarchy.MemoryHierarchy.snapshot`;
+    this is what experiment results store, so it must be hash-free plain
+    data.
+    """
+
+    l1d: CacheStats
+    l1i: CacheStats
+    l2: CacheStats
+    dtlb_misses: int
+    itlb_misses: int
+    mem_reads: int
+    mem_writes: int
+    assist_hits: int = 0
+    bypassed_fills: int = 0
+    prefetched_blocks: int = 0
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.l1d.miss_rate
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2.miss_rate
+
+
+def clone_stats(stats: CacheStats) -> CacheStats:
+    """Deep-copy a :class:`CacheStats` (used when snapshotting)."""
+    return CacheStats(
+        accesses=stats.accesses,
+        hits=stats.hits,
+        misses=stats.misses,
+        evictions=stats.evictions,
+        writebacks=stats.writebacks,
+        compulsory_misses=stats.compulsory_misses,
+        capacity_misses=stats.capacity_misses,
+        conflict_misses=stats.conflict_misses,
+    )

@@ -1,0 +1,52 @@
+"""Set-associative translation lookaside buffer.
+
+Only hit/miss behaviour is modelled (there is no page table): a TLB miss
+costs a fixed penalty, per the SimpleScalar baseline the paper builds
+on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.params import TLBParams
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """LRU set-associative TLB over virtual page numbers."""
+
+    def __init__(self, params: TLBParams):
+        self.params = params
+        self.accesses = 0
+        self.misses = 0
+        self._page_shift = params.page_size.bit_length() - 1
+        self._num_sets = params.num_sets
+        self._assoc = params.assoc
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+
+    def page_of(self, addr: int) -> int:
+        return addr >> self._page_shift
+
+    def lookup(self, addr: int) -> bool:
+        """Translate ``addr``; return True on hit, filling on miss."""
+        page = addr >> self._page_shift
+        tlb_set = self._sets[page % self._num_sets]
+        self.accesses += 1
+        if page in tlb_set:
+            tlb_set.move_to_end(page)
+            return True
+        self.misses += 1
+        if len(tlb_set) >= self._assoc:
+            tlb_set.popitem(last=False)
+        tlb_set[page] = None
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses

@@ -1,0 +1,6 @@
+"""Trace generation: executing IR programs into instruction streams."""
+
+from repro.tracegen.interpreter import TraceGenerator
+from repro.tracegen.memory_map import assign_addresses
+
+__all__ = ["TraceGenerator", "assign_addresses"]

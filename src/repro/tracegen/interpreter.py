@@ -1,0 +1,204 @@
+"""The IR interpreter: runs a program and records its instruction trace.
+
+This stands in for the paper's compile-and-simulate flow (Section 4.4):
+the (possibly transformed, possibly marker-carrying) program is
+"executed" — loops iterate, references resolve to byte addresses under
+the current layouts, markers become HW_ON/HW_OFF records — and the
+resulting :class:`repro.isa.Trace` is what the CPU model times.
+
+Program counters are synthetic but stable: every static statement and
+loop branch owns fixed pc slots, so the instruction cache and branch
+predictor see realistic repetition.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import (
+    AffineRef,
+    IndexedRef,
+    NonAffineRef,
+    PointerChaseRef,
+    Reference,
+    RegisterRef,
+    ScalarRef,
+)
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+from repro.isa.trace import Trace, TraceBuilder
+from repro.tracegen.memory_map import SCALAR_BASE, assign_addresses
+
+__all__ = ["TraceGenerator"]
+
+_PC_BASE = 0x1000
+_PC_STRIDE = 4
+
+
+class TraceGenerator:
+    """Executes one program into a trace.
+
+    The generator assigns array addresses on construction (unless the
+    caller has already done so and passes ``assign_bases=False``).
+    Pointer-chase chains start at node 0 and persist across statements,
+    so repeated traversals continue around the cycle like a real list
+    walk.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        trace_name: Optional[str] = None,
+        assign_bases: bool = True,
+        alignment: Optional[int] = None,
+    ):
+        self.program = program
+        self.trace_name = trace_name or program.name
+        if assign_bases:
+            if alignment is None:
+                assign_addresses(program)
+            else:
+                assign_addresses(program, alignment=alignment)
+        self._scalar_addrs: dict[str, int] = {}
+        self._pcs: dict[int, int] = {}
+        self._assign_pcs()
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """Run the program once; return the trace."""
+        builder = TraceBuilder(self.trace_name)
+        chains: dict[str, int] = {}
+        self._exec_nodes(self.program.body, {}, builder, chains)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # static pc assignment
+
+    def _assign_pcs(self) -> None:
+        cursor = _PC_BASE
+        scalar_cursor = SCALAR_BASE
+
+        def visit(nodes) -> None:
+            nonlocal cursor
+            for node in nodes:
+                if isinstance(node, Loop):
+                    # One pc for the loop's increment+branch pair.
+                    self._pcs[id(node)] = cursor
+                    cursor += 2 * _PC_STRIDE
+                    visit(node.body)
+                elif isinstance(node, Statement):
+                    self._pcs[id(node)] = cursor
+                    slots = 2 * len(node.references) + 2
+                    cursor += slots * _PC_STRIDE
+                    self._register_scalars(node)
+                else:  # MarkerStmt
+                    self._pcs[id(node)] = cursor
+                    cursor += _PC_STRIDE
+
+        def register_scalar(name: str) -> None:
+            nonlocal scalar_cursor
+            if name not in self._scalar_addrs:
+                self._scalar_addrs[name] = scalar_cursor
+                scalar_cursor += 8
+
+        self._register_scalar = register_scalar  # used by helper below
+        visit(self.program.body)
+
+    def _register_scalars(self, statement: Statement) -> None:
+        for ref in statement.references:
+            if isinstance(ref, ScalarRef):
+                self._register_scalar(ref.name)
+            elif isinstance(ref, RegisterRef) and isinstance(
+                ref.original, ScalarRef
+            ):
+                self._register_scalar(ref.original.name)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _exec_nodes(
+        self,
+        nodes: list[Node],
+        bindings: dict[str, int],
+        builder: TraceBuilder,
+        chains: dict[str, int],
+    ) -> None:
+        for node in nodes:
+            if isinstance(node, Loop):
+                self._exec_loop(node, bindings, builder, chains)
+            elif isinstance(node, Statement):
+                self._exec_statement(node, bindings, builder, chains)
+            elif isinstance(node, MarkerStmt):
+                builder.set_pc(self._pcs[id(node)])
+                if node.activates:
+                    builder.hw_on()
+                else:
+                    builder.hw_off()
+            else:  # pragma: no cover - IR is closed over these types
+                raise TypeError(f"cannot execute {node!r}")
+
+    def _exec_loop(
+        self,
+        loop: Loop,
+        bindings: dict[str, int],
+        builder: TraceBuilder,
+        chains: dict[str, int],
+    ) -> None:
+        lower = loop.lower.eval(bindings)
+        upper = loop.upper.eval(bindings)
+        step = loop.step
+        branch_pc = self._pcs[id(loop)]
+        body = loop.body
+        variable = loop.var
+        for value in range(lower, upper, step):
+            bindings[variable] = value
+            self._exec_nodes(body, bindings, builder, chains)
+            builder.set_pc(branch_pc)
+            builder.alu(1)  # induction increment + compare
+            builder.branch(value + step < upper)
+
+    def _exec_statement(
+        self,
+        statement: Statement,
+        bindings: Mapping[str, int],
+        builder: TraceBuilder,
+        chains: dict[str, int],
+    ) -> None:
+        builder.set_pc(self._pcs[id(statement)])
+        for ref in statement.reads:
+            self._touch(ref, bindings, builder, chains, is_write=False)
+        if statement.work:
+            builder.alu(statement.work)
+        for ref in statement.writes:
+            self._touch(ref, bindings, builder, chains, is_write=True)
+
+    def _touch(
+        self,
+        ref: Reference,
+        bindings: Mapping[str, int],
+        builder: TraceBuilder,
+        chains: dict[str, int],
+        is_write: bool,
+    ) -> None:
+        emit = builder.store if is_write else builder.load
+        if isinstance(ref, AffineRef):
+            emit(ref.address(bindings))
+        elif isinstance(ref, ScalarRef):
+            emit(self._scalar_addrs[ref.name])
+        elif isinstance(ref, RegisterRef):
+            pass  # promoted to a register: no memory traffic
+        elif isinstance(ref, IndexedRef):
+            index_addr, data_addr = ref.addresses(bindings)
+            builder.load(index_addr)  # the subscript load is always a read
+            emit(data_addr)
+        elif isinstance(ref, PointerChaseRef):
+            node = chains.get(ref.chain, 0)
+            addr, nxt = ref.address_and_next(node)
+            emit(addr)
+            chains[ref.chain] = nxt
+        elif isinstance(ref, NonAffineRef):
+            emit(ref.address(bindings))
+        else:  # pragma: no cover - reference taxonomy is closed
+            raise TypeError(f"cannot execute reference {ref!r}")

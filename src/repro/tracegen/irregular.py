@@ -1,0 +1,101 @@
+"""Synthetic irregular-access data for workload models.
+
+The paper's irregular benchmarks (Perl, Li, Compress, and the TPC
+probes) are modelled by loops whose targets come from run-time data:
+pointer-successor arrays, skewed index streams, and hash-probe
+sequences.  These helpers build that data deterministically from a
+seed so traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "permutation_chain",
+    "zipf_indices",
+    "uniform_indices",
+    "clustered_indices",
+    "hash_probe_indices",
+]
+
+
+def permutation_chain(n: int, seed: int) -> np.ndarray:
+    """Successor array forming one n-cycle — a scattered linked list.
+
+    Walking ``next = chain[next]`` visits every node exactly once per
+    lap in a memory-random order, the worst-case pointer-chasing
+    pattern of a fragmented cons-cell heap (the paper's *Li*).
+    """
+    if n <= 0:
+        raise ValueError("chain needs at least one node")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    chain = np.empty(n, dtype=np.int64)
+    chain[order[:-1]] = order[1:]
+    chain[order[-1]] = order[0]
+    return chain
+
+
+def zipf_indices(count: int, universe: int, skew: float, seed: int) -> np.ndarray:
+    """``count`` indices in [0, universe) with a Zipf-like hot/cold skew.
+
+    High skew concentrates accesses on few hot entries — the regime in
+    which the MAT-driven bypass pays off (hot macro-blocks stay cached,
+    cold ones are bypassed).
+    """
+    if universe <= 0:
+        raise ValueError("universe must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, skew)
+    weights /= weights.sum()
+    hot_order = rng.permutation(universe)  # hot entries scattered in memory
+    drawn = rng.choice(universe, size=count, p=weights)
+    return hot_order[drawn].astype(np.int64)
+
+
+def uniform_indices(count: int, universe: int, seed: int) -> np.ndarray:
+    """Uniformly random indices — no exploitable frequency skew."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, universe, size=count, dtype=np.int64)
+
+
+def clustered_indices(
+    count: int,
+    universe: int,
+    cluster: int,
+    jumps: float,
+    seed: int,
+) -> np.ndarray:
+    """A random walk that stays in a ``cluster``-sized neighbourhood and
+    teleports with probability ``jumps`` — short-term locality with
+    phase changes (the paper's *Compress* dictionary behaviour)."""
+    if not 0.0 <= jumps <= 1.0:
+        raise ValueError("jumps must be a probability")
+    rng = np.random.default_rng(seed)
+    indices = np.empty(count, dtype=np.int64)
+    center = int(rng.integers(0, universe))
+    for i in range(count):
+        if rng.random() < jumps:
+            center = int(rng.integers(0, universe))
+        offset = int(rng.integers(-cluster, cluster + 1))
+        indices[i] = (center + offset) % universe
+    return indices
+
+
+def hash_probe_indices(
+    keys: int, table_size: int, seed: int, probes_per_key: int = 2
+) -> np.ndarray:
+    """Open-addressing probe sequences: h, h+1, ... per key.
+
+    Deterministic multiplicative hashing of a random key stream; the
+    result concatenates each key's probe positions.
+    """
+    rng = np.random.default_rng(seed)
+    key_stream = rng.integers(0, 1 << 30, size=keys, dtype=np.int64)
+    hashed = (key_stream * 2654435761) % table_size
+    probes = np.empty(keys * probes_per_key, dtype=np.int64)
+    for p in range(probes_per_key):
+        probes[p::probes_per_key] = (hashed + p) % table_size
+    return probes

@@ -1,0 +1,41 @@
+"""The 13-benchmark suite of paper Section 4.2, as IR workload models.
+
+Categories follow the paper's access-pattern classification:
+
+* **regular** — Swim, Mgrid, Vpenta, Adi (affine kernels the compiler
+  can optimize);
+* **irregular** — Perl, Compress, Li, Applu (pointer chasing, hash
+  probing, indexed sweeps the hardware mechanism targets);
+* **mixed** — Chaos, TPC-C, TPC-D Q1/Q3/Q6 (alternating phases, where
+  the selective ON/OFF scheme shines).
+
+See DESIGN.md for the SPEC/TPC → model substitution rationale.  Every
+workload builds deterministically from its scale, so traces are
+reproducible run to run.
+"""
+
+from repro.workloads.base import (
+    MEDIUM,
+    SMALL,
+    TINY,
+    Scale,
+    WorkloadSpec,
+)
+from repro.workloads.registry import (
+    all_specs,
+    get_spec,
+    specs_by_category,
+    workload_names,
+)
+
+__all__ = [
+    "MEDIUM",
+    "SMALL",
+    "TINY",
+    "Scale",
+    "WorkloadSpec",
+    "all_specs",
+    "get_spec",
+    "specs_by_category",
+    "workload_names",
+]

@@ -1,0 +1,78 @@
+"""Workload scaffolding: scales and specs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.compiler.ir.program import Program
+
+__all__ = ["Scale", "WorkloadSpec", "TINY", "SMALL", "MEDIUM"]
+
+#: Access-pattern categories (paper Section 4.2).
+REGULAR = "regular"
+IRREGULAR = "irregular"
+MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Problem-size knob for all workloads.
+
+    The paper runs full SPEC/TPC inputs (10⁷-10⁹ instructions); these
+    scales shrink problem sizes so a Python-level simulator can run
+    them, and experiments shrink the caches by the matching divisor
+    (see ``MachineParams.scaled``) to preserve the working-set/cache
+    ratio.
+
+    Attributes:
+        name: "tiny" (unit tests), "small" (benchmarks), "medium"
+            (fuller runs).
+        n2d: Edge length for N×N arrays.
+        n1d: Element count for large 1-D arrays/streams.
+        steps: Outer repetition factor (time steps, transaction counts).
+        machine_divisor: The cache-scaling divisor experiments should
+            pair with this workload scale.
+    """
+
+    name: str
+    n2d: int
+    n1d: int
+    steps: int
+    machine_divisor: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n2d < 8 or self.n1d < 64 or self.steps < 1:
+            raise ValueError(f"scale {self.name} is degenerate")
+
+
+# n2d is kept low enough that a 7-array benchmark's padded working set
+# stays comfortably inside the scaled L2 — TINY exists for fast tests,
+# not for sitting on capacity boundaries.  Two steps amortize the cold
+# first pass, whose serialized compulsory DRAM misses would otherwise
+# dominate such short runs (the paper's inputs run to completion).
+TINY = Scale("tiny", n2d=28, n1d=2048, steps=3)
+SMALL = Scale("small", n2d=72, n1d=12288, steps=2)
+MEDIUM = Scale("medium", n2d=112, n1d=32768, steps=3)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named benchmark: category plus a Program factory."""
+
+    name: str
+    category: str
+    build: Callable[[Scale], Program]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in (REGULAR, IRREGULAR, MIXED):
+            raise ValueError(f"unknown category {self.category}")
+
+    def instantiate(self, scale: Scale) -> Program:
+        program = self.build(scale)
+        if program.name != self.name:
+            raise ValueError(
+                f"builder for {self.name} produced program {program.name}"
+            )
+        return program

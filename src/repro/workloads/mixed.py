@@ -1,0 +1,292 @@
+"""Mixed-pattern workloads: Chaos, TPC-C, TPC-D Q1/Q3/Q6.
+
+These alternate regular (compiler-optimizable) and irregular
+(hardware-preferred) phases inside an outer loop, so region detection
+produces a genuinely mixed program and the selective ON/OFF scheme has
+phase boundaries to exploit — the paper's core scenario ("many programs
+have a phase-by-phase nature", Section 5.1).
+
+* *Chaos* — molecular dynamics on an irregular mesh: indexed
+  gather/scatter over edges (hw) alternating with dense per-node
+  updates (sw).
+* *TPC-C* — OLTP: B-tree index probes with hot-warehouse skew (hw) and
+  sequential row-segment scans (sw).
+* *TPC-D Q1* — columnar scan + small-group aggregation.
+* *TPC-D Q3* — scans + a hash join probe into a large table.
+* *TPC-D Q6*  — predicate scan dominating a small index-probe phase.
+
+For the TPC models the paper itself substituted "a code segment
+performing the necessary operations" for a real DBMS — we do the same
+at the access-pattern level.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import IndexedRef, PointerChaseRef
+from repro.tracegen.irregular import (
+    clustered_indices,
+    permutation_chain,
+    uniform_indices,
+    zipf_indices,
+)
+from repro.workloads.base import Scale
+
+__all__ = [
+    "build_chaos",
+    "build_tpcc",
+    "build_tpcd_q1",
+    "build_tpcd_q3",
+    "build_tpcd_q6",
+]
+
+_NODE_SIZE = 32
+
+
+def build_chaos(scale: Scale) -> Program:
+    """Irregular-mesh molecular dynamics (*Chaos*, mesh.2k).
+
+    Per time step: an edge-loop force gather/scatter through the mesh
+    connectivity (irregular), then dense position/velocity updates on
+    (3, N) component arrays whose base orientation is stride-N (the
+    data transformation fixes it).
+    """
+    nodes = scale.n2d * scale.n2d // 2
+    edges = nodes * 2
+    b = ProgramBuilder("chaos")
+    x = b.array("X", (nodes,))
+    force = b.array("FORCE", (nodes,))
+    ew = b.array("EW", (edges,))
+    ia = b.index_array(
+        "IA", clustered_indices(edges, nodes, cluster=24, jumps=0.1, seed=51)
+    )
+    ib = b.index_array(
+        "IB", clustered_indices(edges, nodes, cluster=24, jumps=0.1, seed=52)
+    )
+    vel = b.array("VEL", (3, nodes))
+    acc = b.array("ACC", (3, nodes))
+    e, n, d = var("e"), var("n"), var("d")
+
+    edge_phase = loop("e", 0, edges, [
+        stmt(
+            reads=[IndexedRef(x, ia[e]), IndexedRef(x, ib[e]), ew[e]],
+            writes=[IndexedRef(force, ia[e])],
+            work=5,
+            label="gather",
+        ),
+    ])
+    update_phase = loop("n", 0, nodes, [
+        loop("d", 0, 3, [
+            stmt(
+                writes=[vel[d, n]],
+                reads=[vel[d, n], acc[d, n]],
+                work=2,
+                label="kick",
+            ),
+        ]),
+        stmt(writes=[x[n]], reads=[x[n], force[n]], work=2, label="drift"),
+    ])
+    b.append(loop("t", 0, scale.steps, [edge_phase, update_phase]))
+    return b.build()
+
+
+def build_tpcc(scale: Scale) -> Program:
+    """OLTP transaction batches: index probes interleaved with scans.
+
+    Each batch runs a burst of B-tree probes through hot-skewed keys (a
+    few warehouses absorb most traffic) plus a pointer descent, then a
+    short order-line settlement scan over a wide row-store segment.
+    The rapid hardware/software phase alternation is the paper's
+    victim-cache scenario (Section 5.2): in the naively-combined
+    version every settlement scan flushes the victim cache that the
+    next probe burst would have hit, while the selective version turns
+    the mechanism off across the scan and preserves it.
+    """
+    batches = 48 * scale.steps
+    txns_per_batch = max(scale.n1d // (4 * batches) * scale.steps, 16)
+    tree_nodes = 4096
+    rows = scale.n2d * scale.n2d
+    rows_per_batch = max(rows // batches, 8)
+    b = ProgramBuilder("tpcc")
+    btree = b.array("BTREE", (tree_nodes,))
+    probe_idx = b.index_array(
+        "PROBEIDX",
+        zipf_indices(batches * txns_per_batch, tree_nodes, skew=1.0, seed=61),
+    )
+    pool = b.array(
+        "POOL",
+        (tree_nodes,),
+        element_size=_NODE_SIZE,
+        data=permutation_chain(tree_nodes, seed=62),
+    )
+    orders = b.array("ORDERS", (rows_per_batch * batches, 16))
+    p, r, t = var("p"), var("r"), var("t")
+
+    probe_phase = loop("p", 0, txns_per_batch, [
+        stmt(
+            reads=[
+                IndexedRef(btree, probe_idx[t * txns_per_batch + p]),
+                PointerChaseRef(pool, "descent", 0, _NODE_SIZE),
+                PointerChaseRef(pool, "descent", 8, _NODE_SIZE),
+            ],
+            writes=[IndexedRef(btree, probe_idx[t * txns_per_batch + p])],
+            work=4,
+            label="probe",
+        ),
+    ])
+    scan_phase = loop("r", 0, rows_per_batch, [
+        stmt(
+            reads=[
+                orders[t * rows_per_batch + r, 0],
+                orders[t * rows_per_batch + r, 5],
+                orders[t * rows_per_batch + r, 10],
+            ],
+            writes=[orders[t * rows_per_batch + r, 15]],
+            work=3,
+            label="scan",
+        ),
+    ])
+    b.append(loop("t", 0, batches, [probe_phase, scan_phase]))
+    return b.build()
+
+
+def _lineitem_scan(
+    b: ProgramBuilder, rows: int, prefix: str
+) -> tuple:
+    """A wide analytic table plus a few-columns-of-many scan.
+
+    Rows are 16 attributes (128 bytes) wide but the query touches only
+    three — the regime in which a row store wastes most of each fetched
+    line and the data transformation's row→column conversion pays off,
+    exactly as for real TPC-D scans.
+    """
+    table = b.array(prefix, (rows, 16))
+    r = var("r")
+    reads = [table[r, 0], table[r, 5], table[r, 10]]
+    return table, reads
+
+
+def build_tpcd_q1(scale: Scale) -> Program:
+    """TPC-D Q1: full scan with arithmetic, then grouped aggregation.
+
+    The scan reads four lineitem columns per row (row-store at base —
+    48-byte row stride per column touch — column-store after the data
+    transformation) and materializes a net-price vector; the
+    aggregation phase scatters into a small group table through
+    computed group ids (irregular, but hot — few groups).
+    """
+    rows = scale.n2d * scale.n2d
+    groups = 512
+    b = ProgramBuilder("tpcd_q1")
+    lineitem, col_reads = _lineitem_scan(b, rows, "LINEITEM")
+    net = b.array("NET", (rows,))
+    agg = b.array("AGG", (groups,))
+    gid = b.index_array(
+        "GID", zipf_indices(rows, groups, skew=0.8, seed=71)
+    )
+    r = var("r")
+
+    scan_phase = loop("r", 0, rows, [
+        stmt(reads=col_reads, writes=[net[r]], work=6, label="scan"),
+    ])
+    agg_phase = loop("r", 0, rows, [
+        stmt(
+            reads=[net[r], IndexedRef(agg, gid[r]), IndexedRef(agg, gid[r], offset=1)],
+            writes=[IndexedRef(agg, gid[r])],
+            work=3,
+            label="agg",
+        ),
+    ])
+    b.append(loop("t", 0, scale.steps, [scan_phase, agg_phase]))
+    return b.build()
+
+
+def build_tpcd_q3(scale: Scale) -> Program:
+    """TPC-D Q3: order/customer scans feeding a hash-join probe.
+
+    The join probes a hash table sized well beyond L1 with uniformly
+    distributed keys — the hardest pattern for any cache — sandwiched
+    between two analyzable scans.
+    """
+    rows = scale.n2d * scale.n2d // 2
+    hash_slots = 16384
+    b = ProgramBuilder("tpcd_q3")
+    orders, order_reads = _lineitem_scan(b, rows, "ORDERS")
+    okey = b.array("OKEY", (rows,), element_size=4)
+    htable = b.array("HASHT", (hash_slots,))
+    hidx = b.index_array(
+        "HIDX", uniform_indices(rows, hash_slots, seed=81)
+    )
+    hidx2 = b.index_array(
+        "HIDX2", uniform_indices(rows, hash_slots, seed=82)
+    )
+    result = b.array("RESULT", (rows,))
+    r = var("r")
+
+    scan_phase = loop("r", 0, rows, [
+        stmt(reads=order_reads, writes=[okey[r]], work=4, label="scan"),
+    ])
+    join_phase = loop("r", 0, rows, [
+        stmt(
+            reads=[
+                okey[r],
+                IndexedRef(htable, hidx[r]),
+                IndexedRef(htable, hidx2[r]),
+            ],
+            writes=[IndexedRef(htable, hidx[r])],
+            work=3,
+            label="join",
+        ),
+    ])
+    gather_phase = loop("r", 0, rows, [
+        stmt(reads=[okey[r]], writes=[result[r]], work=2, label="emit"),
+    ])
+    b.append(
+        loop("t", 0, scale.steps, [scan_phase, join_phase, gather_phase])
+    )
+    return b.build()
+
+
+def build_tpcd_q6(scale: Scale) -> Program:
+    """TPC-D Q6: predicate scan with a small secondary index phase.
+
+    Scan-dominated (the paper's Q6 behaves closest to a regular code
+    among the TPC queries); the short index-probe phase keeps a
+    hardware region in the program so the selective scheme still has
+    something to toggle.
+    """
+    rows = scale.n2d * scale.n2d
+    index_probes = rows // 8
+    index_slots = 8192
+    b = ProgramBuilder("tpcd_q6")
+    lineitem, col_reads = _lineitem_scan(b, rows, "LINEITEM")
+    revenue = b.array("REVENUE", (rows,))
+    index = b.array(
+        "INDEX",
+        (index_slots,),
+        element_size=_NODE_SIZE,
+        data=permutation_chain(index_slots, seed=92),
+    )
+    iidx = b.index_array(
+        "IIDX",
+        zipf_indices(index_probes, index_slots, skew=0.9, seed=91),
+    )
+    r, p = var("r"), var("p")
+
+    scan_phase = loop("r", 0, rows, [
+        stmt(reads=col_reads, writes=[revenue[r]], work=5, label="scan"),
+    ])
+    index_phase = loop("p", 0, index_probes, [
+        stmt(
+            reads=[IndexedRef(index, iidx[p]), PointerChaseRef(
+                index, "leafwalk", 0, _NODE_SIZE
+            )],
+            writes=[],
+            work=2,
+            label="index",
+        ),
+    ])
+    b.append(loop("t", 0, scale.steps, [scan_phase, index_phase]))
+    return b.build()

@@ -1,0 +1,83 @@
+"""The benchmark registry: name → spec for all 13 programs."""
+
+from __future__ import annotations
+
+from repro.workloads.base import IRREGULAR, MIXED, REGULAR, WorkloadSpec
+from repro.workloads.irregular import (
+    build_applu,
+    build_compress,
+    build_li,
+    build_perl,
+)
+from repro.workloads.mixed import (
+    build_chaos,
+    build_tpcc,
+    build_tpcd_q1,
+    build_tpcd_q3,
+    build_tpcd_q6,
+)
+from repro.workloads.regular import (
+    build_adi,
+    build_mgrid,
+    build_swim,
+    build_vpenta,
+)
+
+__all__ = ["all_specs", "get_spec", "specs_by_category", "workload_names"]
+
+#: Paper Table 2 order.
+_SPECS = [
+    WorkloadSpec("perl", IRREGULAR, build_perl,
+                 "SpecInt95 Perl: dispatch + symbol hashing + SV chasing"),
+    WorkloadSpec("compress", IRREGULAR, build_compress,
+                 "SpecInt95 Compress: LZW streams + dictionary probes"),
+    WorkloadSpec("li", IRREGULAR, build_li,
+                 "SpecInt95 Li: cons-cell walks + hot environment"),
+    WorkloadSpec("swim", REGULAR, build_swim,
+                 "SpecFP95 Swim: shallow-water stencils"),
+    WorkloadSpec("applu", IRREGULAR, build_applu,
+                 "SpecFP95 Applu: wavefront-ordered SSOR sweeps"),
+    WorkloadSpec("mgrid", REGULAR, build_mgrid,
+                 "SpecFP95 Mgrid: 3-D multigrid relaxation"),
+    WorkloadSpec("chaos", MIXED, build_chaos,
+                 "Chaos: irregular-mesh MD + dense updates"),
+    WorkloadSpec("vpenta", REGULAR, build_vpenta,
+                 "SpecFP92 Vpenta: pentadiagonal inversion"),
+    WorkloadSpec("adi", REGULAR, build_adi,
+                 "Livermore Adi: alternating-direction sweeps"),
+    WorkloadSpec("tpcc", MIXED, build_tpcc,
+                 "TPC-C: B-tree probes + row-segment scans"),
+    WorkloadSpec("tpcd_q1", MIXED, build_tpcd_q1,
+                 "TPC-D Q1: columnar scan + grouped aggregation"),
+    WorkloadSpec("tpcd_q3", MIXED, build_tpcd_q3,
+                 "TPC-D Q3: scans + hash-join probe"),
+    WorkloadSpec("tpcd_q6", MIXED, build_tpcd_q6,
+                 "TPC-D Q6: predicate scan + index probes"),
+]
+
+_BY_NAME = {spec.name: spec for spec in _SPECS}
+
+
+def all_specs() -> list[WorkloadSpec]:
+    """Every benchmark, in paper Table 2 order."""
+    return list(_SPECS)
+
+
+def workload_names() -> list[str]:
+    return [spec.name for spec in _SPECS]
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(_BY_NAME)}"
+        ) from None
+
+
+def specs_by_category(category: str) -> list[WorkloadSpec]:
+    matches = [spec for spec in _SPECS if spec.category == category]
+    if not matches:
+        raise KeyError(f"unknown category {category!r}")
+    return matches

@@ -1,0 +1,223 @@
+"""Tests for reference classification, region detection, and markers."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.analysis.classify import (
+    HARDWARE,
+    MIXED,
+    SOFTWARE,
+    analyzable_ratio,
+    classify_loop,
+    count_references,
+)
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.refs import IndexedRef, PointerChaseRef
+from repro.compiler.ir.stmts import MarkerStmt
+from repro.compiler.regions.detect import detect_regions
+from repro.compiler.regions.markers import insert_markers
+
+
+def affine_loop(name, array, n=8):
+    i = var(name)
+    return loop(name, 0, n, [
+        stmt(writes=[array[i]], reads=[array[i]], work=1),
+    ])
+
+
+def irregular_loop(name, array, idx, n=8):
+    i = var(name)
+    return loop(name, 0, n, [
+        stmt(
+            reads=[IndexedRef(array, idx[i]), IndexedRef(array, idx[i], 1)],
+            writes=[IndexedRef(array, idx[i])],
+            work=1,
+        ),
+    ])
+
+
+@pytest.fixture
+def arrays():
+    b = ProgramBuilder("fixture")
+    a = b.array("A", (64,))
+    idx = b.index_array("IDX", np.arange(8))
+    return b, a, idx
+
+
+class TestClassification:
+    def test_affine_loop_is_software(self, arrays):
+        _b, a, _idx = arrays
+        assert classify_loop(affine_loop("i", a)) == SOFTWARE
+
+    def test_irregular_loop_is_hardware(self, arrays):
+        _b, a, idx = arrays
+        assert classify_loop(irregular_loop("i", a, idx)) == HARDWARE
+
+    def test_ratio_counts_all_nested_statements(self, arrays):
+        _b, a, idx = arrays
+        outer = loop("o", 0, 4, [
+            affine_loop("i", a),
+            irregular_loop("j", a, idx),
+        ])
+        analyzable, total = count_references(outer)
+        # affine loop: 2 analyzable; irregular: 3 non-analyzable + the
+        # affine index subscripts are inside IndexedRef (opaque).
+        assert analyzable == 2
+        assert total == 5
+        assert analyzable_ratio(outer) == pytest.approx(2 / 5)
+
+    def test_empty_loop_counts_as_analyzable(self):
+        empty = loop("i", 0, 4, [])
+        assert analyzable_ratio(empty) == 1.0
+        assert classify_loop(empty) == SOFTWARE
+
+    def test_threshold_boundary(self, arrays):
+        _b, a, idx = arrays
+        # Exactly half analyzable -> software at the paper's 0.5.
+        i = var("i")
+        half = loop("i", 0, 4, [
+            stmt(reads=[a[i], IndexedRef(a, idx[i])], work=1),
+        ])
+        assert classify_loop(half, threshold=0.5) == SOFTWARE
+        assert classify_loop(half, threshold=0.6) == HARDWARE
+
+
+class TestRegionDetection:
+    def test_uniform_propagation(self, arrays):
+        b, a, _idx = arrays
+        b.append(loop("t", 0, 2, [affine_loop("i", a), affine_loop("j", a)]))
+        program = b.build()
+        report = detect_regions(program)
+        t_loop = program.top_level_loops()[0]
+        assert t_loop.preference == SOFTWARE
+        assert report.region_count == 1
+        assert report.preferences() == [SOFTWARE]
+
+    def test_mixed_outer_loop(self, arrays):
+        b, a, idx = arrays
+        b.append(loop("t", 0, 2, [
+            affine_loop("i", a),
+            irregular_loop("j", a, idx),
+        ]))
+        program = b.build()
+        report = detect_regions(program)
+        t_loop = program.top_level_loops()[0]
+        assert t_loop.preference == MIXED
+        assert report.preferences() == [SOFTWARE, HARDWARE]
+
+    def test_figure2_shape(self, arrays):
+        """The paper's Figure 2: three level-2 nests (hw, sw, hw) under a
+        level-1 loop; the level-1 loop must come out mixed."""
+        b, a, idx = arrays
+        nest_hw1 = loop("a", 0, 2, [loop("b", 0, 2, [
+            irregular_loop("c", a, idx, 2),
+        ])])
+        nest_sw = loop("d", 0, 2, [affine_loop("e", a, 2)])
+        nest_hw2 = loop("f", 0, 2, [irregular_loop("g", a, idx, 2)])
+        b.append(loop("l1", 0, 2, [nest_hw1, nest_sw, nest_hw2]))
+        program = b.build()
+        report = detect_regions(program)
+        assert program.top_level_loops()[0].preference == MIXED
+        assert report.preferences() == [HARDWARE, SOFTWARE, HARDWARE]
+        # hw preference propagated up the perfect prefix of nest 1
+        assert nest_hw1.preference == HARDWARE
+        assert nest_hw1.inner_loops[0].preference == HARDWARE
+
+    def test_sandwiched_statements_classified(self, arrays):
+        b, a, idx = arrays
+        sandwich = stmt(reads=[a[var("t")]], work=1)
+        b.append(loop("t", 0, 2, [
+            affine_loop("i", a),
+            sandwich,
+            irregular_loop("j", a, idx),
+        ]))
+        program = b.build()
+        detect_regions(program)
+        assert sandwich.preference == SOFTWARE
+
+    def test_idempotent(self, arrays):
+        b, a, idx = arrays
+        b.append(loop("t", 0, 2, [
+            affine_loop("i", a), irregular_loop("j", a, idx),
+        ]))
+        program = b.build()
+        first = detect_regions(program).preferences()
+        second = detect_regions(program).preferences()
+        assert first == second
+
+
+class TestMarkerInsertion:
+    def _program(self, arrays, children):
+        b, _a, _idx = arrays
+        b.append(loop("t", 0, 3, children))
+        return b.build()
+
+    def test_alternating_regions_get_markers(self, arrays):
+        _b, a, idx = arrays
+        program = self._program(
+            arrays,
+            [affine_loop("i", a), irregular_loop("j", a, idx)],
+        )
+        report = insert_markers(program)
+        kinds = [m.kind for m in program.markers()]
+        # hw region needs an ON; loop wrap needs the OFF re-established.
+        assert "on" in kinds
+        assert report.inserted == len(kinds)
+
+    def test_pure_software_program_needs_no_markers(self, arrays):
+        _b, a, _idx = arrays
+        program = self._program(arrays, [affine_loop("i", a)])
+        report = insert_markers(program)
+        assert report.inserted == 0
+        assert program.markers() == []
+
+    def test_pure_hardware_program_gets_single_on(self, arrays):
+        _b, a, idx = arrays
+        program = self._program(arrays, [irregular_loop("j", a, idx)])
+        report = insert_markers(program)
+        assert report.activates == 1
+        assert report.deactivates == 0
+
+    def test_redundancy_elimination(self, arrays):
+        """Two adjacent hw nests share one ON (Figure 2(c))."""
+        _b, a, idx = arrays
+        program = self._program(
+            arrays,
+            [
+                irregular_loop("j1", a, idx),
+                irregular_loop("j2", a, idx),
+                affine_loop("i", a),
+            ],
+        )
+        report = insert_markers(program)
+        assert report.naive_markers == 3
+        assert report.activates == 1
+        assert report.eliminated >= 1
+
+    def test_double_insertion_rejected(self, arrays):
+        _b, a, idx = arrays
+        program = self._program(arrays, [irregular_loop("j", a, idx)])
+        insert_markers(program)
+        with pytest.raises(ValueError):
+            insert_markers(program)
+
+    def test_runtime_state_consistency(self, arrays):
+        """Simulating the marker stream must give every region the right
+        hardware state on every loop iteration."""
+        _b, a, idx = arrays
+        sw = affine_loop("i", a)
+        hw = irregular_loop("j", a, idx)
+        program = self._program(arrays, [hw, sw])
+        insert_markers(program)
+
+        t_loop = program.top_level_loops()[0]
+        state = "sw"  # program starts in compiler mode
+        for _iteration in range(3):
+            for node in t_loop.body:
+                if isinstance(node, MarkerStmt):
+                    state = "hw" if node.activates else "sw"
+                elif node is hw:
+                    assert state == "hw"
+                elif node is sw:
+                    assert state == "sw"

@@ -1,0 +1,117 @@
+"""Unit and property tests for affine expressions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir.expr import AffineExpr, MinExpr, as_expr, const, var
+
+
+class TestArithmetic:
+    def test_variable_eval(self):
+        i = var("i")
+        assert i.eval({"i": 7}) == 7
+
+    def test_affine_combination(self):
+        i, j = var("i"), var("j")
+        expr = 2 * i + j - 3
+        assert expr.eval({"i": 5, "j": 1}) == 8
+
+    def test_zero_coefficients_dropped(self):
+        i = var("i")
+        expr = i - i
+        assert expr.is_constant
+        assert expr.const == 0
+
+    def test_negation(self):
+        assert (-var("i")).eval({"i": 4}) == -4
+
+    def test_rsub(self):
+        assert (10 - var("i")).eval({"i": 3}) == 7
+
+    def test_scaling_requires_int(self):
+        with pytest.raises(TypeError):
+            var("i") * 1.5
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            var("i").eval({})
+
+    def test_substitute(self):
+        i, j = var("i"), var("j")
+        expr = 3 * i + 1
+        substituted = expr.substitute("i", j + 2)
+        assert substituted.eval({"j": 1}) == 3 * 3 + 1
+
+    def test_substitute_absent_is_noop(self):
+        expr = var("i") + 1
+        assert expr.substitute("k", var("j")) is expr
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = var("i") + 2
+        b = 2 + var("i")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_int_equality(self):
+        assert const(5) == 5
+        assert not (var("i") == 5)
+
+    def test_immutability(self):
+        expr = var("i")
+        with pytest.raises(AttributeError):
+            expr.const = 3
+
+    def test_deepcopy_shares(self):
+        import copy
+        expr = var("i") + 1
+        assert copy.deepcopy(expr) is expr
+
+
+class TestMinExpr:
+    def test_eval(self):
+        m = MinExpr(var("i") + 4, 10)
+        assert m.eval({"i": 2}) == 6
+        assert m.eval({"i": 100}) == 10
+
+    def test_variables(self):
+        m = MinExpr(var("i"), var("j") + 1)
+        assert m.variables == {"i", "j"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MinExpr()
+
+    def test_equality(self):
+        assert MinExpr(var("i"), 5) == MinExpr(var("i"), 5)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["i", "j", "k"]),
+        st.integers(-10, 10),
+        min_size=3,
+        max_size=3,
+    ),
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.integers(-3, 3),
+)
+@settings(max_examples=100, deadline=None)
+def test_affine_arithmetic_matches_int_arithmetic(bindings, a, b, scale):
+    """(a*i + b*j + c) evaluated structurally equals direct arithmetic."""
+    i, j = var("i"), var("j")
+    expr = (a * i + b * j + 7) * scale - j
+    expected = (
+        a * bindings["i"] + b * bindings["j"] + 7
+    ) * scale - bindings["j"]
+    assert expr.eval(bindings) == expected
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+@settings(max_examples=50, deadline=None)
+def test_as_expr_round_trip(x, y):
+    assert as_expr(x).eval({}) == x
+    assert (as_expr(x) + as_expr(y)).const == x + y

@@ -1,0 +1,129 @@
+"""Tests for loop-nest structure utilities and the Program container."""
+
+import pytest
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import ArrayDecl
+from repro.compiler.ir.stmts import MarkerStmt
+
+
+def two_level(n=8):
+    a = ArrayDecl("A", (n, n))
+    i, j = var("i"), var("j")
+    inner = loop("j", 0, n, [stmt(writes=[a[i, j]], work=1)])
+    return a, loop("i", 0, n, [inner]), inner
+
+
+class TestLoopStructure:
+    def test_innermost_detection(self):
+        _a, outer, inner = two_level()
+        assert not outer.is_innermost
+        assert inner.is_innermost
+        assert outer.inner_loops == [inner]
+
+    def test_walk_preorder(self):
+        _a, outer, inner = two_level()
+        nodes = list(outer.walk())
+        assert nodes[0] is outer
+        assert inner in nodes
+
+    def test_nest_depth(self):
+        _a, outer, _inner = two_level()
+        assert outer.nest_depth() == 2
+
+    def test_perfect_nest_detection(self):
+        _a, outer, inner = two_level()
+        assert outer.is_perfect_nest()
+        assert outer.perfect_nest_loops() == [outer, inner]
+
+    def test_imperfect_nest(self):
+        a = ArrayDecl("A", (8,))
+        i = var("i")
+        inner = loop("j", 0, 8, [stmt(reads=[a[i]], work=1)])
+        outer = loop("i", 0, 8, [stmt(reads=[a[i]], work=1), inner])
+        assert not outer.is_perfect_nest()
+        assert outer.perfect_nest_loops() == [outer]
+
+    def test_trip_count_estimates(self):
+        assert loop("i", 0, 10, []).trip_count_estimate() == 10
+        assert loop("i", 2, 10, [], step=2).trip_count_estimate() == 4
+        bounded = loop("i", 0, MinExpr(10, var("t") + 4), [])
+        assert bounded.trip_count_estimate() == 10
+        symbolic = loop("i", 0, var("n"), [])
+        assert symbolic.trip_count_estimate(assumed_outer=7) == 7
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", var("z") * 0, var("z") * 0 + 4, [], step=0)
+
+    def test_statements_direct_only(self):
+        a = ArrayDecl("A", (8,))
+        i = var("i")
+        direct = stmt(reads=[a[i]], work=1)
+        nested = stmt(writes=[a[i]], work=1)
+        outer = loop("i", 0, 4, [direct, loop("j", 0, 4, [nested])])
+        assert outer.statements() == [direct]
+        assert list(outer.all_statements()) == [direct, nested]
+
+
+class TestProgram:
+    def build(self):
+        b = ProgramBuilder("p")
+        a = b.array("A", (8, 8))
+        i, j = var("i"), var("j")
+        b.append(loop("i", 0, 8, [loop("j", 0, 8, [
+            stmt(writes=[a[i, j]], work=1),
+        ])]))
+        return b.build()
+
+    def test_walk_and_queries(self):
+        program = self.build()
+        assert len(list(program.loops())) == 2
+        assert len(program.top_level_loops()) == 1
+        assert len(list(program.all_statements())) == 1
+        assert program.markers() == []
+
+    def test_duplicate_array_rejected(self):
+        program = self.build()
+        with pytest.raises(ValueError):
+            program.add_array(ArrayDecl("A", (4,)))
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Program("p", {"X": ArrayDecl("Y", (4,))}, [])
+
+    def test_clone_is_independent(self):
+        program = self.build()
+        clone = program.clone()
+        clone.arrays["A"].dim_order = (1, 0)
+        assert program.arrays["A"].dim_order == (0, 1)
+
+    def test_clone_preserves_ref_aliasing(self):
+        """References in a clone must alias the clone's declarations so
+        in-place layout changes reach them."""
+        program = self.build()
+        clone = program.clone()
+        statement = next(clone.all_statements())
+        ref = statement.writes[0]
+        assert ref.array is clone.arrays["A"]
+        assert ref.array is not program.arrays["A"]
+
+    def test_clone_shares_runtime_data(self):
+        import numpy as np
+        b = ProgramBuilder("d")
+        idx = b.index_array("IDX", np.arange(16))
+        program = b.build()
+        clone = program.clone()
+        assert clone.arrays["IDX"].data is program.arrays["IDX"].data
+
+    def test_total_footprint(self):
+        program = self.build()
+        assert program.total_footprint_bytes() == 8 * 8 * 8
+
+    def test_markers_listed(self):
+        program = self.build()
+        program.body.insert(0, MarkerStmt("on"))
+        assert len(program.markers()) == 1

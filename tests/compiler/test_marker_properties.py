@@ -1,0 +1,126 @@
+"""Property-based tests for region detection + marker placement.
+
+Generates random region structures (nested loops whose leaves are
+either analyzable or irregular), inserts markers, then *executes* the
+marker stream to verify the central correctness property: at every
+point of execution, the hardware state equals the preference of the
+region being executed — on every iteration of every loop, not just the
+first.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.analysis.classify import HARDWARE, SOFTWARE
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.refs import IndexedRef
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+from repro.compiler.regions.detect import detect_regions
+from repro.compiler.regions.markers import insert_markers
+
+# A region tree: "sw" | "hw" | tuple of children.
+region_tree = st.recursive(
+    st.sampled_from(["sw", "hw"]),
+    lambda children: st.tuples(children, children)
+    | st.tuples(children, children, children),
+    max_leaves=6,
+)
+
+
+def build_program(tree):
+    """Materialize a region tree as a program with one loop per node."""
+    builder = ProgramBuilder("prop")
+    array = builder.array("A", (64,))
+    idx = builder.index_array("IDX", np.arange(8, dtype=np.int64))
+    counter = [0]
+
+    def make(node):
+        counter[0] += 1
+        name = f"v{counter[0]}"
+        v = var(name)
+        if node == "sw":
+            return loop(name, 0, 2, [
+                stmt(writes=[array[v]], reads=[array[v]], work=1),
+            ])
+        if node == "hw":
+            return loop(name, 0, 2, [
+                stmt(
+                    reads=[IndexedRef(array, idx[v]),
+                           IndexedRef(array, idx[v], offset=1)],
+                    writes=[IndexedRef(array, idx[v])],
+                    work=1,
+                ),
+            ])
+        return loop(name, 0, 2, [make(child) for child in node])
+
+    builder.append(make(tree))
+    return builder.build()
+
+
+def simulate_states(nodes, state, observations):
+    """Walk the program as the interpreter would, twice per loop, and
+    record (observed_state, required_state) at every leaf region."""
+    for node in nodes:
+        if isinstance(node, MarkerStmt):
+            state = HARDWARE if node.activates else SOFTWARE
+        elif isinstance(node, Loop):
+            if node.preference in (SOFTWARE, HARDWARE) and not any(
+                isinstance(child, MarkerStmt) for child in node.walk()
+            ):
+                observations.append((state, node.preference))
+                continue
+            for _iteration in range(2):  # loops run at least twice
+                state = simulate_states(node.body, state, observations)
+        elif isinstance(node, Statement) and node.preference:
+            observations.append((state, node.preference))
+    return state
+
+
+@given(region_tree)
+@settings(max_examples=120, deadline=None)
+def test_marker_state_always_matches_region(tree):
+    program = build_program(tree)
+    insert_markers(program)
+    observations = []
+    simulate_states(program.body, SOFTWARE, observations)
+    assert observations, "tree produced no regions"
+    for observed, required in observations:
+        assert observed == required
+
+
+@given(region_tree)
+@settings(max_examples=60, deadline=None)
+def test_markers_never_exceed_naive_count(tree):
+    program = build_program(tree)
+    report = insert_markers(program)
+    assert report.inserted <= report.naive_markers + 1
+
+
+@given(region_tree)
+@settings(max_examples=60, deadline=None)
+def test_detection_partitions_program(tree):
+    """Maximal regions are disjoint and cover every leaf loop."""
+    program = build_program(tree)
+    report = detect_regions(program)
+    region_nodes = [node for _pref, node in report.regions]
+    # Disjoint: no region node is contained in another region node.
+    for a in region_nodes:
+        if not isinstance(a, Loop):
+            continue
+        for b in region_nodes:
+            if a is not b and isinstance(b, Loop):
+                assert a not in list(b.walk())[1:]
+    # Cover: every innermost loop lies inside exactly one region.
+    innermost = [
+        node for node in program.walk()
+        if isinstance(node, Loop) and node.is_innermost
+    ]
+    for leaf in innermost:
+        containing = [
+            r for r in region_nodes
+            if isinstance(r, Loop) and leaf in r.walk()
+        ]
+        assert len(containing) == 1

@@ -1,0 +1,64 @@
+"""Cross-cutting optimizer properties on the real workloads."""
+
+import pytest
+
+from repro.compiler.optimizer import LocalityOptimizer
+from repro.isa import Opcode
+from repro.params import base_config
+from repro.tracegen.interpreter import TraceGenerator
+from repro.workloads.base import TINY
+from repro.workloads.registry import all_specs, get_spec
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return base_config().scaled(TINY.machine_divisor)
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in all_specs()]
+)
+class TestOptimizerSafety:
+    def test_optimization_preserves_dynamic_semantics(self, name, machine):
+        """The optimized program performs the same number of loop-body
+        statement executions (ALU work is invariant under all our
+        transformations except unroll's branch reduction)."""
+        base_program = get_spec(name).instantiate(TINY)
+        base_trace = TraceGenerator(base_program).generate()
+        base_hist = base_trace.opcode_histogram()
+
+        opt_program = get_spec(name).instantiate(TINY)
+        LocalityOptimizer(machine).optimize(opt_program)
+        opt_trace = TraceGenerator(opt_program).generate()
+        opt_hist = opt_trace.opcode_histogram()
+
+        # Statement work (ALU) is never dropped by the transformations
+        # (loop-overhead ALU varies with unrolling, so compare within
+        # a tolerance proportional to branch reduction).
+        branch_delta = base_hist[Opcode.BRANCH] - opt_hist[Opcode.BRANCH]
+        alu_delta = base_hist[Opcode.ALU] - opt_hist[Opcode.ALU]
+        assert abs(alu_delta) <= abs(branch_delta) + 1
+
+        # Stores are preserved or reduced only by scalar replacement
+        # (which still stores each promoted ref once per inner loop).
+        assert opt_hist[Opcode.STORE] <= base_hist[Opcode.STORE]
+        assert opt_hist[Opcode.STORE] > 0 or base_hist[Opcode.STORE] == 0
+
+    def test_optimizer_is_deterministic(self, name, machine):
+        def optimize_once():
+            program = get_spec(name).instantiate(TINY)
+            LocalityOptimizer(machine).optimize(program)
+            return TraceGenerator(program).generate().instructions
+
+        assert optimize_once() == optimize_once()
+
+    def test_double_optimization_is_stable(self, name, machine):
+        """Optimizing an already-optimized program must not blow up
+        (idempotence up to re-padding, which is guarded)."""
+        program = get_spec(name).instantiate(TINY)
+        optimizer = LocalityOptimizer(machine)
+        optimizer.optimize(program)
+        first = TraceGenerator(program.clone()).generate()
+        optimizer.optimize(program)
+        second = TraceGenerator(program.clone()).generate()
+        assert abs(len(second) - len(first)) <= len(first) // 4

@@ -1,0 +1,137 @@
+"""Unit tests for array declarations and references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.refs import (
+    AffineRef,
+    ArrayDecl,
+    IndexedRef,
+    NonAffineRef,
+    PointerChaseRef,
+    RegisterRef,
+    ScalarRef,
+)
+
+
+class TestArrayDecl:
+    def test_row_major_addressing(self):
+        a = ArrayDecl("A", (4, 8), element_size=8, base=1000)
+        assert a.address_of((0, 0)) == 1000
+        assert a.address_of((0, 1)) == 1008
+        assert a.address_of((1, 0)) == 1000 + 8 * 8
+
+    def test_column_major_addressing(self):
+        a = ArrayDecl("A", (4, 8), dim_order=(1, 0), base=0)
+        assert a.address_of((1, 0)) == 8       # dim 0 is fastest
+        assert a.address_of((0, 1)) == 4 * 8
+
+    def test_padding_extends_rows(self):
+        a = ArrayDecl("A", (4, 8), pad=2)
+        assert a.address_of((1, 0)) == (8 + 2) * 8
+        assert a.footprint_bytes == 4 * 10 * 8
+
+    def test_3d_horner(self):
+        a = ArrayDecl("A", (2, 3, 4))
+        assert a.address_of((1, 2, 3)) == ((1 * 3 + 2) * 4 + 3) * 8
+
+    def test_strides(self):
+        a = ArrayDecl("A", (4, 8))
+        assert a.stride_of_dim(1) == 1
+        assert a.stride_of_dim(0) == 8
+        col = a.with_layout((1, 0))
+        assert col.stride_of_dim(0) == 1
+        assert col.stride_of_dim(1) == 4
+
+    def test_layout_bijective(self):
+        a = ArrayDecl("A", (5, 7), dim_order=(1, 0), pad=3)
+        seen = set()
+        for i in range(5):
+            for j in range(7):
+                seen.add(a.address_of((i, j)))
+        assert len(seen) == 35  # no two elements share an address
+
+    def test_bad_dim_order_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (2, 2), dim_order=(0, 0))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (0, 4))
+
+    def test_getitem_builds_affine_ref(self):
+        a = ArrayDecl("A", (4, 4))
+        ref = a[var("i"), var("j") + 1]
+        assert isinstance(ref, AffineRef)
+        assert ref.address({"i": 1, "j": 0}) == a.address_of((1, 1))
+
+    @given(
+        st.tuples(st.integers(1, 6), st.integers(1, 6)),
+        st.sampled_from([(0, 1), (1, 0)]),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_addresses_stay_inside_footprint(self, shape, order, pad):
+        a = ArrayDecl("A", shape, dim_order=order, pad=pad, base=0)
+        for i in range(shape[0]):
+            for j in range(shape[1]):
+                addr = a.address_of((i, j))
+                assert 0 <= addr < a.footprint_bytes
+
+
+class TestReferences:
+    def test_classification(self):
+        a = ArrayDecl("A", (4,))
+        idx = ArrayDecl("I", (4,), data=np.arange(4))
+        assert ScalarRef("x").analyzable
+        assert a[var("i")].analyzable
+        assert not IndexedRef(a, idx[var("i")]).analyzable
+        assert not PointerChaseRef(a, "walk").analyzable
+        assert not NonAffineRef(a, lambda b: (b["i"] ** 2,)).analyzable
+        assert RegisterRef(a[var("i")]).analyzable
+
+    def test_affine_ref_wrong_rank(self):
+        a = ArrayDecl("A", (4, 4))
+        with pytest.raises(ValueError):
+            AffineRef(a, (var("i"),))
+
+    def test_indexed_ref_resolves_through_data(self):
+        data = np.array([3, 0, 2, 1])
+        idx = ArrayDecl("IP", (4,), element_size=4, data=data, base=100)
+        target = ArrayDecl("G", (8,), base=1000)
+        ref = IndexedRef(target, idx[var("j")], offset=2)
+        index_addr, data_addr = ref.addresses({"j": 0})
+        assert index_addr == 100
+        assert data_addr == 1000 + (3 + 2) * 8
+
+    def test_indexed_ref_requires_data(self):
+        idx = ArrayDecl("IP", (4,))
+        target = ArrayDecl("G", (8,))
+        ref = IndexedRef(target, idx[var("j")])
+        with pytest.raises(ValueError):
+            ref.addresses({"j": 0})
+
+    def test_pointer_chase_walks_successors(self):
+        chain = np.array([2, 0, 1])
+        heap = ArrayDecl(
+            "H", (3,), element_size=32, data=chain, base=0
+        )
+        ref = PointerChaseRef(heap, "walk", field_offset=8, node_size=32)
+        addr, nxt = ref.address_and_next(0)
+        assert addr == 8
+        assert nxt == 2
+        addr, nxt = ref.address_and_next(nxt)
+        assert addr == 2 * 32 + 8
+        assert nxt == 1
+
+    def test_non_affine_executes_fn(self):
+        a = ArrayDecl("D", (100,), base=0)
+        ref = NonAffineRef(a, lambda b: (b["i"] * b["i"],), "i*i")
+        assert ref.address({"i": 7}) == 49 * 8
+
+    def test_register_ref_reports_array(self):
+        a = ArrayDecl("A", (4,))
+        assert RegisterRef(a[var("i")]).array_name == "A"

@@ -1,0 +1,145 @@
+"""Tests for reuse analysis and footprint estimation."""
+
+import pytest
+
+from repro.compiler.analysis.footprint import (
+    nest_footprint_bytes,
+    ref_footprint_bytes,
+)
+from repro.compiler.analysis.reuse import (
+    address_stride,
+    innermost_cost,
+    preferred_fastest_dim,
+    rank_innermost_candidates,
+    reuse_kind,
+)
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.refs import ArrayDecl
+
+
+@pytest.fixture
+def arrays():
+    a = ArrayDecl("A", (16, 16))          # row-major
+    col = ArrayDecl("B", (16, 16), dim_order=(1, 0))
+    return a, col
+
+
+class TestStride:
+    def test_row_major_strides(self, arrays):
+        a, _col = arrays
+        i, j = var("i"), var("j")
+        ref = a[i, j]
+        assert address_stride(ref, "j") == 8         # unit stride
+        assert address_stride(ref, "i") == 16 * 8    # row stride
+
+    def test_column_major_strides(self, arrays):
+        _a, col = arrays
+        i, j = var("i"), var("j")
+        ref = col[i, j]
+        assert address_stride(ref, "i") == 8
+        assert address_stride(ref, "j") == 16 * 8
+
+    def test_coefficient_scales_stride(self, arrays):
+        a, _col = arrays
+        i, j = var("i"), var("j")
+        assert address_stride(a[i, 2 * j], "j") == 16
+
+    def test_invariant_reference(self, arrays):
+        a, _ = arrays
+        j = var("j")
+        assert address_stride(a[j, j], "i") == 0
+
+
+class TestReuseKind:
+    def test_temporal(self, arrays):
+        a, _ = arrays
+        assert reuse_kind(a[var("j"), var("j")], "i", 32) == "temporal"
+
+    def test_spatial(self, arrays):
+        a, _ = arrays
+        assert reuse_kind(a[var("i"), var("j")], "j", 32) == "spatial"
+
+    def test_none(self, arrays):
+        a, _ = arrays
+        assert reuse_kind(a[var("i"), var("j")], "i", 32) == "none"
+
+
+class TestCostRanking:
+    def test_temporal_loop_ranks_best(self, arrays):
+        a, _ = arrays
+        i, j = var("i"), var("j")
+        # U[j]-style: invariant in i, spatial in j for the other ref.
+        u = ArrayDecl("U", (16,))
+        statements = [stmt(reads=[u[j], a[i, j]], work=1)]
+        nest = loop("i", 0, 16, [loop("j", 0, 16, statements)])
+        ranking = rank_innermost_candidates(
+            nest.perfect_nest_loops(), statements, line_size=32
+        )
+        best_cost, best_var = ranking[0]
+        # j has spatial for both refs; i has temporal for u but a full
+        # line per iteration for a -> j should win here.
+        assert best_var == "j"
+
+    def test_innermost_cost_accounts_non_affine(self):
+        from repro.compiler.ir.refs import PointerChaseRef
+        import numpy as np
+        heap = ArrayDecl(
+            "H", (8,), element_size=32, data=np.arange(8)
+        )
+        statements = [stmt(reads=[PointerChaseRef(heap, "w")], work=1)]
+        cost = innermost_cost(statements, "i", trip=10, line_size=32)
+        assert cost == pytest.approx(10.0)
+
+
+class TestPreferredDim:
+    def test_unit_dim_selected(self, arrays):
+        a, _ = arrays
+        i, j = var("i"), var("j")
+        assert preferred_fastest_dim(a[j, i], "i") == 1
+        assert preferred_fastest_dim(a[i, j], "i") == 0
+
+    def test_smallest_coefficient_wins(self, arrays):
+        a, _ = arrays
+        i = var("i")
+        assert preferred_fastest_dim(a[2 * i, i], "i") == 1
+
+    def test_invariant_gives_none(self, arrays):
+        a, _ = arrays
+        j = var("j")
+        assert preferred_fastest_dim(a[j, j], "i") is None
+
+
+class TestFootprint:
+    def test_single_ref_footprint(self):
+        a = ArrayDecl("A", (32, 32))
+        i, j = var("i"), var("j")
+        fp = ref_footprint_bytes(a[i, j], {"i": 8, "j": 16})
+        assert fp == 8 * 16 * 8
+
+    def test_footprint_clamped_by_extent(self):
+        a = ArrayDecl("A", (4, 4))
+        i, j = var("i"), var("j")
+        fp = ref_footprint_bytes(a[i, j], {"i": 100, "j": 100})
+        assert fp == 4 * 4 * 8
+
+    def test_nest_footprint_merges_taps(self):
+        """Stencil taps of one array largely overlap: take the max
+        per array, not the sum."""
+        a = ArrayDecl("A", (64, 64))
+        i, j = var("i"), var("j")
+        statements = [
+            stmt(reads=[a[i, j], a[i + 1, j], a[i, j + 1]], work=1),
+        ]
+        nest = loop("i", 0, 32, [loop("j", 0, 32, statements)])
+        fp = nest_footprint_bytes(nest.perfect_nest_loops(), statements)
+        assert fp == 32 * 32 * 8  # one array's worth, not three
+
+    def test_multiple_arrays_sum(self):
+        a = ArrayDecl("A", (64, 64))
+        b = ArrayDecl("B", (64, 64))
+        i, j = var("i"), var("j")
+        statements = [stmt(reads=[a[i, j], b[j, i]], work=1)]
+        nest = loop("i", 0, 16, [loop("j", 0, 16, statements)])
+        fp = nest_footprint_bytes(nest.perfect_nest_loops(), statements)
+        assert fp == 2 * 16 * 16 * 8

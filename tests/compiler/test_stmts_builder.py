@@ -1,0 +1,66 @@
+"""Tests for statement nodes and the program builder."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+
+
+class TestStatement:
+    def test_references_order(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (4,))
+        i = var("i")
+        s = stmt(writes=[a[i]], reads=[a[i + 1], a[i + 2]], work=3)
+        assert s.references == [a[i + 1], a[i + 2], a[i]]
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Statement(work=-1)
+
+    def test_defaults(self):
+        s = stmt()
+        assert s.reads == [] and s.writes == []
+        assert s.work == 1
+        assert s.preference is None
+
+
+class TestMarkerStmt:
+    def test_kinds(self):
+        assert MarkerStmt("on").activates
+        assert not MarkerStmt("off").activates
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MarkerStmt("toggle")
+
+
+class TestProgramBuilder:
+    def test_duplicate_array_rejected(self):
+        b = ProgramBuilder("t")
+        b.array("A", (4,))
+        with pytest.raises(ValueError):
+            b.array("A", (8,))
+
+    def test_index_array_carries_data(self):
+        b = ProgramBuilder("t")
+        data = np.arange(8)
+        decl = b.index_array("IDX", data)
+        assert decl.data is data
+        assert decl.shape == (8,)
+        assert decl.element_size == 4
+
+    def test_loop_accepts_int_bounds(self):
+        l = loop("i", 0, 10, [])
+        assert l.lower.is_constant and l.upper.is_constant
+
+    def test_build_collects_everything(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (4,))
+        b.append(loop("i", 0, 4, [stmt(reads=[a[var("i")]], work=1)]))
+        program = b.build()
+        assert program.name == "t"
+        assert set(program.arrays) == {"A"}
+        assert len(program.body) == 1

@@ -1,0 +1,123 @@
+"""Edge cases for the transformations: tiled bounds, markers, depth."""
+
+import pytest
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.stmts import MarkerStmt
+from repro.compiler.optimizer import LocalityOptimizer
+from repro.compiler.regions.markers import insert_markers
+from repro.compiler.transforms.interchange import apply_interchange
+from repro.compiler.transforms.tiling import apply_tiling
+from repro.compiler.transforms.unroll import apply_unroll_and_jam
+from repro.params import base_config
+from repro.tracegen.interpreter import TraceGenerator
+
+
+def matmul(n=24):
+    b = ProgramBuilder("mm")
+    c = b.array("C", (n, n))
+    a = b.array("A", (n, n))
+    bb = b.array("B", (n, n))
+    i, j, k = var("i"), var("j"), var("k")
+    b.append(loop("i", 0, n, [loop("j", 0, n, [loop("k", 0, n, [
+        stmt(writes=[c[i, j]], reads=[c[i, j], a[i, k], bb[k, j]], work=2),
+    ])])]))
+    return b.build()
+
+
+class TestTiledBoundsDownstream:
+    def test_interchange_skips_tiled_nest(self):
+        program = matmul()
+        head = program.top_level_loops()[0]
+        assert apply_tiling(head, l1_bytes=1024).applied
+        result = apply_interchange(head, line_size=32)
+        assert not result.applied
+        assert result.reason in ("non-constant bounds", "nest depth < 2",
+                                 "already optimal", "no legal permutation")
+
+    def test_unroll_skips_min_bounds(self):
+        program = matmul()
+        head = program.top_level_loops()[0]
+        apply_tiling(head, l1_bytes=1024)
+        result = apply_unroll_and_jam(head)
+        assert not result.applied
+
+    def test_tiling_twice_is_rejected(self):
+        program = matmul()
+        head = program.top_level_loops()[0]
+        assert apply_tiling(head, l1_bytes=1024).applied
+        second = apply_tiling(head, l1_bytes=1024)
+        assert not second.applied
+
+    def test_tiled_program_still_traces(self):
+        program = matmul(16)
+        reference = {
+            inst.arg
+            for inst in TraceGenerator(program.clone()).generate()
+            if inst.is_memory
+        }
+        apply_tiling(program.top_level_loops()[0], l1_bytes=512)
+        tiled = {
+            inst.arg
+            for inst in TraceGenerator(program).generate()
+            if inst.is_memory
+        }
+        assert tiled == reference
+
+
+class TestMarkersSurviveOptimization:
+    def test_optimizer_preserves_markers(self):
+        import numpy as np
+        from repro.compiler.ir.refs import IndexedRef
+
+        b = ProgramBuilder("marked")
+        a = b.array("A", (32, 32))
+        idx = b.index_array("IDX", np.arange(16))
+        tbl = b.array("TBL", (64,))
+        i, j, k = var("i"), var("j"), var("k")
+        sw_nest = loop("i", 0, 32, [loop("j", 0, 32, [
+            stmt(writes=[a[i, j]], reads=[a[i, j]], work=1),
+        ])])
+        hw_loop = loop("k", 0, 16, [
+            stmt(reads=[IndexedRef(tbl, idx[k]),
+                        IndexedRef(tbl, idx[k], 1)], work=1),
+        ])
+        b.append(loop("t", 0, 2, [sw_nest, hw_loop]))
+        program = b.build()
+
+        insert_markers(program)
+        markers_before = len(program.markers())
+        assert markers_before > 0
+        LocalityOptimizer(base_config().scaled(8)).optimize(program)
+        assert len(program.markers()) == markers_before
+        # And the trace still toggles coherently.
+        trace = TraceGenerator(program).generate()
+        assert trace.marker_balance() in (0, 1)
+
+    def test_marker_only_program(self):
+        program = ProgramBuilder("empty").build()
+        program.body.append(MarkerStmt("on"))
+        trace = TraceGenerator(program).generate()
+        assert len(trace) == 1
+
+
+class TestMatmulEndToEnd:
+    def test_tiling_speeds_up_matmul(self):
+        """The canonical tiling result: on a cache-exceeding matmul,
+        the tiled version takes fewer cycles."""
+        from repro.core.experiment import simulate_trace
+
+        machine = base_config().scaled(8)
+        plain = matmul(40)
+        plain_trace = TraceGenerator(plain).generate()
+        plain_cycles = simulate_trace(plain_trace, machine).cycles
+
+        tiled = matmul(40)
+        result = apply_tiling(
+            tiled.top_level_loops()[0], l1_bytes=machine.l1d.size
+        )
+        assert result.applied
+        tiled_trace = TraceGenerator(tiled).generate()
+        tiled_cycles = simulate_trace(tiled_trace, machine).cycles
+        assert tiled_cycles < plain_cycles

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import MachineParams, base_config
+from repro.workloads.base import TINY, Scale
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    """The paper's base configuration at full size."""
+    return base_config()
+
+
+@pytest.fixture
+def scaled_machine() -> MachineParams:
+    """The base configuration scaled for TINY workloads."""
+    return base_config().scaled(TINY.machine_divisor)
+
+
+@pytest.fixture
+def tiny() -> Scale:
+    return TINY

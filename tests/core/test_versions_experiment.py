@@ -1,0 +1,158 @@
+"""Tests for code-version preparation and the experiment drivers."""
+
+import pytest
+
+from repro.core.experiment import run_benchmark, simulate_trace
+from repro.core.sweep import run_sweep
+from repro.core.versions import (
+    BYPASS,
+    MECHANISMS,
+    VICTIM,
+    make_assist,
+    prepare_codes,
+)
+from repro.hwopt.controller import CacheBypassAssist, VictimCacheAssist
+from repro.isa import Opcode
+from repro.params import base_config
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return base_config().scaled(TINY.machine_divisor)
+
+
+@pytest.fixture(scope="module")
+def vpenta_codes(machine):
+    return prepare_codes(get_spec("vpenta"), TINY, machine)
+
+
+@pytest.fixture(scope="module")
+def chaos_codes(machine):
+    return prepare_codes(get_spec("chaos"), TINY, machine)
+
+
+class TestPrepareCodes:
+    def test_three_traces_exist(self, vpenta_codes):
+        assert len(vpenta_codes.base_trace) > 0
+        assert len(vpenta_codes.optimized_trace) > 0
+        assert len(vpenta_codes.selective_trace) > 0
+
+    def test_base_has_no_markers(self, vpenta_codes):
+        hist = vpenta_codes.base_trace.opcode_histogram()
+        assert hist[Opcode.HW_ON] == 0 and hist[Opcode.HW_OFF] == 0
+
+    def test_optimized_has_no_markers(self, chaos_codes):
+        hist = chaos_codes.optimized_trace.opcode_histogram()
+        assert hist[Opcode.HW_ON] == 0 and hist[Opcode.HW_OFF] == 0
+
+    def test_selective_mixed_code_has_markers(self, chaos_codes):
+        hist = chaos_codes.selective_trace.opcode_histogram()
+        assert hist[Opcode.HW_ON] > 0
+        assert chaos_codes.markers.inserted > 0
+
+    def test_pure_software_code_needs_no_markers(self, vpenta_codes):
+        hist = vpenta_codes.selective_trace.opcode_histogram()
+        assert hist[Opcode.HW_ON] == 0
+
+    def test_same_memory_footprint_across_versions(self, vpenta_codes):
+        """Optimization transforms addresses but must touch the same
+        number of dynamic array elements or fewer (scalar replacement
+        removes redundant accesses, never adds)."""
+        base_refs = vpenta_codes.base_trace.memory_reference_count
+        opt_refs = vpenta_codes.optimized_trace.memory_reference_count
+        assert 0 < opt_refs <= base_refs
+
+    def test_optimization_report_attached(self, vpenta_codes):
+        assert vpenta_codes.optimization.regions is not None
+        assert vpenta_codes.optimization.interchanged_nests >= 0
+
+
+class TestMakeAssist:
+    def test_mechanisms(self, machine):
+        assert isinstance(make_assist(BYPASS, machine), CacheBypassAssist)
+        assert isinstance(make_assist(VICTIM, machine), VictimCacheAssist)
+        with pytest.raises(ValueError):
+            make_assist("prefetcher", machine)
+
+
+class TestRunBenchmark:
+    def test_all_version_keys_present(self, vpenta_codes, machine):
+        run = run_benchmark(vpenta_codes, machine)
+        expected = {"base", "pure_sw"}
+        for mech in MECHANISMS:
+            expected |= {
+                f"pure_hw/{mech}", f"combined/{mech}", f"selective/{mech}",
+            }
+        assert set(run.version_keys()) == expected
+
+    def test_base_improvement_is_zero(self, vpenta_codes, machine):
+        run = run_benchmark(vpenta_codes, machine)
+        assert run.improvement("base") == pytest.approx(0.0)
+
+    def test_regular_code_software_wins(self, vpenta_codes, machine):
+        run = run_benchmark(vpenta_codes, machine)
+        assert run.improvement("pure_sw") > 5.0
+        assert run.improvement("pure_sw") > run.improvement(
+            "pure_hw/bypass"
+        )
+
+    def test_selective_at_least_combined_bypass(self, chaos_codes, machine):
+        run = run_benchmark(chaos_codes, machine)
+        assert (
+            run.improvement("selective/bypass")
+            >= run.improvement("combined/bypass") - 1.0
+        )
+
+    def test_selective_toggles_only_on_mixed(self, chaos_codes, machine):
+        run = run_benchmark(chaos_codes, machine)
+        assert run.results["selective/bypass"].hw_toggles > 0
+        assert run.results["combined/bypass"].hw_toggles == 0
+
+
+class TestSimulateTrace:
+    def test_mechanism_none_runs_plain(self, vpenta_codes, machine):
+        result = simulate_trace(vpenta_codes.base_trace, machine)
+        assert result.memory.assist_hits == 0
+
+    def test_classify_misses_populates(self, vpenta_codes, machine):
+        result = simulate_trace(
+            vpenta_codes.base_trace, machine, classify_misses=True
+        )
+        stats = result.memory.l1d
+        assert (
+            stats.compulsory_misses
+            + stats.capacity_misses
+            + stats.conflict_misses
+            == stats.misses
+        )
+
+    def test_deterministic(self, vpenta_codes, machine):
+        a = simulate_trace(vpenta_codes.base_trace, machine)
+        b = simulate_trace(vpenta_codes.base_trace, machine)
+        assert a.cycles == b.cycles
+
+
+class TestSweep:
+    def test_sweep_aggregates(self, machine):
+        codes = [
+            prepare_codes(get_spec(name), TINY, machine)
+            for name in ("vpenta", "perl")
+        ]
+        sweep = run_sweep(codes, machine, mechanisms=(BYPASS,))
+        assert set(sweep.runs) == {"vpenta", "perl"}
+        improvements = sweep.improvements("pure_sw")
+        assert improvements["perl"] == pytest.approx(0.0, abs=0.5)
+        average = sweep.average_improvement("pure_sw")
+        assert average == pytest.approx(
+            sum(improvements.values()) / 2
+        )
+
+    def test_category_average(self, machine):
+        codes = [prepare_codes(get_spec("vpenta"), TINY, machine)]
+        sweep = run_sweep(codes, machine, mechanisms=(BYPASS,))
+        assert sweep.average_improvement("pure_sw", category="regular") \
+            == sweep.average_improvement("pure_sw")
+        with pytest.raises(ValueError):
+            sweep.average_improvement("pure_sw", category="irregular")

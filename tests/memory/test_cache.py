@@ -1,0 +1,222 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssociativeCache
+from repro.params import CacheParams
+
+
+def small_cache(assoc=2, sets=4, block=32, classify=False):
+    params = CacheParams("T", assoc * sets * block, assoc, block, 1)
+    return SetAssociativeCache(params, classify_misses=classify)
+
+
+class TestBasics:
+    def test_miss_then_hit_after_fill(self):
+        cache = small_cache()
+        assert not cache.lookup(0x100)
+        cache.fill(0x100)
+        assert cache.lookup(0x100)
+
+    def test_same_line_offsets_hit(self):
+        cache = small_cache(block=32)
+        cache.fill(0x100)
+        for offset in (0, 8, 16, 31):
+            assert cache.lookup(0x100 + offset)
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache(block=32)
+        cache.fill(0x100)
+        assert not cache.lookup(0x100 + 32)
+
+    def test_probe_does_not_touch_state(self):
+        cache = small_cache()
+        cache.fill(0x100)
+        accesses = cache.stats.accesses
+        assert cache.probe(0x100)
+        assert not cache.probe(0x200)
+        assert cache.stats.accesses == accesses
+
+    def test_stats_count_hits_and_misses(self):
+        cache = small_cache()
+        cache.lookup(0)          # miss
+        cache.fill(0)
+        cache.lookup(0)          # hit
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+
+class TestLRU:
+    def test_eviction_is_lru(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0 * 32)
+        cache.fill(1 * 32)
+        cache.lookup(0 * 32)      # refresh line 0: line 1 is now LRU
+        evicted = cache.fill(2 * 32)
+        assert evicted is not None
+        assert evicted.block_addr == 1
+
+    def test_lru_order_reported(self):
+        cache = small_cache(assoc=4, sets=1)
+        for line in range(4):
+            cache.fill(line * 32)
+        cache.lookup(0)
+        assert cache.lru_order(0) == [1, 2, 3, 0]
+
+    def test_fill_existing_refreshes(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0 * 32)
+        cache.fill(1 * 32)
+        cache.fill(0 * 32)  # refresh, not insert
+        evicted = cache.fill(2 * 32)
+        assert evicted.block_addr == 1
+
+    def test_victim_candidate_matches_eviction(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0 * 32)
+        cache.fill(1 * 32)
+        candidate = cache.victim_candidate(2 * 32)
+        evicted = cache.fill(2 * 32)
+        assert candidate == evicted.block_addr
+
+    def test_victim_candidate_none_when_free_way(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0 * 32)
+        assert cache.victim_candidate(1 * 32) is None
+
+    def test_victim_candidate_none_when_resident(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(0 * 32)
+        cache.fill(1 * 32)
+        assert cache.victim_candidate(0 * 32) is None
+
+
+class TestDirty:
+    def test_write_hit_sets_dirty_and_writeback_counted(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(0)
+        cache.lookup(0, is_write=True)
+        evicted = cache.fill(32)
+        assert evicted.dirty
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(0)
+        cache.fill(32)
+        assert cache.stats.writebacks == 0
+
+    def test_invalidate_returns_block(self):
+        cache = small_cache()
+        cache.fill(0x40, dirty=True)
+        block = cache.invalidate(0x40)
+        assert block is not None and block.dirty
+        assert not cache.probe(0x40)
+
+    def test_flush_reports_dirty_lines(self):
+        cache = small_cache()
+        cache.fill(0, dirty=True)
+        cache.fill(32, dirty=False)
+        assert cache.flush() == 1
+        assert cache.occupancy() == 0
+
+
+class TestMissClassification:
+    def test_first_touch_is_compulsory(self):
+        cache = small_cache(classify=True)
+        cache.lookup(0x100)
+        assert cache.stats.compulsory_misses == 1
+
+    def test_conflict_miss_detected(self):
+        # Direct-mapped, 2 sets: lines 0 and 2 collide; shadow (FA,
+        # 2 blocks) would have held both -> the re-miss is a conflict.
+        cache = small_cache(assoc=1, sets=2, classify=True)
+        cache.lookup(0 * 32); cache.fill(0 * 32)
+        cache.lookup(2 * 32); cache.fill(2 * 32)   # evicts line 0
+        cache.lookup(0 * 32)                        # conflict miss
+        assert cache.stats.conflict_misses == 1
+
+    def test_capacity_miss_detected(self):
+        # FA shadow of 2 blocks; touching 3 lines round-robin exceeds
+        # capacity, so re-misses classify as capacity.
+        cache = small_cache(assoc=1, sets=2, classify=True)
+        for line in (0, 1, 2):
+            cache.lookup(line * 32); cache.fill(line * 32)
+        cache.lookup(0 * 32)
+        assert cache.stats.capacity_misses == 1
+
+    def test_classification_partitions_misses(self):
+        cache = small_cache(assoc=2, sets=2, classify=True)
+        import random
+        rng = random.Random(7)
+        for _ in range(500):
+            addr = rng.randrange(0, 64) * 32
+            if not cache.lookup(addr):
+                cache.fill(addr)
+        stats = cache.stats
+        assert (
+            stats.compulsory_misses
+            + stats.capacity_misses
+            + stats.conflict_misses
+            == stats.misses
+        )
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                 max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = small_cache(assoc=2, sets=4)
+        for addr in addrs:
+            if not cache.lookup(addr):
+                cache.fill(addr)
+        assert cache.occupancy() <= cache.params.num_blocks
+        # Every resident line maps to the set it is stored in.
+        for set_index in range(cache.params.num_sets):
+            for line in cache.lru_order(set_index):
+                assert line % cache.params.num_sets == set_index
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1,
+                 max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_after_fill_always_hits(self, addrs):
+        cache = small_cache(assoc=4, sets=8)
+        for addr in addrs:
+            if not cache.lookup(addr):
+                cache.fill(addr)
+            assert cache.probe(addr)  # just-filled/hit line is resident
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=100, deadline=None)
+    def test_hits_equal_accesses_minus_misses(self, seed):
+        import random
+        rng = random.Random(seed)
+        cache = small_cache()
+        for _ in range(100):
+            addr = rng.randrange(0, 1 << 12)
+            if not cache.lookup(addr):
+                cache.fill(addr)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+
+class TestParamsValidation:
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheParams("bad", 1024, 2, 33, 1)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheParams("bad", 1000, 2, 32, 1)
+
+    def test_geometry_accessors(self):
+        params = CacheParams("ok", 32 * 1024, 4, 32, 2)
+        assert params.num_blocks == 1024
+        assert params.num_sets == 256

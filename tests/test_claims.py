@@ -1,0 +1,75 @@
+"""Tests for the claims checker, using synthetic sweeps."""
+
+import pytest
+
+from repro.evaluation.claims import PAPER_CLAIMS, check_claims
+from tests.test_evaluation_units import ALL_KEYS, fake_run
+from repro.core.sweep import SweepResult
+
+
+def sweep_with(cycles_by_benchmark):
+    sweep = SweepResult("fake")
+    categories = {
+        "swim": "regular", "mgrid": "regular", "vpenta": "regular",
+        "adi": "regular", "perl": "irregular", "compress": "irregular",
+        "li": "irregular", "applu": "irregular",
+    }
+    for name, cycles in cycles_by_benchmark.items():
+        sweep.runs[name] = fake_run(
+            name, categories.get(name, "mixed"), cycles
+        )
+    return sweep
+
+
+def paper_shaped_sweep():
+    """A sweep hand-built to satisfy every encoded claim."""
+    def cycles(base, sw, hw_b, hw_v, comb_b, comb_v, sel_b, sel_v):
+        return {
+            "base": base, "pure_sw": sw,
+            "pure_hw/bypass": hw_b, "pure_hw/victim": hw_v,
+            "combined/bypass": comb_b, "combined/victim": comb_v,
+            "selective/bypass": sel_b, "selective/victim": sel_v,
+        }
+
+    return sweep_with({
+        # regular: software wins big, hardware ~neutral
+        "swim": cycles(1000, 600, 1000, 995, 610, 605, 600, 600),
+        "vpenta": cycles(1000, 500, 1002, 990, 505, 500, 500, 498),
+        # irregular: software nothing, bypass hurts one, victim helps
+        "perl": cycles(1000, 1000, 990, 980, 990, 980, 990, 980),
+        "compress": cycles(1000, 1000, 1050, 995, 1050, 995, 1050, 995),
+        # mixed
+        "tpcc": cycles(1000, 800, 995, 990, 805, 795, 790, 785),
+    })
+
+
+class TestClaims:
+    def test_paper_shaped_sweep_satisfies_all(self):
+        verdicts = check_claims(paper_shaped_sweep())
+        failing = [v.claim.key for v in verdicts if not v.holds]
+        assert failing == []
+
+    def test_claim_keys_unique(self):
+        keys = [claim.key for claim in PAPER_CLAIMS]
+        assert len(keys) == len(set(keys))
+
+    def test_selective_regression_detected(self):
+        sweep = paper_shaped_sweep()
+        # Break the headline claim: selective much worse than combined.
+        sweep.runs["tpcc"].results["selective/bypass"] = (
+            sweep.runs["tpcc"].results["base"]
+        )
+        verdicts = {v.claim.key: v.holds for v in check_claims(sweep)}
+        assert not verdicts["selective-ge-combined"]
+
+    def test_victim_regression_detected(self):
+        sweep = paper_shaped_sweep()
+        from tests.test_evaluation_units import fake_result
+        sweep.runs["perl"].results["pure_hw/victim"] = fake_result(1100)
+        verdicts = {v.claim.key: v.holds for v in check_claims(sweep)}
+        assert not verdicts["victim-never-hurts"]
+
+    def test_check_never_raises(self):
+        # An empty sweep must produce failing verdicts, not exceptions.
+        verdicts = check_claims(SweepResult("empty"))
+        assert all(isinstance(v.holds, bool) for v in verdicts)

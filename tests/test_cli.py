@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.isa.encoding import decode_trace
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vpenta" in out and "tpcd_q6" in out
+
+    def test_regions(self, capsys):
+        assert main(["--scale", "tiny", "regions", "tpcd_q3"]) == 0
+        out = capsys.readouterr().out
+        assert "regions in program order" in out
+        assert "ON" in out
+
+    def test_run(self, capsys):
+        assert main(["--scale", "tiny", "run", "vpenta"]) == 0
+        out = capsys.readouterr().out
+        assert "selective/bypass" in out
+        assert "cycles" in out
+
+    def test_trace_round_trips(self, tmp_path, capsys):
+        output = tmp_path / "t.trace"
+        assert main(
+            ["--scale", "tiny", "trace", "compress", str(output)]
+        ) == 0
+        trace = decode_trace(output.read_bytes())
+        assert trace.name == "compress/base"
+        assert len(trace) > 1000
+
+    def test_trace_selective_version(self, tmp_path):
+        output = tmp_path / "sel.trace"
+        assert main(
+            ["--scale", "tiny", "trace", "chaos", str(output),
+             "--version", "selective"]
+        ) == 0
+        trace = decode_trace(output.read_bytes())
+        from repro.isa import Opcode
+        assert trace.opcode_histogram()[Opcode.HW_ON] > 0
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["--scale", "tiny", "run", "nonesuch"])
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "3"])

@@ -1,0 +1,106 @@
+"""Unit tests for the evaluation harness, on synthetic sweep data."""
+
+import pytest
+
+from repro.core.sweep import SweepResult
+from repro.core.experiment import BenchmarkRun
+from repro.cpu.results import SimulationResult
+from repro.evaluation.figures import figure_series
+from repro.evaluation.report import render_figure, render_table3
+from repro.evaluation.table3 import (
+    PAPER_TABLE3,
+    TABLE3_COLUMNS,
+    sweep_to_row,
+)
+from repro.memory.stats import CacheStats, HierarchySnapshot
+
+
+def fake_result(cycles: int, name: str = "t") -> SimulationResult:
+    snapshot = HierarchySnapshot(
+        l1d=CacheStats(), l1i=CacheStats(), l2=CacheStats(),
+        dtlb_misses=0, itlb_misses=0, mem_reads=0, mem_writes=0,
+    )
+    return SimulationResult(
+        trace_name=name, machine_name="fake", cycles=cycles,
+        instructions=cycles, loads=0, stores=0, branches=0,
+        branch_mispredictions=0, hw_toggles=0, memory=snapshot,
+    )
+
+
+def fake_run(benchmark: str, category: str, cycles: dict) -> BenchmarkRun:
+    run = BenchmarkRun(benchmark, category, "fake")
+    for key, value in cycles.items():
+        run.results[key] = fake_result(value)
+    return run
+
+
+ALL_KEYS = ["base", "pure_sw"] + [
+    f"{v}/{m}"
+    for v in ("pure_hw", "combined", "selective")
+    for m in ("bypass", "victim")
+]
+
+
+def fake_sweep() -> SweepResult:
+    sweep = SweepResult("fake")
+    sweep.runs["alpha"] = fake_run(
+        "alpha", "regular",
+        {k: (100 if k == "base" else 80) for k in ALL_KEYS},
+    )
+    sweep.runs["beta"] = fake_run(
+        "beta", "irregular",
+        {k: (200 if k == "base" else 190) for k in ALL_KEYS},
+    )
+    return sweep
+
+
+class TestImprovementArithmetic:
+    def test_improvement_formula(self):
+        base = fake_result(100)
+        better = fake_result(80)
+        assert better.improvement_over(base) == pytest.approx(20.0)
+        worse = fake_result(130)
+        assert worse.improvement_over(base) == pytest.approx(-30.0)
+
+    def test_zero_base(self):
+        assert fake_result(50).improvement_over(fake_result(0)) == 0.0
+
+    def test_sweep_averages(self):
+        sweep = fake_sweep()
+        # alpha: 20%, beta: 5% -> mean 12.5%.
+        assert sweep.average_improvement("pure_sw") == pytest.approx(12.5)
+        assert sweep.average_improvement(
+            "pure_sw", category="regular"
+        ) == pytest.approx(20.0)
+
+
+class TestTable3Synthetic:
+    def test_row_from_sweep(self):
+        row = sweep_to_row("Base Confg.", fake_sweep())
+        assert row.experiment == "Base Confg."
+        assert all(v == pytest.approx(12.5) for v in row.averages)
+
+    def test_paper_reference_values_complete(self):
+        assert set(PAPER_TABLE3) == {
+            "Base Confg.", "Higher Mem. Lat.", "Larger L2 Size",
+            "Larger L1 Size", "Higher L2 Asc.", "Higher L1 Asc.",
+        }
+        for values in PAPER_TABLE3.values():
+            assert len(values) == len(TABLE3_COLUMNS)
+
+    def test_render_alignment(self):
+        row = sweep_to_row("Base Confg.", fake_sweep())
+        text = render_table3([row], include_paper=False)
+        assert "(paper)" not in text
+        assert "12.50" in text
+
+
+class TestFigureSynthetic:
+    def test_series_and_averages(self):
+        series = figure_series(4, fake_sweep())
+        assert series.bars["alpha"]["Selective"] == pytest.approx(20.0)
+        assert series.version_average("Selective") == pytest.approx(12.5)
+
+    def test_render_contains_all_benchmarks(self):
+        text = render_figure(figure_series(4, fake_sweep()))
+        assert "alpha" in text and "beta" in text

@@ -1,0 +1,111 @@
+"""End-to-end integration tests: the full pipeline at tiny scale.
+
+These exercise the same path as the paper's evaluation — build, detect
+regions, optimize, mark, trace, simulate all versions — and check the
+qualitative invariants on a representative benchmark subset.  Full
+13-benchmark runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro import (
+    TINY,
+    base_config,
+    get_spec,
+    prepare_codes,
+    run_benchmark,
+    run_suite,
+)
+from repro.isa import Opcode
+
+SUBSET = ["vpenta", "perl", "tpcd_q3", "chaos"]
+
+
+@pytest.fixture(scope="module")
+def subset_runs():
+    machine = base_config().scaled(TINY.machine_divisor)
+    runs = {}
+    for name in SUBSET:
+        codes = prepare_codes(get_spec(name), TINY, machine)
+        runs[name] = run_benchmark(codes, machine)
+    return runs
+
+
+class TestPipelineInvariants:
+    def test_all_versions_execute(self, subset_runs):
+        for name, run in subset_runs.items():
+            for key, result in run.results.items():
+                assert result.cycles > 0, f"{name}/{key}"
+                assert result.instructions > 0, f"{name}/{key}"
+
+    def test_selective_not_worse_than_combined(self, subset_runs):
+        """The paper's headline invariant.
+
+        Strict for the bypass mechanism (the paper's primary results).
+        The victim variant gets a looser bound: with the scaled-down
+        victim caches, an always-on victim can recover residual
+        software-phase conflicts that the selective version forgoes by
+        switching off — a measured deviation documented in
+        EXPERIMENTS.md.
+        """
+        tolerance = {"bypass": 2.0, "victim": 10.0}
+        for name, run in subset_runs.items():
+            for mechanism in ("bypass", "victim"):
+                selective = run.improvement(f"selective/{mechanism}")
+                combined = run.improvement(f"combined/{mechanism}")
+                assert selective >= combined - tolerance[mechanism], (
+                    f"{name}/{mechanism}: selective {selective:.2f} "
+                    f"vs combined {combined:.2f}"
+                )
+
+    def test_software_wins_on_regular(self, subset_runs):
+        run = subset_runs["vpenta"]
+        assert run.improvement("pure_sw") > 5.0
+
+    def test_software_neutral_on_irregular(self, subset_runs):
+        run = subset_runs["perl"]
+        assert run.improvement("pure_sw") == pytest.approx(0.0, abs=1.0)
+
+    def test_victim_never_hurts(self, subset_runs):
+        for name, run in subset_runs.items():
+            assert run.improvement("pure_hw/victim") >= -0.5, name
+
+    def test_marker_counts_match_trace(self, subset_runs):
+        machine = base_config().scaled(TINY.machine_divisor)
+        codes = prepare_codes(get_spec("tpcd_q3"), TINY, machine)
+        hist = codes.selective_trace.opcode_histogram()
+        result = run_benchmark(codes, machine).results["selective/bypass"]
+        assert result.hw_toggles == hist[Opcode.HW_ON] + hist[Opcode.HW_OFF]
+
+    def test_instruction_counts_version_relations(self, subset_runs):
+        """Selective adds only marker instructions on top of optimized."""
+        machine = base_config().scaled(TINY.machine_divisor)
+        codes = prepare_codes(get_spec("chaos"), TINY, machine)
+        opt = codes.optimized_trace.dynamic_instruction_count
+        sel = codes.selective_trace.dynamic_instruction_count
+        markers = codes.selective_trace.opcode_histogram()
+        extra = markers[Opcode.HW_ON] + markers[Opcode.HW_OFF]
+        assert sel == opt + extra
+
+
+class TestSuiteRunner:
+    def test_suite_round_trip(self):
+        suite = run_suite(
+            TINY,
+            benchmarks=["vpenta"],
+            configs={"Base Confg.": base_config},
+            mechanisms=("bypass",),
+        )
+        sweep = suite.sweep("Base Confg.")
+        assert sweep.runs["vpenta"].improvement("pure_sw") > 0.0
+
+    def test_results_deterministic_across_suites(self):
+        def one():
+            suite = run_suite(
+                TINY,
+                benchmarks=["perl"],
+                configs={"Base Confg.": base_config},
+                mechanisms=("victim",),
+            )
+            return suite.sweep("Base Confg.").runs["perl"].baseline.cycles
+        assert one() == one()

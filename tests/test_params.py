@@ -1,0 +1,117 @@
+"""Tests for the machine-parameter definitions."""
+
+import dataclasses
+
+import pytest
+
+from repro.params import (
+    SENSITIVITY_CONFIGS,
+    CacheParams,
+    MachineParams,
+    base_config,
+    higher_l1_assoc,
+    higher_l2_assoc,
+    higher_mem_latency,
+    larger_l1,
+    larger_l2,
+)
+
+KB = 1024
+
+
+class TestTable1Fidelity:
+    """The base configuration must match the paper's Table 1."""
+
+    def test_caches(self):
+        m = base_config()
+        assert (m.l1d.size, m.l1d.assoc, m.l1d.block_size) == (32 * KB, 4, 32)
+        assert (m.l1i.size, m.l1i.assoc, m.l1i.block_size) == (32 * KB, 4, 32)
+        assert (m.l2.size, m.l2.assoc, m.l2.block_size) == (512 * KB, 4, 128)
+
+    def test_latencies(self):
+        m = base_config()
+        assert m.l1d.latency == 2
+        assert m.l2.latency == 10
+        assert m.mem_latency == 100
+
+    def test_core(self):
+        m = base_config()
+        assert m.issue_width == 4
+        assert m.mem_bus_width == 8
+        assert m.mem_ports == 2
+        assert m.ruu_entries == 64
+        assert m.lsq_entries == 32
+        assert m.bimodal_entries == 2048
+
+    def test_bypass_parameters(self):
+        m = base_config()
+        assert m.bypass.buffer_words == 64      # 64 double words
+        assert m.bypass.mat_entries == 4096
+        assert m.bypass.macro_block_size == 1024
+
+    def test_victim_parameters(self):
+        m = base_config()
+        assert m.victim.l1_entries == 64
+        assert m.victim.l2_entries == 512
+
+
+class TestSensitivityVariants:
+    def test_all_six_rows(self):
+        assert list(SENSITIVITY_CONFIGS) == [
+            "Base Confg.", "Higher Mem. Lat.", "Larger L2 Size",
+            "Larger L1 Size", "Higher L2 Asc.", "Higher L1 Asc.",
+        ]
+
+    def test_each_changes_one_knob(self):
+        base = base_config()
+        assert higher_mem_latency().mem_latency == 200
+        assert larger_l2().l2.size == 1024 * KB
+        assert larger_l2().l2.assoc == base.l2.assoc
+        assert larger_l1().l1d.size == 64 * KB
+        assert higher_l2_assoc().l2.assoc == 8
+        assert higher_l2_assoc().l2.size == base.l2.size
+        assert higher_l1_assoc().l1d.assoc == 8
+
+
+class TestScaling:
+    def test_scaled_preserves_structure(self):
+        m = base_config().scaled(8)
+        assert m.l1d.size == 4 * KB
+        assert m.l1d.assoc == 4
+        assert m.l1d.block_size == 32
+        assert m.l2.size == 64 * KB
+        assert m.mem_latency == 100  # latencies unchanged
+
+    def test_scaled_identity(self):
+        m = base_config()
+        assert m.scaled(1) is m
+
+    def test_scaled_floors(self):
+        m = base_config().scaled(1024)
+        assert m.l1d.size >= m.l1d.assoc * m.l1d.block_size
+        assert m.victim.l1_entries >= 4
+        assert m.bypass.buffer_words >= 16
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            base_config().scaled(0)
+
+    def test_configs_hashable_and_frozen(self):
+        m = base_config()
+        hash(m)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.issue_width = 8
+
+
+class TestValidation:
+    def test_cache_params_geometry(self):
+        with pytest.raises(ValueError):
+            CacheParams("bad", -1, 2, 32, 1)
+        with pytest.raises(ValueError):
+            CacheParams("bad", 1024, 2, 32, -1)
+
+    def test_machine_params_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams(issue_width=0)
+        with pytest.raises(ValueError):
+            MachineParams(mem_ports=0)

@@ -1,0 +1,229 @@
+"""Tests for the IR interpreter and address assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.refs import (
+    IndexedRef,
+    NonAffineRef,
+    PointerChaseRef,
+    ScalarRef,
+)
+from repro.compiler.ir.stmts import MarkerStmt
+from repro.isa import Opcode
+from repro.tracegen.interpreter import TraceGenerator
+from repro.tracegen.memory_map import assign_addresses
+
+
+class TestMemoryMap:
+    def test_alignment_and_order(self):
+        b = ProgramBuilder("m")
+        b.array("A", (100,))
+        b.array("B", (100,))
+        program = b.build()
+        bases = assign_addresses(program, alignment=4096)
+        assert bases["A"] % 4096 == 0
+        assert bases["B"] > bases["A"]
+        assert bases["B"] % 4096 == 0
+
+    def test_skew_applied(self):
+        b = ProgramBuilder("m")
+        a = b.array("A", (100,))
+        a.base_skew = 160
+        program = b.build()
+        bases = assign_addresses(program, alignment=4096)
+        assert bases["A"] % 4096 == 160
+
+    def test_no_overlap(self):
+        b = ProgramBuilder("m")
+        b.array("A", (1000,))
+        decl_b = b.array("B", (1000,))
+        decl_b.base_skew = 224
+        b.array("C", (5, 5), pad=4)
+        program = b.build()
+        assign_addresses(program)
+        spans = sorted(
+            (d.base, d.base + d.footprint_bytes)
+            for d in program.arrays.values()
+        )
+        for (lo1, hi1), (lo2, _hi2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+
+    def test_deterministic(self):
+        def build():
+            b = ProgramBuilder("m")
+            b.array("A", (64,))
+            b.array("B", (64,))
+            return b.build()
+        assert assign_addresses(build()) == assign_addresses(build())
+
+    def test_bad_alignment_rejected(self):
+        b = ProgramBuilder("m")
+        b.array("A", (4,))
+        with pytest.raises(ValueError):
+            assign_addresses(b.build(), alignment=1000)
+
+
+class TestInterpreter:
+    def test_loop_iteration_count(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (16,))
+        i = var("i")
+        b.append(loop("i", 0, 16, [stmt(reads=[a[i]], work=1)]))
+        trace = TraceGenerator(b.build()).generate()
+        loads = [inst for inst in trace if inst.op is Opcode.LOAD]
+        assert len(loads) == 16
+
+    def test_loop_addresses_sequential(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (8,))
+        i = var("i")
+        b.append(loop("i", 0, 8, [stmt(reads=[a[i]], work=1)]))
+        trace = TraceGenerator(b.build()).generate()
+        addrs = [inst.arg for inst in trace if inst.op is Opcode.LOAD]
+        assert addrs == [addrs[0] + 8 * k for k in range(8)]
+
+    def test_nested_loops_and_steps(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (8, 8))
+        i, j = var("i"), var("j")
+        b.append(loop("i", 0, 8, [loop("j", 0, 8, [
+            stmt(writes=[a[i, j]], work=1),
+        ], step=2)]))
+        trace = TraceGenerator(b.build()).generate()
+        stores = [inst for inst in trace if inst.op is Opcode.STORE]
+        assert len(stores) == 8 * 4
+
+    def test_min_expr_bound(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (32,))
+        i, t = var("i"), var("t")
+        b.append(loop("t", 0, 32, [
+            loop("i", t, MinExpr(32, t + 4), [
+                stmt(reads=[a[i]], work=1),
+            ]),
+        ], step=4))
+        trace = TraceGenerator(b.build()).generate()
+        loads = [inst for inst in trace if inst.op is Opcode.LOAD]
+        assert len(loads) == 32  # 8 tiles x 4
+
+    def test_branch_pattern(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (4,))
+        i = var("i")
+        b.append(loop("i", 0, 4, [stmt(reads=[a[i]], work=1)]))
+        trace = TraceGenerator(b.build()).generate()
+        branches = [inst for inst in trace if inst.op is Opcode.BRANCH]
+        assert [bool(br.arg) for br in branches] == [True, True, True, False]
+
+    def test_stable_pcs_across_iterations(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (8,))
+        i = var("i")
+        b.append(loop("i", 0, 8, [stmt(reads=[a[i]], work=1)]))
+        trace = TraceGenerator(b.build()).generate()
+        load_pcs = {inst.pc for inst in trace if inst.op is Opcode.LOAD}
+        assert len(load_pcs) == 1  # one static load site
+
+    def test_scalar_refs_get_fixed_addresses(self):
+        b = ProgramBuilder("t")
+        s = ScalarRef("acc")
+        b.append(loop("i", 0, 4, [stmt(reads=[s], writes=[s], work=1)]))
+        trace = TraceGenerator(b.build()).generate()
+        addrs = {inst.arg for inst in trace if inst.is_memory}
+        assert len(addrs) == 1
+
+    def test_indexed_ref_emits_two_accesses(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (16,))
+        idx = b.index_array("IDX", np.arange(4)[::-1].copy())
+        i = var("i")
+        b.append(loop("i", 0, 4, [
+            stmt(reads=[IndexedRef(a, idx[i])], work=1),
+        ]))
+        trace = TraceGenerator(b.build()).generate()
+        loads = [inst for inst in trace if inst.op is Opcode.LOAD]
+        assert len(loads) == 8  # index load + data load per iteration
+
+    def test_pointer_chase_state_persists(self):
+        b = ProgramBuilder("t")
+        heap = b.array(
+            "H", (4,), element_size=32,
+            data=np.array([1, 2, 3, 0]),
+        )
+        b.append(loop("i", 0, 4, [
+            stmt(reads=[PointerChaseRef(heap, "w", 0, 32)], work=1),
+        ]))
+        program = b.build()
+        trace = TraceGenerator(program).generate()
+        base = program.arrays["H"].base
+        addrs = [inst.arg for inst in trace if inst.op is Opcode.LOAD]
+        assert addrs == [base, base + 32, base + 64, base + 96]
+
+    def test_register_ref_emits_nothing(self):
+        from repro.compiler.ir.refs import RegisterRef
+        b = ProgramBuilder("t")
+        a = b.array("A", (4,))
+        i = var("i")
+        b.append(loop("i", 0, 4, [
+            stmt(reads=[RegisterRef(a[i])], work=1),
+        ]))
+        trace = TraceGenerator(b.build()).generate()
+        assert trace.memory_reference_count == 0
+
+    def test_markers_emitted_per_execution(self):
+        b = ProgramBuilder("t")
+        a = b.array("A", (4,))
+        i = var("i")
+        b.append(loop("t", 0, 3, [
+            MarkerStmt("on"),
+            loop("i", 0, 4, [stmt(reads=[a[i]], work=1)]),
+            MarkerStmt("off"),
+        ]))
+        trace = TraceGenerator(b.build()).generate()
+        hist = trace.opcode_histogram()
+        assert hist[Opcode.HW_ON] == 3
+        assert hist[Opcode.HW_OFF] == 3
+
+    def test_non_affine_ref(self):
+        b = ProgramBuilder("t")
+        a = b.array("D", (64,))
+        b.append(loop("i", 0, 8, [
+            stmt(reads=[NonAffineRef(a, lambda e: (e["i"] ** 2 % 64,))],
+                 work=1),
+        ]))
+        program = b.build()
+        trace = TraceGenerator(program).generate()
+        base = program.arrays["D"].base
+        addrs = [inst.arg for inst in trace if inst.op is Opcode.LOAD]
+        assert addrs[3] == base + 9 * 8
+
+    def test_determinism(self):
+        def build():
+            b = ProgramBuilder("t")
+            a = b.array("A", (16,))
+            idx = b.index_array("IDX", np.arange(16) * 3 % 16)
+            i = var("i")
+            b.append(loop("i", 0, 16, [
+                stmt(reads=[a[i], IndexedRef(a, idx[i])], work=2),
+            ]))
+            return b.build()
+        t1 = TraceGenerator(build()).generate()
+        t2 = TraceGenerator(build()).generate()
+        assert t1.instructions == t2.instructions
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_trip_counts_property(self, n, m):
+        b = ProgramBuilder("t")
+        a = b.array("A", (12, 12))
+        i, j = var("i"), var("j")
+        b.append(loop("i", 0, n, [loop("j", 0, m, [
+            stmt(writes=[a[i, j]], work=1),
+        ])]))
+        trace = TraceGenerator(b.build()).generate()
+        assert trace.memory_reference_count == n * m

@@ -1,0 +1,97 @@
+"""Tests for the synthetic irregular-data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracegen.irregular import (
+    clustered_indices,
+    hash_probe_indices,
+    permutation_chain,
+    uniform_indices,
+    zipf_indices,
+)
+
+
+class TestPermutationChain:
+    def test_single_cycle(self):
+        chain = permutation_chain(100, seed=1)
+        node, visited = 0, set()
+        for _ in range(100):
+            assert node not in visited
+            visited.add(node)
+            node = int(chain[node])
+        assert node == 0  # back to start after exactly n steps
+        assert len(visited) == 100
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            permutation_chain(50, seed=9), permutation_chain(50, seed=9)
+        )
+
+    def test_seed_changes_chain(self):
+        assert not np.array_equal(
+            permutation_chain(50, seed=1), permutation_chain(50, seed=2)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            permutation_chain(0, seed=1)
+
+    @given(st.integers(2, 64), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_property(self, n, seed):
+        chain = permutation_chain(n, seed)
+        assert sorted(chain) == list(range(n))  # a permutation
+        node = 0
+        for _ in range(n - 1):
+            node = int(chain[node])
+            assert node != 0  # no short cycle through the start
+
+
+class TestZipf:
+    def test_range_and_skew(self):
+        idx = zipf_indices(10_000, 256, skew=1.2, seed=3)
+        assert idx.min() >= 0 and idx.max() < 256
+        counts = np.bincount(idx, minlength=256)
+        top_mass = np.sort(counts)[::-1][:26].sum()
+        assert top_mass > 0.5 * len(idx)  # top 10% take the majority
+
+    def test_low_skew_flatter(self):
+        hot = zipf_indices(10_000, 256, skew=1.5, seed=3)
+        flat = zipf_indices(10_000, 256, skew=0.2, seed=3)
+        top = lambda idx: np.sort(np.bincount(idx, minlength=256))[-10:].sum()
+        assert top(hot) > top(flat)
+
+    def test_bad_universe(self):
+        with pytest.raises(ValueError):
+            zipf_indices(10, 0, 1.0, 1)
+
+
+class TestClustered:
+    def test_range(self):
+        idx = clustered_indices(5_000, 1024, cluster=32, jumps=0.05, seed=4)
+        assert idx.min() >= 0 and idx.max() < 1024
+
+    def test_locality(self):
+        idx = clustered_indices(5_000, 4096, cluster=16, jumps=0.02, seed=4)
+        deltas = np.abs(np.diff(idx))
+        # Most consecutive accesses stay within the cluster span.
+        assert np.mean(deltas <= 32) > 0.9
+
+    def test_jump_probability_validated(self):
+        with pytest.raises(ValueError):
+            clustered_indices(10, 100, 5, jumps=1.5, seed=1)
+
+
+class TestOthers:
+    def test_uniform_range(self):
+        idx = uniform_indices(1_000, 77, seed=5)
+        assert idx.min() >= 0 and idx.max() < 77
+
+    def test_hash_probes_adjacent(self):
+        probes = hash_probe_indices(100, 512, seed=6, probes_per_key=2)
+        assert len(probes) == 200
+        firsts, seconds = probes[0::2], probes[1::2]
+        assert np.all((seconds - firsts) % 512 == 1)

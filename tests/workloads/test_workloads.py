@@ -1,0 +1,112 @@
+"""Tests for the 13-benchmark workload suite."""
+
+import pytest
+
+from repro.compiler.analysis.classify import HARDWARE, MIXED, SOFTWARE
+from repro.compiler.regions.detect import detect_regions
+from repro.tracegen.interpreter import TraceGenerator
+from repro.workloads.base import SMALL, TINY, Scale
+from repro.workloads.registry import (
+    all_specs,
+    get_spec,
+    specs_by_category,
+    workload_names,
+)
+
+EXPECTED_CATEGORIES = {
+    "perl": "irregular",
+    "compress": "irregular",
+    "li": "irregular",
+    "applu": "irregular",
+    "swim": "regular",
+    "mgrid": "regular",
+    "vpenta": "regular",
+    "adi": "regular",
+    "chaos": "mixed",
+    "tpcc": "mixed",
+    "tpcd_q1": "mixed",
+    "tpcd_q3": "mixed",
+    "tpcd_q6": "mixed",
+}
+
+
+class TestRegistry:
+    def test_all_thirteen_present(self):
+        assert len(workload_names()) == 13
+        assert set(workload_names()) == set(EXPECTED_CATEGORIES)
+
+    def test_categories_match_paper(self):
+        for spec in all_specs():
+            assert spec.category == EXPECTED_CATEGORIES[spec.name]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("nonesuch")
+
+    def test_specs_by_category(self):
+        assert len(specs_by_category("regular")) == 4
+        assert len(specs_by_category("irregular")) == 4
+        assert len(specs_by_category("mixed")) == 5
+        with pytest.raises(KeyError):
+            specs_by_category("imaginary")
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_CATEGORIES))
+class TestEveryWorkload:
+    def test_builds_and_traces(self, name):
+        program = get_spec(name).instantiate(TINY)
+        trace = TraceGenerator(program).generate()
+        assert len(trace) > 100
+        assert trace.memory_reference_count > 50
+
+    def test_deterministic(self, name):
+        spec = get_spec(name)
+        t1 = TraceGenerator(spec.instantiate(TINY)).generate()
+        t2 = TraceGenerator(spec.instantiate(TINY)).generate()
+        assert t1.instructions == t2.instructions
+
+    def test_region_detection_matches_category(self, name):
+        spec = get_spec(name)
+        program = spec.instantiate(TINY)
+        report = detect_regions(program)
+        prefs = set(report.preferences())
+        if spec.category == "regular":
+            assert prefs == {SOFTWARE}
+        elif spec.category == "irregular":
+            assert HARDWARE in prefs
+            assert SOFTWARE not in prefs
+        else:  # mixed: both region kinds must exist
+            assert prefs == {SOFTWARE, HARDWARE}
+
+    def test_scaling_grows_traces(self, name):
+        spec = get_spec(name)
+        tiny = TraceGenerator(spec.instantiate(TINY)).generate()
+        small = TraceGenerator(spec.instantiate(SMALL)).generate()
+        assert len(small) > len(tiny)
+
+    def test_chase_footprints_cover_walk(self, name):
+        """Pointer-chase arrays must declare element_size = node size,
+        or the walk escapes the declared footprint (and can alias other
+        arrays)."""
+        from repro.compiler.ir.refs import PointerChaseRef
+        program = get_spec(name).instantiate(TINY)
+        for statement in program.all_statements():
+            for ref in statement.references:
+                if isinstance(ref, PointerChaseRef):
+                    assert ref.array.element_size == ref.node_size
+
+
+class TestScale:
+    def test_degenerate_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Scale("bad", n2d=4, n1d=4096, steps=1)
+
+    def test_spec_name_mismatch_caught(self):
+        from repro.workloads.base import WorkloadSpec
+
+        def bad_builder(scale):
+            return get_spec("perl").build(scale)
+
+        spec = WorkloadSpec("notperl", "irregular", bad_builder)
+        with pytest.raises(ValueError):
+            spec.instantiate(TINY)
