@@ -28,13 +28,19 @@ _SWEEP_CACHE: dict[str, SweepResult] = {}
 
 
 def get_sweep(config_name: str, classify: bool = False) -> SweepResult:
-    """Run (or fetch) the full 13-benchmark sweep for one configuration."""
+    """Run (or fetch) the full 13-benchmark sweep for one configuration.
+
+    ``jobs=None`` fans the sweep over $REPRO_JOBS (or CPU count) worker
+    processes; results are bit-identical to a serial run, so the shape
+    assertions below are unaffected by the parallelism.
+    """
     key = f"{config_name}/{classify}"
     if key not in _SWEEP_CACHE:
         suite = run_suite(
             SMALL,
             configs={config_name: SENSITIVITY_CONFIGS[config_name]},
             classify_misses=classify,
+            jobs=None,
         )
         _SWEEP_CACHE[key] = suite.sweep(config_name)
     return _SWEEP_CACHE[key]

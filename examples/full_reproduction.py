@@ -40,11 +40,15 @@ def main() -> None:
     sections = []
 
     print("Table 2 (benchmark characteristics)...", flush=True)
-    sections.append(render_table2(table2_rows(scale)))
+    sections.append(render_table2(table2_rows(scale, jobs=None)))
 
     print("Sweeping all six configurations over the 13 benchmarks...",
           flush=True)
-    suite = run_suite(scale, progress=lambda m: print(f"  {m}", flush=True))
+    # jobs=None fans the grid over $REPRO_JOBS (or CPU count) workers;
+    # results are bit-identical for every job count.
+    suite = run_suite(
+        scale, jobs=None, progress=lambda m: print(f"  {m}", flush=True)
+    )
 
     rows = [
         sweep_to_row(name, suite.sweeps[name]) for name in suite.sweeps

@@ -18,7 +18,7 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.core.experiment import run_benchmark
+from repro.core.parallel import resolve_jobs, run_benchmark_parallel
 from repro.core.runner import run_suite
 from repro.core.versions import prepare_codes
 from repro.evaluation.figures import FIGURES, figure_series
@@ -52,6 +52,17 @@ def _parser() -> argparse.ArgumentParser:
         choices=sorted(_SCALES),
         default="small",
         help="workload problem size (default: small)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for run/table2/table3/figure (default: "
+            "$REPRO_JOBS or the CPU count; results are identical for "
+            "any job count)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -105,14 +116,16 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, config_name: str, scale: Scale) -> int:
+def _cmd_run(
+    name: str, config_name: str, scale: Scale, jobs: Optional[int]
+) -> int:
     machine = SENSITIVITY_CONFIGS[config_name]().scaled(
         scale.machine_divisor
     )
     reference = base_config().scaled(scale.machine_divisor)
     started = time.time()
     codes = prepare_codes(get_spec(name), scale, reference)
-    run = run_benchmark(codes, machine)
+    run = run_benchmark_parallel(codes, machine, jobs=jobs)
     print(
         f"{name} on {config_name} (scale {scale.name}, "
         f"{time.time() - started:.1f}s)"
@@ -146,15 +159,17 @@ def _cmd_regions(name: str, scale: Scale) -> int:
     return 0
 
 
-def _cmd_table2(scale: Scale) -> int:
-    print(render_table2(table2_rows(scale)))
+def _cmd_table2(scale: Scale, jobs: Optional[int]) -> int:
+    print(render_table2(table2_rows(scale, jobs=jobs)))
     return 0
 
 
-def _cmd_table3(config_names: Optional[list[str]], scale: Scale) -> int:
+def _cmd_table3(
+    config_names: Optional[list[str]], scale: Scale, jobs: Optional[int]
+) -> int:
     names = config_names or list(SENSITIVITY_CONFIGS)
     configs = {name: SENSITIVITY_CONFIGS[name] for name in names}
-    suite = run_suite(scale, configs=configs, progress=_progress)
+    suite = run_suite(scale, configs=configs, progress=_progress, jobs=jobs)
     rows = [
         sweep_to_row(name, suite.sweeps[name]) for name in suite.sweeps
     ]
@@ -162,12 +177,13 @@ def _cmd_table3(config_names: Optional[list[str]], scale: Scale) -> int:
     return 0
 
 
-def _cmd_figure(number: int, scale: Scale) -> int:
+def _cmd_figure(number: int, scale: Scale, jobs: Optional[int]) -> int:
     config_name = FIGURES[number]
     suite = run_suite(
         scale,
         configs={config_name: SENSITIVITY_CONFIGS[config_name]},
         progress=_progress,
+        jobs=jobs,
     )
     print(render_figure(figure_series(number, suite.sweep(config_name))))
     return 0
@@ -198,18 +214,19 @@ def _progress(message: str) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
     scale = _SCALES[args.scale]
+    jobs = resolve_jobs(args.jobs)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.benchmark, args.config, scale)
+        return _cmd_run(args.benchmark, args.config, scale, jobs)
     if args.command == "regions":
         return _cmd_regions(args.benchmark, scale)
     if args.command == "table2":
-        return _cmd_table2(scale)
+        return _cmd_table2(scale, jobs)
     if args.command == "table3":
-        return _cmd_table3(args.config, scale)
+        return _cmd_table3(args.config, scale, jobs)
     if args.command == "figure":
-        return _cmd_figure(args.number, scale)
+        return _cmd_figure(args.number, scale, jobs)
     if args.command == "trace":
         return _cmd_trace(args.benchmark, args.output, args.version, scale)
     raise AssertionError(f"unhandled command {args.command}")

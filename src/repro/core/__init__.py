@@ -9,6 +9,7 @@ configuration.
 """
 
 from repro.core.experiment import BenchmarkRun, run_benchmark
+from repro.core.parallel import resolve_jobs, run_benchmark_parallel, run_grid
 from repro.core.runner import SuiteResult, run_suite
 from repro.core.sweep import SweepResult, run_sweep
 from repro.core.versions import (
@@ -30,7 +31,10 @@ __all__ = [
     "VERSIONS",
     "VICTIM",
     "prepare_codes",
+    "resolve_jobs",
     "run_benchmark",
+    "run_benchmark_parallel",
+    "run_grid",
     "run_suite",
     "run_sweep",
 ]

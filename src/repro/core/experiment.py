@@ -8,7 +8,7 @@ from typing import Optional
 from repro.cpu.pipeline import CPUSimulator
 from repro.cpu.results import SimulationResult
 from repro.hwopt.gate import HardwareGate
-from repro.isa.trace import Trace
+from repro.isa.packed import AnyTrace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.params import MachineParams
 from repro.core.versions import MECHANISMS, BenchmarkCodes, make_assist
@@ -17,7 +17,7 @@ __all__ = ["BenchmarkRun", "run_benchmark", "simulate_trace"]
 
 
 def simulate_trace(
-    trace: Trace,
+    trace: AnyTrace,
     machine: MachineParams,
     mechanism: Optional[str] = None,
     initially_on: bool = True,

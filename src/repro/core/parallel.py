@@ -1,0 +1,177 @@
+"""Process-pool sweep scheduler.
+
+The paper's evaluation grid — 13 benchmarks × 6 machine configurations
+× 11 version/mechanism simulations — is embarrassingly parallel: every
+cell is a fresh machine instance timing a pre-generated trace.  This
+module fans that grid out over a :class:`~concurrent.futures.\
+ProcessPoolExecutor`.
+
+Design points:
+
+* **Chunking** — one task is one (benchmark × configuration) cell, i.e.
+  all 11 simulations of :func:`repro.core.experiment.run_benchmark`.
+  That amortizes the pickling of the benchmark's three traces over a
+  few seconds of simulation work.
+* **Slim payloads** — tasks carry a copy of :class:`BenchmarkCodes`
+  stripped of its compiler reports (which drag whole IR graphs through
+  pickle); the packed columnar traces serialize as flat buffers.
+* **Determinism** — results are keyed ``(config_name, benchmark_name)``
+  and reassembled in submission order, so the output is independent of
+  worker scheduling and identical to a sequential run.
+* **Job resolution** — ``jobs=None`` means the ``REPRO_JOBS``
+  environment variable if set, else ``os.cpu_count()``; any explicit
+  value is clamped to at least 1.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional
+
+from repro.core.experiment import BenchmarkRun, run_benchmark, simulate_trace
+from repro.core.versions import MECHANISMS, BenchmarkCodes
+from repro.params import MachineParams
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["resolve_jobs", "run_grid", "run_benchmark_parallel"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Number of worker processes to use.
+
+    ``None`` consults the ``REPRO_JOBS`` environment variable, falling
+    back to ``os.cpu_count()``.  The result is always at least 1.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(int(jobs), 1)
+
+
+def _slim_codes(codes: BenchmarkCodes) -> BenchmarkCodes:
+    """Copy ``codes`` without the compiler reports.
+
+    The reports reference IR nodes (loops, expression trees) that are
+    expensive to pickle and that no simulation cell needs.
+    """
+    return BenchmarkCodes(
+        name=codes.name,
+        category=codes.category,
+        scale=codes.scale,
+        base_trace=codes.base_trace,
+        optimized_trace=codes.optimized_trace,
+        selective_trace=codes.selective_trace,
+        optimization=None,
+        markers=None,
+        regions=None,
+    )
+
+
+def _run_cell(task) -> BenchmarkRun:
+    """Worker entry: simulate all versions of one benchmark × config."""
+    codes, machine, mechanisms, classify_misses = task
+    return run_benchmark(codes, machine, mechanisms, classify_misses)
+
+
+def _simulate_cell(task):
+    """Worker entry: one (trace, machine, mechanism) simulation."""
+    trace, machine, mechanism, initially_on, classify_misses = task
+    return simulate_trace(trace, machine, mechanism, initially_on, classify_misses)
+
+
+def run_grid(
+    specs: Iterable[WorkloadSpec],
+    machines: dict[str, MachineParams],
+    prepare: Callable[[WorkloadSpec], BenchmarkCodes],
+    mechanisms: tuple[str, ...] = MECHANISMS,
+    classify_misses: bool = False,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[tuple[str, str], BenchmarkRun]:
+    """Fan the (benchmark × configuration) grid over a process pool.
+
+    ``prepare`` runs in the parent, once per benchmark (optimizer +
+    trace generation, exactly as the sequential driver does); each
+    prepared benchmark's cells are submitted immediately, so workers
+    simulate one benchmark while the parent prepares the next.
+
+    Returns results keyed ``(config_name, benchmark_name)``.  The
+    ``progress`` callback is invoked only from the calling thread —
+    once per benchmark during preparation and once per cell as its
+    result is collected — so it needs no synchronization.
+    """
+    workers = resolve_jobs(jobs)
+    results: dict[tuple[str, str], BenchmarkRun] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {}
+        for spec in specs:
+            if progress:
+                progress(f"preparing {spec.name}")
+            codes = _slim_codes(prepare(spec))
+            for config_name, machine in machines.items():
+                futures[(config_name, spec.name)] = pool.submit(
+                    _run_cell, (codes, machine, mechanisms, classify_misses)
+                )
+        for key, future in futures.items():
+            results[key] = future.result()
+            if progress:
+                progress(f"  {key[1]} on {key[0]} done")
+    return results
+
+
+def run_benchmark_parallel(
+    codes: BenchmarkCodes,
+    machine: MachineParams,
+    mechanisms: tuple[str, ...] = MECHANISMS,
+    classify_misses: bool = False,
+    jobs: Optional[int] = None,
+) -> BenchmarkRun:
+    """Parallel drop-in for :func:`repro.core.experiment.run_benchmark`.
+
+    Fans the individual version simulations (finer-grained than
+    :func:`run_grid`'s cells) over a pool; used by the single-benchmark
+    CLI path where there is only one grid cell to split.  Results are
+    reassembled in the canonical version-key order, so the returned
+    :class:`BenchmarkRun` is indistinguishable from a sequential one.
+    """
+    workers = resolve_jobs(jobs)
+    if workers <= 1:
+        return run_benchmark(codes, machine, mechanisms, classify_misses)
+    plan: list[tuple[str, tuple]] = [
+        ("base", (codes.base_trace, machine, None, True, classify_misses)),
+        ("pure_sw", (codes.optimized_trace, machine, None, True, classify_misses)),
+    ]
+    for mechanism in mechanisms:
+        plan.append(
+            (
+                f"pure_hw/{mechanism}",
+                (codes.base_trace, machine, mechanism, True, False),
+            )
+        )
+        plan.append(
+            (
+                f"combined/{mechanism}",
+                (codes.optimized_trace, machine, mechanism, True, False),
+            )
+        )
+        plan.append(
+            (
+                f"selective/{mechanism}",
+                (codes.selective_trace, machine, mechanism, False, False),
+            )
+        )
+    run = BenchmarkRun(codes.name, codes.category, machine.name)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [(key, pool.submit(_simulate_cell, task)) for key, task in plan]
+        for key, future in futures:
+            run.results[key] = future.result()
+    return run

@@ -2,7 +2,10 @@
 
 Memory discipline: traces are generated per benchmark and simulated on
 every requested configuration before the next benchmark is prepared,
-so at most one benchmark's three traces are alive at a time.
+so at most one benchmark's three traces are alive at a time.  With
+``jobs > 1`` the (benchmark × configuration) grid instead fans out
+over a process pool (see :mod:`repro.core.parallel`); results are
+bit-identical to a sequential run in either mode.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.compiler.optimizer import LocalityOptimizer
 from repro.core.experiment import run_benchmark
+from repro.core.parallel import resolve_jobs, run_grid
 from repro.core.sweep import SweepResult
 from repro.core.versions import MECHANISMS, prepare_codes
 from repro.params import SENSITIVITY_CONFIGS, MachineParams, base_config
@@ -42,6 +46,7 @@ def run_suite(
     mechanisms: tuple[str, ...] = MECHANISMS,
     classify_misses: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> SuiteResult:
     """Run the benchmark suite across machine configurations.
 
@@ -49,6 +54,11 @@ def run_suite(
     by the scale's divisor so the working-set/cache ratio matches the
     paper's full-size runs (see DESIGN.md).  ``benchmarks`` defaults to
     all 13 names in Table 2 order.
+
+    ``jobs`` controls parallelism: 1 (the default) runs sequentially
+    in-process; N > 1 fans the grid over N worker processes; ``None``
+    resolves from ``REPRO_JOBS`` / CPU count.  Results are identical
+    for every job count — only wall-clock changes.
     """
     if configs is None:
         configs = dict(SENSITIVITY_CONFIGS)
@@ -67,6 +77,25 @@ def run_suite(
     suite = SuiteResult(scale.name)
     for name, machine in machines.items():
         suite.sweeps[name] = SweepResult(machine.name)
+
+    workers = resolve_jobs(jobs)
+    if workers > 1:
+        grid = run_grid(
+            specs,
+            machines,
+            prepare=lambda spec: prepare_codes(spec, scale, reference, optimizer),
+            mechanisms=mechanisms,
+            classify_misses=classify_misses,
+            jobs=workers,
+            progress=progress,
+        )
+        # Reassemble in the exact insertion order of a sequential run.
+        for spec in specs:
+            for config_name in machines:
+                suite.sweeps[config_name].runs[spec.name] = grid[
+                    (config_name, spec.name)
+                ]
+        return suite
 
     for spec in specs:
         if progress:

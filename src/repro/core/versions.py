@@ -27,7 +27,7 @@ from repro.compiler.optimizer import LocalityOptimizer, OptimizationReport
 from repro.compiler.regions.detect import RegionReport
 from repro.compiler.regions.markers import MarkerReport, insert_markers
 from repro.hwopt.controller import CacheBypassAssist, VictimCacheAssist
-from repro.isa.trace import Trace
+from repro.isa.packed import AnyTrace
 from repro.memory.assist import AssistInterface
 from repro.params import MachineParams
 from repro.tracegen.interpreter import TraceGenerator
@@ -58,17 +58,22 @@ PREFETCH = "prefetch"
 
 @dataclass
 class BenchmarkCodes:
-    """The three traces (plus compiler reports) of one benchmark."""
+    """The three traces (plus compiler reports) of one benchmark.
+
+    Traces are packed columnar by default (see ``prepare_codes``); the
+    compiler reports are ``None`` on the slim copies the parallel
+    engine ships to worker processes.
+    """
 
     name: str
     category: str
     scale: Scale
-    base_trace: Trace
-    optimized_trace: Trace
-    selective_trace: Trace
-    optimization: OptimizationReport
-    markers: MarkerReport
-    regions: RegionReport
+    base_trace: AnyTrace
+    optimized_trace: AnyTrace
+    selective_trace: AnyTrace
+    optimization: Optional[OptimizationReport]
+    markers: Optional[MarkerReport]
+    regions: Optional[RegionReport]
 
 
 def prepare_codes(
@@ -81,12 +86,14 @@ def prepare_codes(
 
     Workload builders are deterministic, so the three programs start
     from identical IR and identical address maps; they diverge only
-    through the transformations applied.
+    through the transformations applied.  Traces are emitted in packed
+    columnar form, so full-suite runs never materialize per-instruction
+    objects.
     """
     base_program = spec.instantiate(scale)
     base_trace = TraceGenerator(
         base_program, trace_name=f"{spec.name}/base"
-    ).generate()
+    ).generate_packed()
 
     opt = optimizer or LocalityOptimizer(machine)
 
@@ -94,14 +101,14 @@ def prepare_codes(
     optimization_report = opt.optimize(optimized_program)
     optimized_trace = TraceGenerator(
         optimized_program, trace_name=f"{spec.name}/optimized"
-    ).generate()
+    ).generate_packed()
 
     selective_program = spec.instantiate(scale)
     marker_report = insert_markers(selective_program)
     region_report = opt.optimize(selective_program).regions
     selective_trace = TraceGenerator(
         selective_program, trace_name=f"{spec.name}/selective"
-    ).generate()
+    ).generate_packed()
 
     return BenchmarkCodes(
         name=spec.name,

@@ -38,15 +38,24 @@ from repro.cpu.branch import BimodalPredictor
 from repro.cpu.results import SimulationResult
 from repro.hwopt.gate import HardwareGate
 from repro.isa.instructions import Opcode
-from repro.isa.trace import Trace
+from repro.isa.packed import AnyTrace, PackedTrace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.params import MachineParams
 
 __all__ = ["CPUSimulator"]
 
+# Opcodes as plain ints for the packed hot loop (int == int beats
+# int == IntEnum by a wide margin at trace scale).
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
+_ALU = int(Opcode.ALU)
+_BRANCH = int(Opcode.BRANCH)
+_HW_ON = int(Opcode.HW_ON)
+_HW_OFF = int(Opcode.HW_OFF)
+
 
 class CPUSimulator:
-    """Times a :class:`repro.isa.Trace` against a memory hierarchy."""
+    """Times a trace (object or packed form) against a memory hierarchy."""
 
     def __init__(
         self,
@@ -61,8 +70,20 @@ class CPUSimulator:
         self.predictor = BimodalPredictor(machine.bimodal_entries)
         self.model_ifetch = model_ifetch
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Simulate the whole trace; return cycles and statistics."""
+    def run(self, trace: AnyTrace) -> SimulationResult:
+        """Simulate the whole trace; return cycles and statistics.
+
+        Packed traces take the columnar fast path; object traces take
+        the reference loop.  Both produce bit-identical results (pinned
+        by ``tests/cpu/test_packed_equivalence.py``) — any change to
+        the timing model must be made to *both* loops.
+        """
+        if isinstance(trace, PackedTrace):
+            return self._run_packed(trace)
+        return self._run_objects(trace)
+
+    def _run_objects(self, trace) -> SimulationResult:
+        """Reference implementation over per-instruction records."""
         machine = self.machine
         hierarchy = self.hierarchy
         gate = self.gate
@@ -190,15 +211,166 @@ class CPUSimulator:
                 raise ValueError(f"unknown opcode {op!r}")
 
         total_cycles = max(issue_cycle + (1 if slot else 0), last_done)
+        return self._result(
+            trace.name, total_cycles, instructions, loads, stores, branches
+        )
+
+    def _run_packed(self, trace: PackedTrace) -> SimulationResult:
+        """Columnar fast path over the three packed columns.
+
+        Semantically identical to :meth:`_run_objects`; opcodes are
+        compared as plain ints, and iterating the machine-word columns
+        in lockstep replaces per-record NamedTuple traversal (measured
+        ~2.5× cheaper per record than indexed column access).
+        """
+        machine = self.machine
+        hierarchy = self.hierarchy
+        gate = self.gate
+        predictor = self.predictor
+        issue_width = machine.issue_width
+        mispredict_penalty = machine.branch_mispredict_penalty
+        l1i_hit = machine.l1i.latency
+        ifetch_line_mask = ~(machine.l1i.block_size - 1)
+        model_ifetch = self.model_ifetch
+
+        lsq_size = machine.lsq_entries
+        lsq_done = [0] * lsq_size  # completion time per LSQ slot (ring)
+        lsq_index = 0
+        num_ports = machine.mem_ports
+        port_free = [0] * num_ports
+        # Shared refill bus / MSHR ring: same model as the object loop
+        # (see the block comments there).
+        l2_refill_beats = max(
+            machine.l1d.block_size // machine.mem_bus_width, 1
+        )
+        refill_bus_free = 0
+        mshr_count = machine.max_outstanding_misses
+        mshr_done = [0] * mshr_count
+        mshr_index = 0
+
+        issue_cycle = 0  # cycle currently being filled with issues
+        slot = 0  # issue slots used in issue_cycle
+        last_done = 0  # completion time of the latest-finishing op
+
+        instructions = loads = stores = branches = 0
+        current_ifetch_line = -1
+
+        data_access = hierarchy.data_access
+        inst_fetch = hierarchy.inst_fetch
+        predict_and_update = predictor.predict_and_update
+        activate = gate.activate
+        deactivate = gate.deactivate
+
+        ops, args, pcs = trace.columns()
+
+        for op, arg, pc in zip(ops, args, pcs):
+            # -- front end: instruction fetch ---------------------------
+            if model_ifetch:
+                line = pc & ifetch_line_mask
+                if line != current_ifetch_line:
+                    current_ifetch_line = line
+                    fetch_latency = inst_fetch(pc)
+                    if fetch_latency > l1i_hit:
+                        issue_cycle += fetch_latency - l1i_hit
+                        slot = 0
+
+            # -- issue slot accounting ----------------------------------
+            if op == _ALU:
+                count = arg if arg > 0 else 1
+                instructions += count
+                slot += count
+                if slot >= issue_width:
+                    issue_cycle += slot // issue_width
+                    slot %= issue_width
+                continue
+
+            instructions += 1
+            slot += 1
+            if slot >= issue_width:
+                issue_cycle += 1
+                slot = 0
+
+            if op == _LOAD or op == _STORE:
+                is_write = op == _STORE
+                if is_write:
+                    stores += 1
+                else:
+                    loads += 1
+                # The op at this LSQ slot lsq_size ago must have finished.
+                pending = lsq_done[lsq_index]
+                if pending > issue_cycle:
+                    issue_cycle = pending
+                    slot = 0
+                # Port arbitration: earliest free port.
+                port = 0
+                earliest = port_free[0]
+                for p in range(1, num_ports):
+                    if port_free[p] < earliest:
+                        earliest = port_free[p]
+                        port = p
+                start = issue_cycle if issue_cycle > earliest else earliest
+                port_free[port] = start + 1
+                access = data_access(arg, is_write)
+                if access.l1_hit or access.served_by == "assist":
+                    done = start + access.latency
+                else:
+                    # A refill: serialize on the shared L1 fill bus.
+                    if refill_bus_free > start:
+                        start = refill_bus_free
+                    refill_bus_free = start + l2_refill_beats
+                    if access.served_by == "mem":
+                        # DRAM: bounded memory-level parallelism.
+                        pending_miss = mshr_done[mshr_index]
+                        if pending_miss > start:
+                            start = pending_miss
+                        done = start + access.latency
+                        mshr_done[mshr_index] = done
+                        mshr_index += 1
+                        if mshr_index == mshr_count:
+                            mshr_index = 0
+                    else:
+                        done = start + access.latency
+                lsq_done[lsq_index] = done
+                lsq_index += 1
+                if lsq_index == lsq_size:
+                    lsq_index = 0
+                if done > last_done:
+                    last_done = done
+            elif op == _BRANCH:
+                branches += 1
+                if not predict_and_update(pc, arg != 0):
+                    issue_cycle += mispredict_penalty
+                    slot = 0
+            elif op == _HW_ON:
+                activate()
+            elif op == _HW_OFF:
+                deactivate()
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise ValueError(f"unknown opcode {op!r}")
+
+        total_cycles = max(issue_cycle + (1 if slot else 0), last_done)
+        return self._result(
+            trace.name, total_cycles, instructions, loads, stores, branches
+        )
+
+    def _result(
+        self,
+        trace_name: str,
+        cycles: int,
+        instructions: int,
+        loads: int,
+        stores: int,
+        branches: int,
+    ) -> SimulationResult:
         return SimulationResult(
-            trace_name=trace.name,
-            machine_name=machine.name,
-            cycles=total_cycles,
+            trace_name=trace_name,
+            machine_name=self.machine.name,
+            cycles=cycles,
             instructions=instructions,
             loads=loads,
             stores=stores,
             branches=branches,
             branch_mispredictions=self.predictor.mispredictions,
-            hw_toggles=gate.toggles,
-            memory=hierarchy.snapshot(),
+            hw_toggles=self.gate.toggles,
+            memory=self.hierarchy.snapshot(),
         )

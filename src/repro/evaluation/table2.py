@@ -11,13 +11,16 @@ is an explicit characterization target.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.experiment import simulate_trace
+from repro.core.parallel import resolve_jobs
 from repro.core.versions import prepare_codes
 from repro.params import MachineParams, base_config
 from repro.workloads.base import SMALL, Scale
-from repro.workloads.registry import all_specs
+from repro.workloads.registry import all_specs, get_spec
 
 __all__ = ["Table2Row", "table2_rows"]
 
@@ -34,29 +37,45 @@ class Table2Row:
     conflict_fraction: float
 
 
+def _characterize(name: str, scale: Scale, machine: MachineParams) -> Table2Row:
+    """Prepare and simulate one benchmark's base code into its row.
+
+    Top-level so the parallel path can ship (name, scale, machine) to a
+    worker process instead of pickling traces.
+    """
+    spec = get_spec(name)
+    codes = prepare_codes(spec, scale, machine)
+    result = simulate_trace(codes.base_trace, machine, classify_misses=True)
+    return Table2Row(
+        benchmark=spec.name,
+        category=spec.category,
+        instructions=result.instructions,
+        l1_miss_rate=result.l1d_miss_rate * 100.0,
+        l2_miss_rate=result.l2_miss_rate * 100.0,
+        conflict_fraction=result.memory.l1d.conflict_fraction * 100.0,
+    )
+
+
 def table2_rows(
     scale: Scale = SMALL,
     machine: MachineParams | None = None,
+    jobs: Optional[int] = 1,
 ) -> list[Table2Row]:
-    """Simulate every benchmark's base code; return Table 2 rows."""
+    """Simulate every benchmark's base code; return Table 2 rows.
+
+    With ``jobs`` > 1 (or ``None`` for the ``REPRO_JOBS``/CPU-count
+    default) each benchmark is prepared and simulated in its own worker
+    process; row order and values are identical either way.
+    """
     if machine is None:
         machine = base_config().scaled(scale.machine_divisor)
-    rows = []
-    for spec in all_specs():
-        codes = prepare_codes(spec, scale, machine)
-        result = simulate_trace(
-            codes.base_trace, machine, classify_misses=True
-        )
-        rows.append(
-            Table2Row(
-                benchmark=spec.name,
-                category=spec.category,
-                instructions=result.instructions,
-                l1_miss_rate=result.l1d_miss_rate * 100.0,
-                l2_miss_rate=result.l2_miss_rate * 100.0,
-                conflict_fraction=(
-                    result.memory.l1d.conflict_fraction * 100.0
-                ),
-            )
-        )
-    return rows
+    names = [spec.name for spec in all_specs()]
+    workers = resolve_jobs(jobs)
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_characterize, name, scale, machine)
+                for name in names
+            ]
+            return [future.result() for future in futures]
+    return [_characterize(name, scale, machine) for name in names]

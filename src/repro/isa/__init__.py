@@ -10,11 +10,14 @@ compressed ALU bursts, branches, and the HW_ON/HW_OFF markers — which
 
 from repro.isa.encoding import decode_trace, encode_trace
 from repro.isa.instructions import Instruction, Opcode
+from repro.isa.packed import AnyTrace, PackedTrace
 from repro.isa.trace import Trace, TraceBuilder
 
 __all__ = [
+    "AnyTrace",
     "Instruction",
     "Opcode",
+    "PackedTrace",
     "Trace",
     "TraceBuilder",
     "decode_trace",

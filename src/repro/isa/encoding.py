@@ -10,6 +10,7 @@ from __future__ import annotations
 import struct
 
 from repro.isa.instructions import Instruction, Opcode
+from repro.isa.packed import AnyTrace
 from repro.isa.trace import Trace
 
 __all__ = ["encode_trace", "decode_trace"]
@@ -18,15 +19,17 @@ _RECORD = struct.Struct("<BqI")
 _MAGIC = b"RPTR\x01"
 
 
-def encode_trace(trace: Trace) -> bytes:
-    """Serialize ``trace`` (name + records) to bytes."""
+def encode_trace(trace: AnyTrace) -> bytes:
+    """Serialize ``trace`` (name + records) to bytes.
+
+    Accepts either the object or the packed columnar form; both encode
+    to the identical byte stream.
+    """
     name_bytes = trace.name.encode("utf-8")
     if len(name_bytes) > 0xFFFF:
         raise ValueError("trace name too long to encode")
     parts = [_MAGIC, struct.pack("<H", len(name_bytes)), name_bytes]
-    parts.extend(
-        _RECORD.pack(inst.op, inst.arg, inst.pc) for inst in trace.instructions
-    )
+    parts.extend(_RECORD.pack(op, arg, pc) for op, arg, pc in trace)
     return b"".join(parts)
 
 

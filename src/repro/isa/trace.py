@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.isa.instructions import Instruction, Opcode
+from repro.isa.packed import PackedTrace
 
 __all__ = ["Trace", "TraceBuilder"]
 
@@ -55,19 +57,25 @@ class Trace:
 
 
 class TraceBuilder:
-    """Mutable helper for emitting a :class:`Trace`.
+    """Mutable helper for emitting a :class:`Trace` or :class:`PackedTrace`.
 
     Program counters are synthetic: callers set ``pc`` before emitting
     the instructions of a static statement; consecutive instructions get
     consecutive word addresses so loop bodies map onto stable I-cache
     lines.
+
+    Records accumulate directly in three packed columns, so emitting a
+    full benchmark never allocates per-instruction objects;
+    :meth:`build` materializes them only on demand.
     """
 
     PC_STRIDE = 4  # bytes per synthetic instruction slot
 
     def __init__(self, name: str):
         self._name = name
-        self._instructions: list[Instruction] = []
+        self._ops = array("q")
+        self._args = array("q")
+        self._pcs = array("q")
         self._pc = 0x1000
 
     @property
@@ -77,8 +85,10 @@ class TraceBuilder:
     def set_pc(self, pc: int) -> None:
         self._pc = pc
 
-    def _emit(self, op: Opcode, arg: int) -> None:
-        self._instructions.append(Instruction(op, arg, self._pc))
+    def _emit(self, op: int, arg: int) -> None:
+        self._ops.append(op)
+        self._args.append(arg)
+        self._pcs.append(self._pc)
         self._pc += self.PC_STRIDE
 
     def load(self, addr: int) -> None:
@@ -102,7 +112,20 @@ class TraceBuilder:
         self._emit(Opcode.HW_OFF, 0)
 
     def append_all(self, instructions: Iterable[Instruction]) -> None:
-        self._instructions.extend(instructions)
+        for op, arg, pc in instructions:
+            self._ops.append(op)
+            self._args.append(arg)
+            self._pcs.append(pc)
 
     def build(self) -> Trace:
-        return Trace(self._name, self._instructions)
+        return Trace(
+            self._name,
+            [
+                Instruction(Opcode(op), arg, pc)
+                for op, arg, pc in zip(self._ops, self._args, self._pcs)
+            ],
+        )
+
+    def build_packed(self) -> PackedTrace:
+        """Emit the packed columnar form without materializing records."""
+        return PackedTrace(self._name, self._ops, self._args, self._pcs)

@@ -39,6 +39,13 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self._offset_bits = params.block_size.bit_length() - 1
         self._num_sets = params.num_sets
+        # All Table 1 configurations have power-of-two set counts, so
+        # set selection is a mask; fall back to modulo otherwise.
+        self._set_mask = (
+            self._num_sets - 1
+            if self._num_sets & (self._num_sets - 1) == 0
+            else -1
+        )
         self._assoc = params.assoc
         # One OrderedDict per set, keyed by line number; insertion order
         # is LRU order (least-recent first).
@@ -60,7 +67,9 @@ class SetAssociativeCache:
         return addr >> self._offset_bits
 
     def _set_index(self, line: int) -> int:
-        return line % self._num_sets
+        """Set number holding ``line`` (mask when sets are a power of two)."""
+        mask = self._set_mask
+        return line & mask if mask >= 0 else line % self._num_sets
 
     # ------------------------------------------------------------------
     # main operations
@@ -73,27 +82,33 @@ class SetAssociativeCache:
         block is bypassed).  Statistics are updated here for both
         outcomes, including miss classification when enabled.
         """
-        line = self.line_of(addr)
-        cache_set = self._sets[line % self._num_sets]
-        self.stats.accesses += 1
+        # line_of / _set_index inlined: this is the hottest call in the
+        # simulator (every load, store and ifetch lands here).
+        line = addr >> self._offset_bits
+        mask = self._set_mask
+        cache_set = self._sets[
+            line & mask if mask >= 0 else line % self._num_sets
+        ]
+        stats = self.stats
+        stats.accesses += 1
         block = cache_set.get(line)
         if block is not None:
             cache_set.move_to_end(line)
             if is_write:
                 block.dirty = True
-            self.stats.hits += 1
+            stats.hits += 1
             if self._classify:
                 self._touch_shadow(line)
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         if self._classify:
             self._classify_miss(line)
         return False
 
     def probe(self, addr: int) -> bool:
         """Check presence without disturbing LRU state or statistics."""
-        line = self.line_of(addr)
-        return line in self._sets[line % self._num_sets]
+        line = addr >> self._offset_bits
+        return line in self._sets[self._set_index(line)]
 
     def fill(
         self, addr: int, dirty: bool = False
@@ -105,8 +120,8 @@ class SetAssociativeCache:
         increments the writeback counter; the evicted block is returned
         so the caller can forward it to a victim cache or the next level.
         """
-        line = self.line_of(addr)
-        cache_set = self._sets[line % self._num_sets]
+        line = addr >> self._offset_bits
+        cache_set = self._sets[self._set_index(line)]
         existing = cache_set.get(line)
         if existing is not None:
             cache_set.move_to_end(line)
@@ -129,8 +144,8 @@ class SetAssociativeCache:
         the access frequency of the incoming line's macro-block against
         that of the line it would displace.
         """
-        line = self.line_of(addr)
-        cache_set = self._sets[line % self._num_sets]
+        line = addr >> self._offset_bits
+        cache_set = self._sets[self._set_index(line)]
         if line in cache_set or len(cache_set) < self._assoc:
             return None
         return next(iter(cache_set))
@@ -138,7 +153,7 @@ class SetAssociativeCache:
     def invalidate(self, addr: int) -> Optional[CacheBlock]:
         """Remove the line containing ``addr`` (e.g. for a victim swap)."""
         line = self.line_of(addr)
-        return self._sets[line % self._num_sets].pop(line, None)
+        return self._sets[self._set_index(line)].pop(line, None)
 
     def flush(self) -> int:
         """Empty the cache; return the number of dirty lines dropped."""

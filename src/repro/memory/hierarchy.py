@@ -49,6 +49,16 @@ class MemoryHierarchy:
         self.dtlb = TLB(machine.dtlb)
         self.itlb = TLB(machine.itlb)
         self.memory = MainMemory(machine)
+        # Provenance of the most recent L2-path access.  Must be an
+        # instance attribute: hierarchies run side by side in one
+        # process (parallel sweeps, tests), and a class attribute would
+        # leak the last source across instances.
+        self._last_source = "mem"
+        # Latency constants hoisted out of the per-access hot path.
+        self._dtlb_penalty = machine.dtlb.miss_penalty
+        self._itlb_penalty = machine.itlb.miss_penalty
+        self._l1d_latency = machine.l1d.latency
+        self._l1i_latency = machine.l1i.latency
         # Cycles of L1-fill bus occupancy per extra prefetched line.
         self._l1_beats = max(
             machine.l1d.block_size // machine.mem_bus_width, 1
@@ -60,10 +70,9 @@ class MemoryHierarchy:
     def data_access(self, addr: int, is_write: bool = False) -> AccessResult:
         """Perform one load/store; return its latency and provenance."""
         assist = self.assist if (self.assist and self.assist.enabled) else None
-        latency = 0
+        latency = self._l1d_latency
         if not self.dtlb.lookup(addr):
-            latency += self.machine.dtlb.miss_penalty
-        latency += self.machine.l1d.latency
+            latency += self._dtlb_penalty
         if self.l1d.lookup(addr, is_write):
             if assist:
                 assist.note_access(addr, is_write, l1_hit=True)
@@ -87,10 +96,9 @@ class MemoryHierarchy:
         The instruction path has no hardware assist in the paper (the
         mechanisms target the data cache).
         """
-        latency = 0
+        latency = self._l1i_latency
         if not self.itlb.lookup(addr):
-            latency += self.machine.itlb.miss_penalty
-        latency += self.machine.l1i.latency
+            latency += self._itlb_penalty
         if self.l1i.lookup(addr):
             return latency
         latency += self._access_l2(addr, assist=None)
@@ -204,8 +212,6 @@ class MemoryHierarchy:
                 if displaced is not None and displaced.dirty:
                     self._writeback_to_l2(displaced, block_size)
         return latency
-
-    _last_source = "mem"
 
     # ------------------------------------------------------------------
     # statistics

@@ -27,6 +27,7 @@ from repro.compiler.ir.refs import (
     ScalarRef,
 )
 from repro.compiler.ir.stmts import MarkerStmt, Statement
+from repro.isa.packed import PackedTrace
 from repro.isa.trace import Trace, TraceBuilder
 from repro.tracegen.memory_map import SCALAR_BASE, assign_addresses
 
@@ -67,11 +68,23 @@ class TraceGenerator:
     # ------------------------------------------------------------------
 
     def generate(self) -> Trace:
-        """Run the program once; return the trace."""
+        """Run the program once; return the object-form trace."""
+        return self._interpret().build()
+
+    def generate_packed(self) -> PackedTrace:
+        """Run the program once; return the packed columnar trace.
+
+        Identical record stream to :meth:`generate`, but no
+        per-instruction objects are ever materialized — this is the
+        form the experiment drivers feed to the simulator hot loop.
+        """
+        return self._interpret().build_packed()
+
+    def _interpret(self) -> TraceBuilder:
         builder = TraceBuilder(self.trace_name)
         chains: dict[str, int] = {}
         self._exec_nodes(self.program.body, {}, builder, chains)
-        return builder.build()
+        return builder
 
     # ------------------------------------------------------------------
     # static pc assignment

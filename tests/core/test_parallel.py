@@ -1,0 +1,90 @@
+"""Serial vs parallel sweep equality and job resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import run_benchmark
+from repro.core.parallel import resolve_jobs, run_benchmark_parallel
+from repro.core.runner import run_suite
+from repro.core.versions import prepare_codes
+from repro.params import SENSITIVITY_CONFIGS, base_config
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+BENCHMARKS = ["vpenta", "compress"]
+CONFIGS = {
+    name: SENSITIVITY_CONFIGS[name]
+    for name in ("Base Confg.", "Higher Mem. Lat.")
+}
+
+
+@pytest.fixture(scope="module")
+def serial_suite():
+    return run_suite(TINY, benchmarks=BENCHMARKS, configs=CONFIGS, jobs=1)
+
+
+class TestSerialParallelEquality:
+    def test_identical_results_every_cell(self, serial_suite):
+        parallel_suite = run_suite(
+            TINY, benchmarks=BENCHMARKS, configs=CONFIGS, jobs=2
+        )
+        assert parallel_suite.config_names() == serial_suite.config_names()
+        for config_name in serial_suite.sweeps:
+            serial_sweep = serial_suite.sweep(config_name)
+            parallel_sweep = parallel_suite.sweep(config_name)
+            assert list(parallel_sweep.runs) == list(serial_sweep.runs)
+            for name, serial_run in serial_sweep.runs.items():
+                parallel_run = parallel_sweep.runs[name]
+                assert parallel_run.version_keys() == serial_run.version_keys()
+                for key in serial_run.version_keys():
+                    assert (
+                        parallel_run.results[key] == serial_run.results[key]
+                    ), f"{config_name}/{name}/{key}"
+                    assert parallel_run.improvement(key) == pytest.approx(
+                        serial_run.improvement(key), abs=0.0
+                    )
+
+    def test_progress_callback_fires_once_per_cell(self):
+        messages: list[str] = []
+        run_suite(
+            TINY,
+            benchmarks=BENCHMARKS,
+            configs=CONFIGS,
+            jobs=2,
+            progress=messages.append,
+        )
+        preparing = [m for m in messages if m.startswith("preparing")]
+        done = [m for m in messages if "done" in m]
+        assert len(preparing) == len(BENCHMARKS)
+        assert len(done) == len(BENCHMARKS) * len(CONFIGS)
+
+    def test_run_benchmark_parallel_matches_sequential(self):
+        machine = base_config().scaled(TINY.machine_divisor)
+        codes = prepare_codes(get_spec("vpenta"), TINY, machine)
+        sequential = run_benchmark(codes, machine)
+        parallel = run_benchmark_parallel(codes, machine, jobs=2)
+        assert parallel.version_keys() == sequential.version_keys()
+        for key in sequential.version_keys():
+            assert parallel.results[key] == sequential.results[key]
+
+
+class TestResolveJobs:
+    def test_explicit_value_clamped(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_env_ignored_when_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == max(os.cpu_count() or 1, 1)

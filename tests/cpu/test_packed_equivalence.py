@@ -1,0 +1,69 @@
+"""The packed hot loop must be bit-identical to the object reference loop.
+
+``CPUSimulator.run`` keeps two implementations: the original
+per-instruction reference loop and the columnar fast path.  These tests
+run both on real benchmark traces — every code version, with and
+without hardware mechanisms — and assert the *entire*
+:class:`SimulationResult` (cycles, instruction counts, memory
+snapshot) matches.  Any timing-model change must keep them in lockstep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import simulate_trace
+from repro.core.versions import prepare_codes
+from repro.params import base_config, higher_mem_latency
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+
+@pytest.fixture(scope="module")
+def codes_by_name():
+    machine = base_config().scaled(TINY.machine_divisor)
+    return {
+        name: prepare_codes(get_spec(name), TINY, machine)
+        for name in ("vpenta", "compress")
+    }
+
+
+def _assert_equivalent(packed_trace, machine, **kwargs):
+    packed = simulate_trace(packed_trace, machine, **kwargs)
+    objects = simulate_trace(packed_trace.to_trace(), machine, **kwargs)
+    assert packed == objects
+
+
+class TestPackedEquivalence:
+    @pytest.mark.parametrize("name", ["vpenta", "compress"])
+    def test_base_trace_no_assist(self, codes_by_name, name):
+        machine = base_config().scaled(TINY.machine_divisor)
+        _assert_equivalent(codes_by_name[name].base_trace, machine)
+
+    @pytest.mark.parametrize("mechanism", ["bypass", "victim"])
+    def test_optimized_trace_with_mechanism(self, codes_by_name, mechanism):
+        machine = base_config().scaled(TINY.machine_divisor)
+        _assert_equivalent(
+            codes_by_name["vpenta"].optimized_trace,
+            machine,
+            mechanism=mechanism,
+        )
+
+    @pytest.mark.parametrize("mechanism", ["bypass", "victim"])
+    def test_selective_trace_gated(self, codes_by_name, mechanism):
+        """ON/OFF markers must toggle the gate identically in both loops."""
+        machine = base_config().scaled(TINY.machine_divisor)
+        _assert_equivalent(
+            codes_by_name["compress"].selective_trace,
+            machine,
+            mechanism=mechanism,
+            initially_on=False,
+        )
+
+    def test_alternate_machine_config(self, codes_by_name):
+        machine = higher_mem_latency().scaled(TINY.machine_divisor)
+        _assert_equivalent(
+            codes_by_name["vpenta"].base_trace,
+            machine,
+            classify_misses=True,
+        )

@@ -1,0 +1,125 @@
+"""Round-trip and contract tests for the packed columnar trace."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.isa.encoding import decode_trace, encode_trace
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.packed import PackedTrace
+from repro.isa.trace import Trace, TraceBuilder
+from repro.tracegen.interpreter import TraceGenerator
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+
+def _mixed_trace() -> Trace:
+    """A handcrafted trace covering every opcode."""
+    tb = TraceBuilder("mixed")
+    tb.load(0x1000)
+    tb.alu(5)
+    tb.store(0x2008)
+    tb.branch(True)
+    tb.hw_on()
+    tb.load(0x1000)
+    tb.hw_off()
+    tb.branch(False)
+    tb.alu(1)
+    return tb.build()
+
+
+def _generated_traces() -> list[tuple[Trace, PackedTrace]]:
+    """Object/packed trace pairs from real benchmark programs."""
+    pairs = []
+    for name in ("vpenta", "compress"):
+        spec = get_spec(name)
+        obj = TraceGenerator(
+            spec.instantiate(TINY), trace_name=f"{name}/t"
+        ).generate()
+        packed = TraceGenerator(
+            spec.instantiate(TINY), trace_name=f"{name}/t"
+        ).generate_packed()
+        pairs.append((obj, packed))
+    return pairs
+
+
+class TestRoundTrip:
+    def test_trace_packed_trace_identity(self):
+        trace = _mixed_trace()
+        back = PackedTrace.from_trace(trace).to_trace()
+        assert back.name == trace.name
+        assert back.instructions == trace.instructions
+
+    def test_generated_benchmark_round_trip(self):
+        for obj, _packed in _generated_traces():
+            back = PackedTrace.from_trace(obj).to_trace()
+            assert back.instructions == obj.instructions
+
+    def test_builder_packed_matches_builder_object(self):
+        for obj, packed in _generated_traces():
+            assert len(obj) == len(packed)
+            assert obj.instructions == packed.instructions
+
+    def test_iteration_yields_instruction_records(self):
+        packed = PackedTrace.from_trace(_mixed_trace())
+        records = list(packed)
+        assert all(isinstance(inst, Instruction) for inst in records)
+        assert all(isinstance(inst.op, Opcode) for inst in records)
+        assert records == _mixed_trace().instructions
+        assert packed[1] == records[1]
+
+
+class TestSummaryAgreement:
+    def test_handcrafted_summaries(self):
+        trace = _mixed_trace()
+        packed = PackedTrace.from_trace(trace)
+        assert len(packed) == len(trace)
+        assert packed.dynamic_instruction_count == trace.dynamic_instruction_count
+        assert packed.memory_reference_count == trace.memory_reference_count
+        assert packed.opcode_histogram() == trace.opcode_histogram()
+        assert packed.marker_balance() == trace.marker_balance()
+
+    def test_generated_summaries(self):
+        for obj, packed in _generated_traces():
+            assert packed.dynamic_instruction_count == obj.dynamic_instruction_count
+            assert packed.memory_reference_count == obj.memory_reference_count
+            assert packed.opcode_histogram() == obj.opcode_histogram()
+            assert packed.marker_balance() == obj.marker_balance()
+
+    def test_extend_matches_trace_extend(self):
+        a, b = _mixed_trace(), _mixed_trace()
+        pa, pb = PackedTrace.from_trace(a), PackedTrace.from_trace(b)
+        a.extend(b)
+        pa.extend(pb)
+        assert pa.instructions == a.instructions
+
+
+class TestEncodingAndPickle:
+    def test_encodes_identically_to_object_form(self):
+        trace = _mixed_trace()
+        packed = PackedTrace.from_trace(trace)
+        assert encode_trace(packed) == encode_trace(trace)
+        decoded = decode_trace(encode_trace(packed))
+        assert decoded.instructions == trace.instructions
+
+    def test_pickle_round_trip(self):
+        packed = PackedTrace.from_trace(_mixed_trace())
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone == packed
+        assert clone.instructions == packed.instructions
+
+
+class TestValidation:
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PackedTrace("bad", ops=[0, 1], args=[0], pcs=[0, 4])
+
+    def test_empty_trace(self):
+        empty = PackedTrace("empty")
+        assert len(empty) == 0
+        assert empty.dynamic_instruction_count == 0
+        assert empty.memory_reference_count == 0
+        assert empty.opcode_histogram() == {}
+        assert empty.marker_balance() == 0

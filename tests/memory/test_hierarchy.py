@@ -126,3 +126,25 @@ class TestAssistGating:
             h.data_access(0x100000 + i * 8)
         snap = h.snapshot()
         assert snap.l1d.accesses == 100
+
+
+class TestInstanceIsolation:
+    def test_last_source_not_shared_between_instances(self, machine):
+        """Provenance state must live on the instance, not the class.
+
+        Two hierarchies run side by side (parallel sweeps, tests); a
+        class-level ``_last_source`` would leak the last access's
+        provenance from one into the other.
+        """
+        a = MemoryHierarchy(machine)
+        b = MemoryHierarchy(machine)
+        assert "_last_source" not in MemoryHierarchy.__dict__
+        # Drive `a` to an L2 hit: miss once (fills L2+L1), evict from
+        # L1 is irrelevant — a fresh address misses L1 but hits L2 after
+        # the first fill.
+        a.data_access(0x8000)
+        a._last_source = "l2"
+        assert b._last_source == "mem"
+        result_b = b.data_access(0x8000)
+        assert result_b.served_by == "mem"
+        assert a._last_source == "l2"

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Benchmark the sweep engine: serial vs parallel, packed vs objects.
+
+Times a fixed mini-sweep (4 benchmarks x 2 machine configurations by
+default) twice — once with ``jobs=1`` and once with ``--jobs`` worker
+processes — verifies that every cell of the two sweeps is identical,
+and measures the packed-columnar trace path against the legacy object
+path for single-thread generation and simulation.  Results are written
+to ``BENCH_sweep.json`` next to this script's repo root so future PRs
+have a perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_suite.py            # full mini-sweep
+    PYTHONPATH=src python tools/bench_suite.py --smoke    # CI-sized run
+    PYTHONPATH=src python tools/bench_suite.py --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.experiment import simulate_trace  # noqa: E402
+from repro.core.runner import run_suite  # noqa: E402
+from repro.params import SENSITIVITY_CONFIGS  # noqa: E402
+from repro.tracegen.interpreter import TraceGenerator  # noqa: E402
+from repro.workloads.base import SMALL, TINY  # noqa: E402
+from repro.workloads.registry import get_spec  # noqa: E402
+
+FULL_BENCHMARKS = ["vpenta", "adi", "compress", "swim"]
+SMOKE_BENCHMARKS = ["vpenta", "compress"]
+CONFIG_NAMES = ("Base Confg.", "Higher Mem. Lat.")
+
+
+def _time(fn):
+    """Run ``fn`` and return (result, wall_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _suites_identical(a, b) -> bool:
+    if a.config_names() != b.config_names():
+        return False
+    for config_name in a.sweeps:
+        sa, sb = a.sweep(config_name), b.sweep(config_name)
+        if list(sa.runs) != list(sb.runs):
+            return False
+        for name, run_a in sa.runs.items():
+            run_b = sb.runs[name]
+            if run_a.version_keys() != run_b.version_keys():
+                return False
+            for key in run_a.version_keys():
+                if run_a.results[key] != run_b.results[key]:
+                    return False
+    return True
+
+
+def bench_sweep(scale, benchmarks, configs, jobs):
+    """Time run_suite serially and with ``jobs`` workers; verify equality."""
+    serial, serial_s = _time(
+        lambda: run_suite(scale, benchmarks=benchmarks, configs=configs, jobs=1)
+    )
+    parallel, parallel_s = _time(
+        lambda: run_suite(
+            scale, benchmarks=benchmarks, configs=configs, jobs=jobs
+        )
+    )
+    identical = _suites_identical(serial, parallel)
+    return {
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "jobs": jobs,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "cells": len(benchmarks) * len(configs),
+        "results_identical": identical,
+    }
+
+
+def bench_packed(scale, benchmark):
+    """Single-thread packed vs object trace: generation and simulation."""
+    spec = get_spec(benchmark)
+
+    obj_trace, obj_gen_s = _time(
+        lambda: TraceGenerator(spec.instantiate(scale), trace_name="o").generate()
+    )
+    packed_trace, packed_gen_s = _time(
+        lambda: TraceGenerator(
+            spec.instantiate(scale), trace_name="o"
+        ).generate_packed()
+    )
+
+    machine_builder = SENSITIVITY_CONFIGS["Base Confg."]
+    machine = machine_builder().scaled(scale.machine_divisor)
+    obj_result, obj_sim_s = _time(lambda: simulate_trace(obj_trace, machine))
+    machine = machine_builder().scaled(scale.machine_divisor)
+    packed_result, packed_sim_s = _time(
+        lambda: simulate_trace(packed_trace, machine)
+    )
+
+    return {
+        "benchmark": benchmark,
+        "records": len(packed_trace),
+        "object_generate_seconds": round(obj_gen_s, 3),
+        "packed_generate_seconds": round(packed_gen_s, 3),
+        "generate_speedup": round(obj_gen_s / packed_gen_s, 3)
+        if packed_gen_s
+        else None,
+        "object_simulate_seconds": round(obj_sim_s, 3),
+        "packed_simulate_seconds": round(packed_sim_s, 3),
+        "simulate_speedup": round(obj_sim_s / packed_sim_s, 3)
+        if packed_sim_s
+        else None,
+        "results_identical": obj_result == packed_result,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the parallel leg (default 4)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale and a 2x2 grid — for CI sanity, not perf numbers",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sweep.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    scale = TINY if args.smoke else SMALL
+    benchmarks = SMOKE_BENCHMARKS if args.smoke else FULL_BENCHMARKS
+    configs = {name: SENSITIVITY_CONFIGS[name] for name in CONFIG_NAMES}
+
+    print(
+        f"mini-sweep: {len(benchmarks)} benchmarks x {len(configs)} configs "
+        f"at scale={scale.name}, jobs={args.jobs} "
+        f"(cpu_count={os.cpu_count()})"
+    )
+    sweep = bench_sweep(scale, benchmarks, configs, args.jobs)
+    print(
+        f"  serial {sweep['serial_seconds']}s, "
+        f"parallel {sweep['parallel_seconds']}s "
+        f"-> {sweep['speedup']}x, identical={sweep['results_identical']}"
+    )
+
+    packed = bench_packed(scale, benchmarks[0])
+    print(
+        f"packed vs objects on {packed['benchmark']} "
+        f"({packed['records']} records): "
+        f"generate {packed['generate_speedup']}x, "
+        f"simulate {packed['simulate_speedup']}x, "
+        f"identical={packed['results_identical']}"
+    )
+
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "scale": scale.name,
+        "benchmarks": benchmarks,
+        "configs": list(configs),
+        "sweep": sweep,
+        "packed_vs_objects": packed,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not (sweep["results_identical"] and packed["results_identical"]):
+        print("ERROR: parallel or packed results diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
