@@ -15,6 +15,10 @@ The package implements the paper's full stack from scratch:
   the locality transformations — interchange, layout selection,
   padding, tiling, unroll-and-jam, scalar replacement
   (:mod:`repro.compiler`);
+* a quantitative locality model — Fenwick-indexed LRU-stack reuse
+  distances, whole-curve miss-ratio prediction, per-region profiles,
+  and a model-driven ON/OFF gating policy (:mod:`repro.locality`,
+  :mod:`repro.hwopt.policy`);
 * the 13-benchmark workload suite (:mod:`repro.workloads`), experiment
   drivers (:mod:`repro.core`) and the table/figure reproduction
   harness (:mod:`repro.evaluation`).
@@ -41,8 +45,19 @@ from repro.core import (
     run_sweep,
 )
 from repro.cpu import CPUSimulator, SimulationResult
-from repro.hwopt import CacheBypassAssist, HardwareGate, VictimCacheAssist
+from repro.hwopt import (
+    CacheBypassAssist,
+    HardwareGate,
+    VictimCacheAssist,
+    recommend_gating,
+)
 from repro.isa import Instruction, Opcode, Trace, TraceBuilder
+from repro.locality import (
+    MissRatioCurve,
+    ReuseStackEngine,
+    distance_histogram,
+    split_profiles,
+)
 from repro.memory import MemoryHierarchy
 from repro.params import (
     SENSITIVITY_CONFIGS,
@@ -70,8 +85,10 @@ __all__ = [
     "MEDIUM",
     "MachineParams",
     "MemoryHierarchy",
+    "MissRatioCurve",
     "Opcode",
     "OptimizationReport",
+    "ReuseStackEngine",
     "SENSITIVITY_CONFIGS",
     "SMALL",
     "Scale",
@@ -86,6 +103,7 @@ __all__ = [
     "all_specs",
     "base_config",
     "detect_regions",
+    "distance_histogram",
     "get_spec",
     "higher_l1_assoc",
     "higher_l2_assoc",
@@ -94,7 +112,9 @@ __all__ = [
     "larger_l1",
     "larger_l2",
     "prepare_codes",
+    "recommend_gating",
     "run_benchmark",
     "run_suite",
     "run_sweep",
+    "split_profiles",
 ]

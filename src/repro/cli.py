@@ -8,6 +8,8 @@ Commands mirror the paper's evaluation artifacts:
 * ``table2``     — benchmark characteristics (Table 2);
 * ``table3``     — average improvements across configurations (Table 3);
 * ``figure N``   — one of Figures 4-9;
+* ``locality``   — reuse-distance / miss-ratio-curve profile of each
+  benchmark plus model-driven vs compiler ON/OFF gating;
 * ``trace``      — dump a benchmark's trace to a file (binary format).
 """
 
@@ -22,8 +24,10 @@ from repro.core.parallel import resolve_jobs, run_benchmark_parallel
 from repro.core.runner import run_suite
 from repro.core.versions import prepare_codes
 from repro.evaluation.figures import FIGURES, figure_series
+from repro.evaluation.locality import locality_rows
 from repro.evaluation.report import (
     render_figure,
+    render_locality,
     render_table2,
     render_table3,
 )
@@ -95,6 +99,20 @@ def _parser() -> argparse.ArgumentParser:
 
     figure_cmd = sub.add_parser("figure", help="reproduce one figure")
     figure_cmd.add_argument("number", type=int, choices=sorted(FIGURES))
+
+    locality_cmd = sub.add_parser(
+        "locality",
+        help=(
+            "reuse-distance profile and miss-ratio curves per benchmark, "
+            "plus model-driven ON/OFF gating vs the compiler's markers"
+        ),
+    )
+    locality_cmd.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="benchmark",
+        help="benchmarks to profile (default: the whole suite)",
+    )
 
     trace_cmd = sub.add_parser(
         "trace", help="dump a benchmark's base trace to a file"
@@ -189,6 +207,15 @@ def _cmd_figure(number: int, scale: Scale, jobs: Optional[int]) -> int:
     return 0
 
 
+def _cmd_locality(
+    benchmarks: list[str], scale: Scale, jobs: Optional[int]
+) -> int:
+    names = benchmarks or None
+    rows = locality_rows(scale, names, jobs=jobs, progress=_progress)
+    print(render_locality(rows))
+    return 0
+
+
 def _cmd_trace(name: str, output: str, version: str, scale: Scale) -> int:
     reference = base_config().scaled(scale.machine_divisor)
     codes = prepare_codes(get_spec(name), scale, reference)
@@ -227,6 +254,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_table3(args.config, scale, jobs)
     if args.command == "figure":
         return _cmd_figure(args.number, scale, jobs)
+    if args.command == "locality":
+        return _cmd_locality(args.benchmarks, scale, jobs)
     if args.command == "trace":
         return _cmd_trace(args.benchmark, args.output, args.version, scale)
     raise AssertionError(f"unhandled command {args.command}")

@@ -1,0 +1,156 @@
+"""Locality-model evaluation: per-benchmark MRC and gating comparison.
+
+For every benchmark this builds the selective trace (markers in place),
+profiles each dynamic region's miss-ratio curve, and scores the
+model-driven gating policy of :mod:`repro.hwopt.policy` against the
+compiler's static marker placement — the reproduction's analogue of a
+"how good is the heuristic?" figure.  The base trace's predicted
+fully-associative miss ratio at the L1 capacity rides along as context:
+it is the locality the whole exercise is trying to fix.
+
+Benchmarks are independent, so :func:`locality_rows` fans them over a
+process pool exactly like the sweep engine (``--jobs`` / ``REPRO_JOBS``,
+results identical for any job count).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.core.versions import prepare_codes
+from repro.hwopt.policy import GatingComparison, recommend_gating
+from repro.locality.mrc import distance_histogram
+from repro.params import MachineParams, base_config
+from repro.workloads.base import Scale, WorkloadSpec
+from repro.workloads.registry import all_specs, get_spec
+
+__all__ = ["LocalityRow", "locality_row", "locality_rows"]
+
+
+@dataclass(frozen=True)
+class LocalityRow:
+    """One benchmark's locality profile and gating-policy comparison."""
+
+    benchmark: str
+    category: str
+    #: Memory references in the selective trace.
+    memory_refs: int
+    #: Distinct cache lines touched (LRU stack depth at trace end).
+    distinct_lines: int
+    #: Predicted fully-associative LRU miss ratio of the *base* trace
+    #: at the scaled L1D capacity — the locality being optimized.
+    base_miss_ratio: float
+    #: Same prediction for the selective (optimized + marked) trace.
+    selective_miss_ratio: float
+    #: Dynamic regions that issued memory references.
+    regions: int
+    compiler_on_regions: int
+    model_on_regions: int
+    #: Region-count and reference-weighted agreement, in percent.
+    region_agreement: float
+    ref_agreement: float
+
+    @classmethod
+    def from_comparison(
+        cls,
+        benchmark: str,
+        category: str,
+        base_miss_ratio: float,
+        selective_miss_ratio: float,
+        distinct_lines: int,
+        comparison: GatingComparison,
+    ) -> "LocalityRow":
+        return cls(
+            benchmark=benchmark,
+            category=category,
+            memory_refs=sum(
+                r.memory_refs for r in comparison.recommendations
+            ),
+            distinct_lines=distinct_lines,
+            base_miss_ratio=base_miss_ratio,
+            selective_miss_ratio=selective_miss_ratio,
+            regions=comparison.regions,
+            compiler_on_regions=comparison.compiler_on_regions,
+            model_on_regions=comparison.model_on_regions,
+            region_agreement=100.0 * comparison.region_agreement,
+            ref_agreement=100.0 * comparison.ref_agreement,
+        )
+
+
+def locality_row(
+    spec: WorkloadSpec, scale: Scale, machine: MachineParams
+) -> LocalityRow:
+    """Build and analyze one benchmark (runs inside pool workers)."""
+    codes = prepare_codes(spec, scale, machine)
+    line_size = machine.l1d.block_size
+    cache_lines = machine.l1d.num_blocks
+    base_curve = distance_histogram(
+        codes.base_trace, line_size=line_size
+    ).curve()
+    selective_histogram = distance_histogram(
+        codes.selective_trace, line_size=line_size
+    )
+    comparison = recommend_gating(
+        codes.selective_trace, machine, initially_on=False
+    )
+    return LocalityRow.from_comparison(
+        benchmark=spec.name,
+        category=spec.category,
+        base_miss_ratio=base_curve.miss_ratio(cache_lines),
+        selective_miss_ratio=selective_histogram.curve().miss_ratio(
+            cache_lines
+        ),
+        # Every cold access is the first touch of a new line.
+        distinct_lines=selective_histogram.cold,
+        comparison=comparison,
+    )
+
+
+def _row_task(task) -> LocalityRow:
+    """Worker entry for the process pool."""
+    name, scale, machine = task
+    return locality_row(get_spec(name), scale, machine)
+
+
+def locality_rows(
+    scale: Scale,
+    benchmarks: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[LocalityRow]:
+    """Locality rows for the suite (or a subset), in registry order.
+
+    ``jobs`` follows the sweep-engine convention (``None`` → the
+    ``REPRO_JOBS`` environment variable or the CPU count); results are
+    assembled in submission order, identical for any job count.
+    """
+    from repro.core.parallel import resolve_jobs
+
+    names = (
+        list(benchmarks)
+        if benchmarks is not None
+        else [spec.name for spec in all_specs()]
+    )
+    machine = base_config().scaled(scale.machine_divisor)
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(names) <= 1:
+        rows = []
+        for name in names:
+            if progress:
+                progress(f"profiling {name}")
+            rows.append(locality_row(get_spec(name), scale, machine))
+        return rows
+    tasks = [(name, scale, machine) for name in names]
+    rows = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            (name, pool.submit(_row_task, task))
+            for name, task in zip(names, tasks)
+        ]
+        for name, future in futures:
+            rows.append(future.result())
+            if progress:
+                progress(f"{name} profiled")
+    return rows

@@ -5,10 +5,16 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.evaluation.figures import FIGURE_VERSIONS, FigureSeries
+from repro.evaluation.locality import LocalityRow
 from repro.evaluation.table2 import Table2Row
 from repro.evaluation.table3 import PAPER_TABLE3, TABLE3_COLUMNS, Table3Row
 
-__all__ = ["render_table2", "render_table3", "render_figure"]
+__all__ = [
+    "render_table2",
+    "render_table3",
+    "render_figure",
+    "render_locality",
+]
 
 
 def render_table2(rows: Iterable[Table2Row]) -> str:
@@ -47,6 +53,29 @@ def render_table3(
                 f"{'  (paper)':<18}"
                 + "".join(f"{value:>16.2f}" for value in paper)
             )
+    return "\n".join(lines)
+
+
+def render_locality(rows: Iterable[LocalityRow]) -> str:
+    """Locality figure: MRC summary + model-vs-compiler gating."""
+    lines = [
+        "Locality model — predicted fully-associative LRU miss ratio at "
+        "the scaled L1D capacity,",
+        "and model-driven ON/OFF gating vs the compiler's marker "
+        "placement (per dynamic region).",
+        f"{'Benchmark':<10} {'Class':<10} {'Refs':>9} {'Lines':>8} "
+        f"{'BaseMR':>7} {'SelMR':>7} {'Regions':>8} {'ON c/m':>8} "
+        f"{'Agree %':>8} {'RefAgr %':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<10} {row.category:<10} "
+            f"{row.memory_refs:>9,} {row.distinct_lines:>8,} "
+            f"{row.base_miss_ratio:>7.3f} {row.selective_miss_ratio:>7.3f} "
+            f"{row.regions:>8} "
+            f"{f'{row.compiler_on_regions}/{row.model_on_regions}':>8} "
+            f"{row.region_agreement:>8.1f} {row.ref_agreement:>9.1f}"
+        )
     return "\n".join(lines)
 
 

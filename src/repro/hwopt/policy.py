@@ -1,0 +1,162 @@
+"""Model-driven ON/OFF gating policy.
+
+The compiler places ON/OFF markers by *static* analyzability (Section
+2.2: hardware ON where references resist compile-time analysis).  The
+miss-ratio-curve machinery of :mod:`repro.locality` enables an
+independent, *quantitative* placement: profile each dynamic region's
+stack-distance stream, predict its miss ratio at the target L1
+capacity, and turn the pollution-control hardware ON exactly in the
+regions whose predicted locality is worse than the threshold — by
+default the whole-trace miss ratio floored at
+:data:`DEFAULT_MISS_FLOOR`, i.e. "assist the regions that miss more
+than this program's average, provided they miss enough to matter".
+
+:func:`recommend_gating` runs the model over a marked trace and scores
+its agreement with the compiler's placement, region-by-region and
+weighted by memory references.  The evaluation layer turns this into a
+per-benchmark table (``python -m repro locality``), the reproduction's
+analogue of a model-vs-heuristic ablation figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.packed import AnyTrace
+from repro.locality.profile import LocalityProfile, split_profiles
+from repro.params import MachineParams
+
+__all__ = [
+    "DEFAULT_MISS_FLOOR",
+    "GatingRecommendation",
+    "GatingComparison",
+    "compare_policies",
+    "recommend_gating",
+]
+
+#: Minimum predicted miss ratio before the model recommends ON.  The
+#: adaptive threshold ("worse than this program's average") is floored
+#: here so that programs whose locality is already good everywhere —
+#: notably the fully-optimized regular codes, which form one uniform
+#: region — are not flagged just for sitting at their own average.
+#: 0.2 reads as "at least every fifth reference would still miss a
+#: fully-associative L1": below that, a pollution-control assist has
+#: too few misses to recover to justify being ON.
+DEFAULT_MISS_FLOOR = 0.2
+
+
+@dataclass(frozen=True)
+class GatingRecommendation:
+    """The model's verdict on one dynamic region."""
+
+    region_index: int
+    compiler_on: bool
+    model_on: bool
+    miss_ratio: float
+    memory_refs: int
+
+    @property
+    def agrees(self) -> bool:
+        return self.compiler_on == self.model_on
+
+
+@dataclass(frozen=True)
+class GatingComparison:
+    """Model-driven vs compiler marker placement for one trace."""
+
+    trace_name: str
+    cache_lines: int
+    threshold: float
+    recommendations: tuple[GatingRecommendation, ...]
+
+    @property
+    def regions(self) -> int:
+        return len(self.recommendations)
+
+    @property
+    def compiler_on_regions(self) -> int:
+        return sum(1 for r in self.recommendations if r.compiler_on)
+
+    @property
+    def model_on_regions(self) -> int:
+        return sum(1 for r in self.recommendations if r.model_on)
+
+    @property
+    def region_agreement(self) -> float:
+        """Fraction of regions where model and compiler agree."""
+        if not self.recommendations:
+            return 1.0
+        agree = sum(1 for r in self.recommendations if r.agrees)
+        return agree / len(self.recommendations)
+
+    @property
+    def ref_agreement(self) -> float:
+        """Agreement weighted by each region's memory references."""
+        total = sum(r.memory_refs for r in self.recommendations)
+        if not total:
+            return 1.0
+        agree = sum(r.memory_refs for r in self.recommendations if r.agrees)
+        return agree / total
+
+
+def compare_policies(
+    profile: LocalityProfile,
+    cache_lines: int,
+    threshold: Optional[float] = None,
+) -> GatingComparison:
+    """Score the MRC policy against the marker placement in ``profile``.
+
+    ``threshold`` is the miss ratio at ``cache_lines`` at or above which
+    the model recommends ON; ``None`` uses the whole-trace miss ratio
+    floored at :data:`DEFAULT_MISS_FLOOR` — "assist the regions that
+    miss more than this program's average, provided they miss enough to
+    matter at all".  Only regions that issue memory references
+    participate — an empty span between back-to-back markers has no
+    locality to judge.
+    """
+    if cache_lines <= 0:
+        raise ValueError("cache_lines must be positive")
+    if threshold is None:
+        trace_ratio = profile.total_histogram().curve().miss_ratio(
+            cache_lines
+        )
+        threshold = max(trace_ratio, DEFAULT_MISS_FLOOR)
+    recommendations = []
+    for region in profile.occupied_regions():
+        ratio = region.curve().miss_ratio(cache_lines)
+        recommendations.append(
+            GatingRecommendation(
+                region_index=region.index,
+                compiler_on=region.gate_on,
+                model_on=ratio >= threshold,
+                miss_ratio=ratio,
+                memory_refs=region.memory_refs,
+            )
+        )
+    return GatingComparison(
+        trace_name=profile.trace_name,
+        cache_lines=cache_lines,
+        threshold=threshold,
+        recommendations=tuple(recommendations),
+    )
+
+
+def recommend_gating(
+    trace: AnyTrace,
+    machine: MachineParams,
+    threshold: Optional[float] = None,
+    initially_on: bool = False,
+) -> GatingComparison:
+    """Profile ``trace`` and compare model vs compiler gating.
+
+    The target capacity is the machine's L1D size in lines, and the
+    profile uses the L1D line size, so the predicted miss ratios are
+    the fully-associative envelope of the cache the assists protect.
+    """
+    profile = split_profiles(
+        trace,
+        line_size=machine.l1d.block_size,
+        initially_on=initially_on,
+    )
+    return compare_policies(profile, machine.l1d.num_blocks, threshold)

@@ -5,17 +5,28 @@ how big is a trace's working set, how sequential are its accesses, and
 how far apart are its reuses.  The workload tests use these to confirm
 each benchmark model exhibits the access character its SPEC/TPC
 namesake is modelled after.
+
+Both entry points accept either trace form; packed columnar traces are
+scanned without materializing per-instruction objects.  The reuse
+histogram rides on :mod:`repro.locality` — O(N log M) via the
+Fenwick-indexed LRU stack instead of the former O(N·M) ordered-dict
+scan, with identical labels and counts (pinned by
+``tests/isa/test_histogram_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from collections import Counter, OrderedDict
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.isa.instructions import Opcode
-from repro.isa.trace import Trace
+from repro.isa.packed import AnyTrace, PackedTrace
+from repro.locality.mrc import distance_histogram
 
 __all__ = ["TraceProfile", "profile_trace", "reuse_distance_histogram"]
+
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
 
 
 @dataclass(frozen=True)
@@ -46,24 +57,43 @@ class TraceProfile:
         return "scattered"
 
 
-def profile_trace(trace: Trace, line_size: int = 32) -> TraceProfile:
-    """Compute a :class:`TraceProfile` in one pass."""
+def profile_trace(trace: AnyTrace, line_size: int = 32) -> TraceProfile:
+    """Compute a :class:`TraceProfile` in one pass.
+
+    Packed traces are scanned column-wise (no instruction objects), so
+    workload validation over full benchmark traces stays cheap; both
+    paths produce identical profiles.
+    """
     refs = 0
     reads = 0
     sequential = 0
     last_line = None
     line_counts: Counter = Counter()
-    for inst in trace.instructions:
-        if inst.op is Opcode.LOAD:
-            reads += 1
-        elif inst.op is not Opcode.STORE:
-            continue
-        refs += 1
-        line = inst.arg // line_size
-        line_counts[line] += 1
-        if last_line is not None and line in (last_line, last_line + 1):
-            sequential += 1
-        last_line = line
+    if isinstance(trace, PackedTrace):
+        ops, args, _pcs = trace.columns()
+        for op, arg in zip(ops, args):
+            if op == _LOAD:
+                reads += 1
+            elif op != _STORE:
+                continue
+            refs += 1
+            line = arg // line_size
+            line_counts[line] += 1
+            if last_line is not None and line in (last_line, last_line + 1):
+                sequential += 1
+            last_line = line
+    else:
+        for inst in trace.instructions:
+            if inst.op is Opcode.LOAD:
+                reads += 1
+            elif inst.op is not Opcode.STORE:
+                continue
+            refs += 1
+            line = inst.arg // line_size
+            line_counts[line] += 1
+            if last_line is not None and line in (last_line, last_line + 1):
+                sequential += 1
+            last_line = line
     distinct = len(line_counts)
     top = max(line_counts.values()) if line_counts else 0
     return TraceProfile(
@@ -77,7 +107,7 @@ def profile_trace(trace: Trace, line_size: int = 32) -> TraceProfile:
 
 
 def reuse_distance_histogram(
-    trace: Trace,
+    trace: AnyTrace,
     line_size: int = 32,
     buckets: tuple[int, ...] = (16, 64, 256, 1024),
 ) -> dict[str, int]:
@@ -85,30 +115,12 @@ def reuse_distance_histogram(
 
     The returned dict maps "<=N" labels (plus ">last" for colder reuses
     and "cold" for first touches) to access counts.  Exact stack
-    distances via an ordered dict: O(refs * stack-depth) worst case,
-    fine for test-scale traces.
+    distances come from the Fenwick-indexed LRU stack of
+    :mod:`repro.locality` — O(refs · log lines), usable on full
+    benchmark traces, not just test-scale ones.
     """
-    stack: OrderedDict[int, None] = OrderedDict()
+    full = distance_histogram(trace, line_size=line_size)
+    bucketed = full.bucketed(buckets)
+    # Preserve the historical label order: buckets, overflow, cold.
     labels = [f"<={b}" for b in buckets] + [f">{buckets[-1]}", "cold"]
-    histogram = {label: 0 for label in labels}
-    for inst in trace.instructions:
-        if not inst.is_memory:
-            continue
-        line = inst.arg // line_size
-        if line in stack:
-            distance = 0
-            for key in reversed(stack):
-                if key == line:
-                    break
-                distance += 1
-            for bucket, label in zip(buckets, labels):
-                if distance <= bucket:
-                    histogram[label] += 1
-                    break
-            else:
-                histogram[f">{buckets[-1]}"] += 1
-            stack.move_to_end(line)
-        else:
-            histogram["cold"] += 1
-            stack[line] = None
-    return histogram
+    return {label: bucketed[label] for label in labels}

@@ -1,0 +1,39 @@
+"""Quantitative locality modeling: reuse distances and miss-ratio curves.
+
+The paper's framework decides *where* cache optimization pays off; this
+subsystem supplies the quantitative model behind that decision:
+
+* :class:`ReuseStackEngine` — a Mattson LRU stack indexed by a Fenwick
+  tree, giving exact stack (reuse) distances in O(N log M) for an
+  N-reference trace over M distinct lines;
+* :func:`distance_histogram` / :class:`MissRatioCurve` — one trace
+  traversal yields the predicted fully-associative LRU miss count for
+  *every* cache capacity at once (Mattson's stack-inclusion property;
+  bit-exact against direct cache simulation);
+* :func:`split_profiles` — the distance stream split at ON/OFF markers
+  into per-region profiles, feeding the model-driven gating policy in
+  :mod:`repro.hwopt.policy`.
+"""
+
+from repro.locality.mrc import (
+    DistanceHistogram,
+    MissRatioCurve,
+    distance_histogram,
+)
+from repro.locality.profile import (
+    LocalityProfile,
+    RegionProfile,
+    split_profiles,
+)
+from repro.locality.stack import COLD, ReuseStackEngine
+
+__all__ = [
+    "COLD",
+    "DistanceHistogram",
+    "LocalityProfile",
+    "MissRatioCurve",
+    "RegionProfile",
+    "ReuseStackEngine",
+    "distance_histogram",
+    "split_profiles",
+]

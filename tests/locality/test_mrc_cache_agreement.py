@@ -1,0 +1,114 @@
+"""The correctness anchor: MRC predictions vs direct LRU simulation.
+
+By Mattson's stack-inclusion property, one distance histogram predicts
+the miss count of a fully-associative LRU cache of *every* capacity.
+These tests sweep real benchmark traces against
+:class:`repro.memory.cache.SetAssociativeCache` configured fully
+associative and require bit-exact agreement — no tolerance.  They also
+pin the packed columnar path to the object path.
+"""
+
+import pytest
+
+from repro.isa.instructions import Opcode
+from repro.isa.packed import PackedTrace
+from repro.locality.mrc import distance_histogram
+from repro.memory.cache import SetAssociativeCache
+from repro.params import CacheParams
+from repro.tracegen.interpreter import TraceGenerator
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+LINE_SIZE = 32
+#: Capacities (in lines) swept against the simulator.
+SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
+
+BENCHMARKS = ("vpenta", "compress", "tpcd_q3")
+
+
+def simulated_misses(trace, cache_lines: int) -> int:
+    """Drive a fully-associative LRU cache over the trace's memory refs."""
+    cache = SetAssociativeCache(
+        CacheParams(
+            name="FA",
+            size=cache_lines * LINE_SIZE,
+            assoc=cache_lines,
+            block_size=LINE_SIZE,
+            latency=1,
+        )
+    )
+    for inst in trace:
+        if inst.op is Opcode.LOAD or inst.op is Opcode.STORE:
+            is_write = inst.op is Opcode.STORE
+            if not cache.lookup(inst.arg, is_write):
+                cache.fill(inst.arg, dirty=is_write)
+    return cache.stats.misses
+
+
+@pytest.fixture(scope="module", params=BENCHMARKS)
+def packed_trace(request):
+    program = get_spec(request.param).instantiate(TINY)
+    return TraceGenerator(program, trace_name=request.param).generate_packed()
+
+
+class TestMRCMatchesSimulator:
+    def test_exact_agreement_across_sizes(self, packed_trace):
+        curve = distance_histogram(packed_trace, line_size=LINE_SIZE).curve()
+        for cache_lines in SIZES:
+            predicted = curve.misses(cache_lines)
+            simulated = simulated_misses(packed_trace, cache_lines)
+            assert predicted == simulated, (
+                f"{packed_trace.name}: MRC predicts {predicted} misses at "
+                f"{cache_lines} lines, simulator measured {simulated}"
+            )
+
+    def test_total_and_monotonicity(self, packed_trace):
+        histogram = distance_histogram(packed_trace, line_size=LINE_SIZE)
+        assert histogram.total == packed_trace.memory_reference_count
+        curve = histogram.curve()
+        # Monotone non-increasing misses, floored at the cold count.
+        previous = curve.misses(1)
+        for cache_lines in SIZES[1:]:
+            current = curve.misses(cache_lines)
+            assert current <= previous
+            previous = current
+        beyond = curve.misses(histogram.max_distance + 1)
+        assert beyond == histogram.cold
+
+    def test_curve_step_points_cover_range(self, packed_trace):
+        curve = distance_histogram(packed_trace, line_size=LINE_SIZE).curve()
+        points = curve.as_points()
+        assert points[0][0] == 1
+        ratios = [ratio for _, ratio in points]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestPackedObjectEquivalence:
+    def test_identical_histograms_and_curves(self, packed_trace):
+        object_trace = packed_trace.to_trace()
+        packed = distance_histogram(packed_trace, line_size=LINE_SIZE)
+        objects = distance_histogram(object_trace, line_size=LINE_SIZE)
+        assert packed == objects
+        for cache_lines in SIZES:
+            assert packed.curve().misses(cache_lines) == objects.curve().misses(
+                cache_lines
+            )
+
+
+class TestSelectiveTraceAgreement:
+    def test_marked_trace_matches_simulator(self):
+        """Markers must not perturb the distance stream."""
+        from repro.core.versions import prepare_codes
+        from repro.params import base_config
+
+        machine = base_config().scaled(TINY.machine_divisor)
+        codes = prepare_codes(get_spec("tpcd_q3"), TINY, machine)
+        trace = codes.selective_trace
+        assert isinstance(trace, PackedTrace)
+        histogram = trace.opcode_histogram()
+        assert histogram[Opcode.HW_ON] > 0  # the trace really is marked
+        curve = distance_histogram(trace, line_size=LINE_SIZE).curve()
+        for cache_lines in (4, 32, 256):
+            assert curve.misses(cache_lines) == simulated_misses(
+                trace, cache_lines
+            )

@@ -1,0 +1,150 @@
+"""Per-region profiles, the model-driven gating policy, and its harness."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.versions import prepare_codes
+from repro.evaluation.locality import locality_row, locality_rows
+from repro.evaluation.report import render_locality
+from repro.hwopt.policy import compare_policies, recommend_gating
+from repro.isa.trace import TraceBuilder
+from repro.locality.mrc import distance_histogram
+from repro.locality.profile import split_profiles
+from repro.params import base_config
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+
+def marked_trace():
+    """OFF: tight reuse on lines 0-3; ON: a one-touch scan; OFF again."""
+    tb = TraceBuilder("marked")
+    for _ in range(40):
+        for line in range(4):
+            tb.load(line * 32)
+    tb.hw_on()
+    for i in range(100):
+        tb.load(0x10000 + i * 32)
+    tb.hw_off()
+    for _ in range(40):
+        for line in range(4):
+            tb.store(line * 32)
+    return tb.build_packed()
+
+
+class TestSplitProfiles:
+    def test_region_structure(self):
+        profile = split_profiles(marked_trace())
+        assert [r.gate_on for r in profile.regions] == [False, True, False]
+        assert [r.memory_refs for r in profile.regions] == [160, 100, 160]
+        assert profile.regions[1].histogram.cold == 100
+
+    def test_cross_region_reuse_uses_global_stack(self):
+        # The final OFF region re-touches lines 0-3 after the 100-line
+        # scan: its first reuses happen at distance >= 100, not cold.
+        profile = split_profiles(marked_trace())
+        last = profile.regions[2].histogram
+        assert last.cold == 0
+        assert last.max_distance >= 100
+
+    def test_total_equals_unsegmented_histogram(self):
+        trace = marked_trace()
+        assert split_profiles(trace).total_histogram() == distance_histogram(
+            trace
+        )
+
+    def test_object_and_packed_paths_agree(self):
+        trace = marked_trace()
+        packed = split_profiles(trace)
+        objects = split_profiles(trace.to_trace())
+        assert len(packed.regions) == len(objects.regions)
+        for a, b in zip(packed.regions, objects.regions):
+            assert (a.gate_on, a.start, a.histogram) == (
+                b.gate_on,
+                b.start,
+                b.histogram,
+            )
+
+    def test_unmarked_trace_is_one_region(self):
+        tb = TraceBuilder("flat")
+        for i in range(50):
+            tb.load(i * 32)
+        profile = split_profiles(tb.build_packed(), initially_on=True)
+        assert len(profile.regions) == 1
+        assert profile.regions[0].gate_on is True
+        assert profile.state_histogram(True).total == 50
+        assert profile.state_histogram(False).total == 0
+
+
+class TestGatingPolicy:
+    def test_model_agrees_on_clear_cut_regions(self):
+        # 4-line reuse loops hit easily at 8 lines; the scan never does.
+        profile = split_profiles(marked_trace())
+        comparison = compare_policies(profile, cache_lines=8)
+        assert comparison.regions == 3
+        assert [r.model_on for r in comparison.recommendations] == [
+            False,
+            True,
+            False,
+        ]
+        assert comparison.region_agreement == 1.0
+        assert comparison.ref_agreement == 1.0
+
+    def test_explicit_threshold_overrides_adaptive(self):
+        profile = split_profiles(marked_trace())
+        everything_on = compare_policies(
+            profile, cache_lines=8, threshold=0.0
+        )
+        assert everything_on.model_on_regions == everything_on.regions
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            compare_policies(split_profiles(marked_trace()), cache_lines=0)
+
+    def test_real_selective_trace(self):
+        machine = base_config().scaled(TINY.machine_divisor)
+        codes = prepare_codes(get_spec("tpcd_q3"), TINY, machine)
+        comparison = recommend_gating(codes.selective_trace, machine)
+        assert comparison.cache_lines == machine.l1d.num_blocks
+        assert comparison.regions >= 2
+        assert comparison.compiler_on_regions >= 1
+        assert 0.0 <= comparison.region_agreement <= 1.0
+        assert 0.0 <= comparison.ref_agreement <= 1.0
+        assert 0.0 <= comparison.threshold <= 1.0
+
+
+class TestEvaluationHarness:
+    def test_locality_row_contents(self):
+        machine = base_config().scaled(TINY.machine_divisor)
+        row = locality_row(get_spec("vpenta"), TINY, machine)
+        assert row.benchmark == "vpenta"
+        assert row.category == "regular"
+        assert row.memory_refs > 1000
+        assert row.distinct_lines > 0
+        assert 0.0 <= row.selective_miss_ratio <= row.base_miss_ratio <= 1.0
+        assert row.regions >= 1
+        assert 0.0 <= row.region_agreement <= 100.0
+
+    def test_rows_identical_for_any_job_count(self):
+        names = ["vpenta", "compress"]
+        serial = locality_rows(TINY, names, jobs=1)
+        parallel = locality_rows(TINY, names, jobs=2)
+        assert serial == parallel
+
+    def test_render_locality(self):
+        rows = locality_rows(TINY, ["tpcd_q3"], jobs=1)
+        text = render_locality(rows)
+        assert "tpcd_q3" in text
+        assert "Agree %" in text
+
+
+class TestCLI:
+    def test_locality_subcommand(self, capsys):
+        assert main(["--scale", "tiny", "--jobs", "1",
+                     "locality", "vpenta", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "vpenta" in out and "compress" in out
+        assert "Benchmark" in out
+
+    def test_locality_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["--scale", "tiny", "locality", "nonesuch"])

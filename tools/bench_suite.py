@@ -5,7 +5,8 @@ Times a fixed mini-sweep (4 benchmarks x 2 machine configurations by
 default) twice — once with ``jobs=1`` and once with ``--jobs`` worker
 processes — verifies that every cell of the two sweeps is identical,
 and measures the packed-columnar trace path against the legacy object
-path for single-thread generation and simulation.  Results are written
+path for single-thread generation, simulation, and the reuse-distance/
+miss-ratio-curve engine.  Results are written
 to ``BENCH_sweep.json`` next to this script's repo root so future PRs
 have a perf trajectory to compare against.
 
@@ -30,6 +31,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.experiment import simulate_trace  # noqa: E402
 from repro.core.runner import run_suite  # noqa: E402
+from repro.locality.mrc import distance_histogram  # noqa: E402
 from repro.params import SENSITIVITY_CONFIGS  # noqa: E402
 from repro.tracegen.interpreter import TraceGenerator  # noqa: E402
 from repro.workloads.base import SMALL, TINY  # noqa: E402
@@ -123,6 +125,32 @@ def bench_packed(scale, benchmark):
     }
 
 
+def bench_mrc(scale, benchmark):
+    """Time the reuse-distance/MRC engine: packed vs object trace path."""
+    spec = get_spec(benchmark)
+    packed_trace = TraceGenerator(
+        spec.instantiate(scale), trace_name="m"
+    ).generate_packed()
+    object_trace = packed_trace.to_trace()
+
+    obj_histogram, obj_s = _time(lambda: distance_histogram(object_trace))
+    packed_histogram, packed_s = _time(
+        lambda: distance_histogram(packed_trace)
+    )
+    curve = packed_histogram.curve()
+
+    return {
+        "benchmark": benchmark,
+        "memory_refs": packed_histogram.total,
+        "distinct_lines": packed_histogram.cold,
+        "object_seconds": round(obj_s, 3),
+        "packed_seconds": round(packed_s, 3),
+        "packed_speedup": round(obj_s / packed_s, 3) if packed_s else None,
+        "mrc_points": len(curve.sizes()),
+        "results_identical": obj_histogram == packed_histogram,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -169,6 +197,14 @@ def main(argv=None) -> int:
         f"identical={packed['results_identical']}"
     )
 
+    mrc = bench_mrc(scale, benchmarks[0])
+    print(
+        f"MRC engine on {mrc['benchmark']} "
+        f"({mrc['memory_refs']} refs, {mrc['distinct_lines']} lines): "
+        f"object {mrc['object_seconds']}s, packed {mrc['packed_seconds']}s "
+        f"-> {mrc['packed_speedup']}x, identical={mrc['results_identical']}"
+    )
+
     report = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "cpu_count": os.cpu_count(),
@@ -178,12 +214,20 @@ def main(argv=None) -> int:
         "configs": list(configs),
         "sweep": sweep,
         "packed_vs_objects": packed,
+        "mrc_engine": mrc,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
-    if not (sweep["results_identical"] and packed["results_identical"]):
-        print("ERROR: parallel or packed results diverged", file=sys.stderr)
+    if not (
+        sweep["results_identical"]
+        and packed["results_identical"]
+        and mrc["results_identical"]
+    ):
+        print(
+            "ERROR: parallel, packed, or MRC results diverged",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
