@@ -32,7 +32,13 @@ Quick start::
     print(sweep.improvements("selective/bypass"))
 """
 
-from repro.compiler import LocalityOptimizer, OptimizationReport
+from repro.compiler import (
+    LocalityOptimizer,
+    OptimizationReport,
+    VerificationError,
+    VerifyReport,
+    verify_program,
+)
 from repro.compiler.regions import detect_regions, insert_markers
 from repro.core import (
     BenchmarkCodes,
@@ -99,6 +105,8 @@ __all__ = [
     "Trace",
     "TraceBuilder",
     "TraceGenerator",
+    "VerificationError",
+    "VerifyReport",
     "VictimCacheAssist",
     "all_specs",
     "base_config",
@@ -117,4 +125,5 @@ __all__ = [
     "run_suite",
     "run_sweep",
     "split_profiles",
+    "verify_program",
 ]

@@ -10,6 +10,9 @@ Commands mirror the paper's evaluation artifacts:
 * ``figure N``   — one of Figures 4-9;
 * ``locality``   — reuse-distance / miss-ratio-curve profile of each
   benchmark plus model-driven vs compiler ON/OFF gating;
+* ``lint``       — static IR verification (structure, markers, bounds,
+  transform legality) of every benchmark's base and optimized+marked
+  variants;
 * ``trace``      — dump a benchmark's trace to a file (binary format).
 """
 
@@ -114,6 +117,25 @@ def _parser() -> argparse.ArgumentParser:
         help="benchmarks to profile (default: the whole suite)",
     )
 
+    lint_cmd = sub.add_parser(
+        "lint",
+        help=(
+            "statically verify structure, markers, bounds, and transform "
+            "legality for each benchmark's base and optimized variants"
+        ),
+    )
+    lint_cmd.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="benchmark",
+        help="benchmarks to lint (default: the whole suite)",
+    )
+    lint_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (e.g. removable markers) as failures",
+    )
+
     trace_cmd = sub.add_parser(
         "trace", help="dump a benchmark's base trace to a file"
     )
@@ -216,6 +238,14 @@ def _cmd_locality(
     return 0
 
 
+def _cmd_lint(benchmarks: list[str], scale: Scale, strict: bool) -> int:
+    from repro.compiler.verify.lint import lint_registry, render_lint
+
+    result = lint_registry(scale, benchmarks or None)
+    print(render_lint(result, strict))
+    return 0 if result.ok(strict) else 1
+
+
 def _cmd_trace(name: str, output: str, version: str, scale: Scale) -> int:
     reference = base_config().scaled(scale.machine_divisor)
     codes = prepare_codes(get_spec(name), scale, reference)
@@ -256,6 +286,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure(args.number, scale, jobs)
     if args.command == "locality":
         return _cmd_locality(args.benchmarks, scale, jobs)
+    if args.command == "lint":
+        return _cmd_lint(args.benchmarks, scale, args.strict)
     if args.command == "trace":
         return _cmd_trace(args.benchmark, args.output, args.version, scale)
     raise AssertionError(f"unhandled command {args.command}")

@@ -16,8 +16,23 @@ Subpackages:
   unroll-and-jam, scalar replacement, and data-layout selection.
 * :mod:`repro.compiler.optimizer` — the integrated pipeline that the
   Pure-Software / Combined / Selective versions all share.
+* :mod:`repro.compiler.verify` — the independent static-analysis
+  backstop: structural well-formedness, marker-state abstract
+  interpretation (with minimality), interval bounds checking, and a
+  post-transform legality audit (``python -m repro lint``).
 """
 
 from repro.compiler.optimizer import LocalityOptimizer, OptimizationReport
+from repro.compiler.verify import (
+    VerificationError,
+    VerifyReport,
+    verify_program,
+)
 
-__all__ = ["LocalityOptimizer", "OptimizationReport"]
+__all__ = [
+    "LocalityOptimizer",
+    "OptimizationReport",
+    "VerificationError",
+    "VerifyReport",
+    "verify_program",
+]

@@ -8,7 +8,7 @@ workload models and inspecting what the transformations did.  Used by
 
 from __future__ import annotations
 
-from repro.compiler.ir.expr import AffineExpr, MinExpr
+from repro.compiler.ir.expr import MinExpr
 from repro.compiler.ir.loops import Loop
 from repro.compiler.ir.program import Program
 from repro.compiler.ir.refs import (

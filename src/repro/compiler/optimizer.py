@@ -52,7 +52,12 @@ from repro.compiler.transforms.tiling import TilingResult, apply_tiling
 from repro.compiler.transforms.unroll import UnrollResult, apply_unroll_and_jam
 from repro.params import MachineParams
 
-__all__ = ["LocalityOptimizer", "OptimizationReport"]
+__all__ = [
+    "LocalityOptimizer",
+    "OptimizationReport",
+    "software_nest_heads",
+    "software_regions",
+]
 
 
 @dataclass
@@ -67,6 +72,8 @@ class OptimizationReport:
     tilings: list[TilingResult] = field(default_factory=list)
     unrolls: list[UnrollResult] = field(default_factory=list)
     scalar: ScalarReplacementResult | None = None
+    #: Filled when ``optimize(verify=True)`` ran the static verifier.
+    verification: object | None = None
 
     @property
     def interchanged_nests(self) -> int:
@@ -116,8 +123,19 @@ class LocalityOptimizer:
         self.enable_scalar_replacement = enable_scalar_replacement
         self.unroll_factor = unroll_factor
 
-    def optimize(self, program: Program) -> OptimizationReport:
-        """Transform ``program`` in place; return the report."""
+    def optimize(
+        self, program: Program, verify: bool = False
+    ) -> OptimizationReport:
+        """Transform ``program`` in place; return the report.
+
+        With ``verify=True`` a pristine clone is kept and, after the
+        pipeline, the static verifier
+        (:mod:`repro.compiler.verify`) re-proves structure, marker
+        placement, bounds, and transform legality; correctness errors
+        raise :class:`~repro.compiler.verify.VerificationError` with
+        the offending nodes named.
+        """
+        baseline = program.clone() if verify else None
         report = OptimizationReport(program.name)
         report.regions = detect_regions(program, self.threshold)
         heads = list(self._software_nest_heads(program))
@@ -185,33 +203,60 @@ class LocalityOptimizer:
                 total.loops_transformed += partial.loops_transformed
             report.scalar = total
 
+        if verify:
+            # Imported lazily: the verify package imports this module
+            # for the nest-head enumeration.
+            from repro.compiler.verify import (
+                VerificationError,
+                verify_program,
+            )
+
+            report.verification = verify_program(
+                program, report=report, baseline=baseline
+            )
+            if report.verification.errors:
+                raise VerificationError(report.verification)
+
         return report
 
     # ------------------------------------------------------------------
 
     def _software_regions(self, program: Program) -> Iterator[Loop]:
-        """Maximal loops with preference "sw", in program order."""
-
-        def walk(nodes):
-            for node in nodes:
-                if not isinstance(node, Loop):
-                    continue
-                if node.preference == SOFTWARE:
-                    yield node
-                elif node.preference == MIXED:
-                    yield from walk(node.body)
-
-        yield from walk(program.body)
+        return software_regions(program)
 
     def _software_nest_heads(self, program: Program) -> Iterator[Loop]:
-        """Transformable nest heads inside the software regions.
+        return software_nest_heads(program)
 
-        A nest head is a loop whose perfect-nest chain bottoms out at a
-        true innermost loop; imperfect levels split into separate heads
-        below the imperfection.
-        """
-        for region in self._software_regions(program):
-            yield from _nest_heads(region)
+
+def software_regions(program: Program) -> Iterator[Loop]:
+    """Maximal loops with preference "sw", in program order.
+
+    Shared with the static verifier's legality replay, which must
+    enumerate nests exactly as the optimizer did to line its audit up
+    with the per-nest results in the report.
+    """
+
+    def walk(nodes):
+        for node in nodes:
+            if not isinstance(node, Loop):
+                continue
+            if node.preference == SOFTWARE:
+                yield node
+            elif node.preference == MIXED:
+                yield from walk(node.body)
+
+    yield from walk(program.body)
+
+
+def software_nest_heads(program: Program) -> Iterator[Loop]:
+    """Transformable nest heads inside the software regions.
+
+    A nest head is a loop whose perfect-nest chain bottoms out at a
+    true innermost loop; imperfect levels split into separate heads
+    below the imperfection.
+    """
+    for region in software_regions(program):
+        yield from _nest_heads(region)
 
 
 def _nest_array_names(head: Loop) -> set[str]:

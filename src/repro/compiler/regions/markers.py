@@ -15,6 +15,13 @@ loop.  When those differ, the body is re-emitted assuming an unknown
 entry state, which forces a marker before the first region inside —
 exactly the "reactivate it just above the loop at level 2 at the
 bottom" placement of Figure 2(c).
+
+The emitter grades its own homework only as far as the counters below;
+the *independent* checker is :mod:`repro.compiler.verify.markers`,
+which recomputes the hardware state at every node by a fixed-point
+abstract interpretation and additionally proves the emitted marker set
+minimal (no single marker can be deleted).  ``python -m repro lint``
+runs it over the whole benchmark suite.
 """
 
 from __future__ import annotations
@@ -55,8 +62,15 @@ class MarkerReport:
 
     @property
     def eliminated(self) -> int:
-        """Redundant markers avoided relative to naive placement."""
-        return max(self.naive_markers - self.inserted, 0)
+        """Redundant markers avoided relative to naive placement.
+
+        Never negative for a correct emitter: every marker is placed
+        immediately before some region, so ``inserted`` is bounded by
+        the region count.  ``insert_markers`` asserts that invariant
+        instead of clamping here — a clamp would silently hide exactly
+        the emitter bug the static verifier exists to surface.
+        """
+        return self.naive_markers - self.inserted
 
 
 def insert_markers(
@@ -78,6 +92,12 @@ def insert_markers(
     report = MarkerReport(program.name)
     report.naive_markers = _count_regions(program.body)
     program.body, _exit_state = _emit(program.body, _OFF, report)
+    if report.inserted > report.naive_markers:
+        raise AssertionError(
+            f"{program.name}: emitter inserted {report.inserted} markers "
+            f"where naive one-per-region placement needs only "
+            f"{report.naive_markers} — marker emitter bug"
+        )
     return report
 
 

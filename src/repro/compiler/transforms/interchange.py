@@ -196,7 +196,9 @@ def _permute_chain(chain: list[Loop], perm: tuple[int, ...]) -> None:
     their control fields move, which is exactly what interchange means
     for a perfect nest.
     """
-    controls = [(l.var, l.lower, l.upper, l.step) for l in chain]
+    controls = [
+        (lp.var, lp.lower, lp.upper, lp.step) for lp in chain
+    ]
     for level, source in enumerate(perm):
         var, lower, upper, step = controls[source]
         chain[level].var = var

@@ -1,0 +1,55 @@
+"""Static IR verification: the correctness backstop for the compiler.
+
+A pass suite that runs *after* — and independently of — the
+:class:`~repro.compiler.optimizer.LocalityOptimizer` and the ON/OFF
+marker emitter, and proves four families of facts about a program:
+
+1. **structure** (:mod:`.structure`) — the IR is well-formed: subscript
+   counts match array ranks, loop variables are unique along each nest
+   path, references and bounds use only in-scope variables, markers sit
+   only at legal body positions;
+2. **markers** (:mod:`.markers`) — an abstract interpretation over the
+   ``{ON, OFF, UNKNOWN}`` state lattice, iterating loop bodies to a
+   fixed point, proves every hardware region executes ON and every
+   software region OFF, and that no marker is removable (minimality);
+3. **bounds** (:mod:`.bounds`) — interval analysis over loop bounds
+   proves every affine access in bounds, through tiling's ``min``
+   uppers, unroll's shifted copies, and padded/permuted layouts;
+4. **legality** (:mod:`.legality`) — dependence distance vectors are
+   recomputed from the subscripts and each applied interchange /
+   tiling / unroll is re-validated (lexicographic non-negativity, full
+   permutability, no carried dependence), and every scalar-replaced
+   reference is re-proven inner-loop invariant.
+
+Entry points: :func:`verify_program` over one program,
+:func:`~repro.compiler.verify.lint.lint_registry` over the whole
+benchmark suite (``python -m repro lint``), and the opt-in
+``verify=True`` flag on ``LocalityOptimizer.optimize``.
+"""
+
+from repro.compiler.verify.bounds import Interval, verify_bounds
+from repro.compiler.verify.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    VerificationError,
+    VerifyReport,
+)
+from repro.compiler.verify.legality import verify_legality
+from repro.compiler.verify.markers import verify_markers
+from repro.compiler.verify.program import verify_program
+from repro.compiler.verify.structure import verify_structure
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "Interval",
+    "VerificationError",
+    "VerifyReport",
+    "verify_bounds",
+    "verify_legality",
+    "verify_markers",
+    "verify_program",
+    "verify_structure",
+]

@@ -1,0 +1,260 @@
+"""Analysis 3: interval-based in-bounds proof for affine accesses.
+
+Propagates loop-bound intervals through the nest and proves every
+affine subscript stays inside the array's logical extents — including
+the shapes transforms create: ``MinExpr`` uppers from tiling, the
+``i+k`` shifted copies unroll-and-jam jams into the inner body, and
+padded/permuted storage layouts (checked separately via the allocated
+footprint, since logical in-bounds only implies storage in-bounds when
+the layout arithmetic is itself consistent).
+
+The loop-variable interval is deliberately sharper than
+``[lower, upper-1]`` when the step exceeds one: an unrolled loop with
+constant lower bound and ``step == factor`` only reaches
+``lower + floor((upper-1-lower)/step)*step``, and the jammed copies
+``i+1 .. i+factor-1`` are in bounds only because of that gap.
+
+Zero-trip reasoning is shared with the marker verifier
+(:func:`definitely_executes`): for affine bounds the trip count is
+evaluated as the interval of the *difference* ``upper - lower``, which
+keeps correlated bounds exact — ``min(N, tt+T) - tt`` is at least
+``min(N - tt, T)``, not the uncorrelated interval difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.compiler.ir.expr import AffineExpr, MinExpr
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import AffineRef, ArrayDecl, IndexedRef, RegisterRef
+from repro.compiler.ir.stmts import Statement
+from repro.compiler.verify.diagnostics import (
+    WARNING,
+    Diagnostic,
+    describe_node,
+    node_path,
+)
+
+__all__ = [
+    "Interval",
+    "verify_bounds",
+    "eval_interval",
+    "loop_var_interval",
+    "definitely_executes",
+]
+
+_ANALYSIS = "bounds"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def shift(self, offset: int) -> "Interval":
+        return Interval(self.lo + offset, self.hi + offset)
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+Env = Mapping[str, Interval]
+
+
+def eval_interval(expr: AffineExpr, env: Env) -> Optional[Interval]:
+    """Interval of an affine expression, or None if a variable is
+    unbound (a scope error the structure pass reports separately)."""
+    lo = hi = expr.const
+    for name, coeff in expr.terms.items():
+        bound = env.get(name)
+        if bound is None:
+            return None
+        if coeff >= 0:
+            lo += coeff * bound.lo
+            hi += coeff * bound.hi
+        else:
+            lo += coeff * bound.hi
+            hi += coeff * bound.lo
+    return Interval(lo, hi)
+
+
+def _upper_interval(loop: Loop, env: Env) -> Optional[Interval]:
+    if isinstance(loop.upper, MinExpr):
+        operands = [eval_interval(op, env) for op in loop.upper.operands]
+        if any(op is None for op in operands):
+            return None
+        return Interval(
+            min(op.lo for op in operands), min(op.hi for op in operands)
+        )
+    return eval_interval(loop.upper, env)
+
+
+def trip_interval_lo(loop: Loop, env: Env) -> Optional[int]:
+    """A lower bound on ``upper - lower`` that keeps correlated
+    variables exact by subtracting *symbolically* first."""
+    if isinstance(loop.upper, MinExpr):
+        lows = []
+        for op in loop.upper.operands:
+            diff = eval_interval(op - loop.lower, env)
+            if diff is None:
+                return None
+            lows.append(diff.lo)
+        return min(lows)
+    diff = eval_interval(loop.upper - loop.lower, env)
+    return None if diff is None else diff.lo
+
+
+def definitely_executes(loop: Loop, env: Env) -> bool:
+    """Provably at least one iteration under every binding in ``env``."""
+    lo = trip_interval_lo(loop, env)
+    return lo is not None and lo >= 1
+
+
+def loop_var_interval(loop: Loop, env: Env) -> Optional[Interval]:
+    """Interval of the loop variable's iterates, or None when the
+    bounds are unanalyzable or the loop provably never runs."""
+    lower = eval_interval(loop.lower, env)
+    upper = _upper_interval(loop, env)
+    if lower is None or upper is None:
+        return None
+    if upper.hi <= lower.lo:
+        return None  # provably zero-trip: body unreachable
+    if loop.step == 1 or lower.lo != lower.hi:
+        hi = upper.hi - 1
+    else:
+        # Constant lower bound: the last iterate is exactly
+        # lower + floor((upper-1-lower)/step)*step (the unroll case).
+        hi = lower.lo + ((upper.hi - 1 - lower.lo) // loop.step) * loop.step
+    return Interval(lower.lo, max(hi, lower.lo))
+
+
+def verify_bounds(program: Program) -> list[Diagnostic]:
+    """Prove every affine access in bounds; return the diagnostics."""
+    diagnostics: list[Diagnostic] = []
+    for decl in program.arrays.values():
+        _check_footprint(program, decl, diagnostics)
+    _walk(program, program.body, [], {}, diagnostics)
+    return diagnostics
+
+
+def _check_footprint(
+    program: Program, decl: ArrayDecl, diagnostics: list[Diagnostic]
+) -> None:
+    """The max-index corner must address inside the allocation —
+    the layout/padding arithmetic invariant behind every other proof."""
+    try:
+        corner = decl.offset_of([extent - 1 for extent in decl.shape])
+        allocated = decl.footprint_bytes // decl.element_size
+    except (ValueError, IndexError) as exc:
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, f"array {decl.name}",
+                f"layout arithmetic failed: {exc}",
+            )
+        )
+        return
+    if corner >= allocated:
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, f"array {decl.name}",
+                f"max-index corner offsets to element {corner} but only "
+                f"{allocated} elements are allocated (dim_order "
+                f"{decl.dim_order}, pad {decl.pad})",
+            )
+        )
+
+
+def _walk(
+    program: Program,
+    nodes: list[Node],
+    ancestors: list[Loop],
+    env: dict[str, Interval],
+    diagnostics: list[Diagnostic],
+) -> None:
+    for node in nodes:
+        if isinstance(node, Loop):
+            iterates = loop_var_interval(node, env)
+            if iterates is None:
+                lower = eval_interval(node.lower, env)
+                upper = _upper_interval(node, env)
+                if lower is not None and upper is not None:
+                    diagnostics.append(
+                        Diagnostic(
+                            program.name, _ANALYSIS,
+                            node_path(ancestors, node),
+                            f"loop provably never executes (lower "
+                            f"{lower!r}, upper {upper!r})",
+                            severity=WARNING,
+                        )
+                    )
+                continue  # unanalyzable or unreachable body
+            if node.var in env:
+                continue  # shadowing: structure pass reports it
+            env[node.var] = iterates
+            _walk(
+                program, node.body, ancestors + [node], env, diagnostics
+            )
+            del env[node.var]
+        elif isinstance(node, Statement):
+            for ref in node.references:
+                _check_reference(
+                    program, ref, node, ancestors, env, diagnostics
+                )
+
+
+def _check_reference(
+    program: Program,
+    ref,
+    statement: Statement,
+    ancestors: list[Loop],
+    env: Env,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if isinstance(ref, RegisterRef):
+        ref = ref.original
+    if isinstance(ref, IndexedRef):
+        # The index load is an affine access we can prove; the data
+        # access depends on run-time values (that is what makes the
+        # reference non-analyzable) and is range-checked dynamically.
+        _check_affine(
+            program, ref.index, statement, ancestors, env, diagnostics
+        )
+        return
+    if isinstance(ref, AffineRef):
+        _check_affine(program, ref, statement, ancestors, env, diagnostics)
+
+
+def _check_affine(
+    program: Program,
+    ref: AffineRef,
+    statement: Statement,
+    ancestors: list[Loop],
+    env: Env,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if len(ref.subscripts) != ref.array.rank:
+        return  # structure pass reports the rank mismatch
+    for dim, subscript in enumerate(ref.subscripts):
+        value = eval_interval(subscript, env)
+        if value is None:
+            continue  # out-of-scope variable: structure pass reports it
+        extent = ref.array.shape[dim]
+        if value.lo < 0 or value.hi > extent - 1:
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS,
+                    node_path(ancestors, statement)
+                    + f" > {describe_node(ref)}",
+                    f"subscript {dim} ({subscript!r}) spans {value!r} "
+                    f"but dimension extent is {extent}",
+                )
+            )

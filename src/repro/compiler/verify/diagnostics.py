@@ -1,0 +1,132 @@
+"""Diagnostics shared by every verifier pass.
+
+A :class:`Diagnostic` names the program, the analysis that fired, the
+offending node (as a human-readable path through the loop nest), and
+what went wrong — enough for a developer to find and fix the bug
+without re-running anything.  :class:`VerifyReport` aggregates the
+diagnostics of all passes over one program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.pretty import format_reference
+from repro.compiler.ir.refs import Reference
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "VerificationError",
+    "VerifyReport",
+    "describe_node",
+    "node_path",
+]
+
+#: Severities.  Errors are correctness violations; warnings are
+#: efficiency or consistency findings (e.g. a removable marker) that
+#: only fail a run under ``--strict``.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis on one node."""
+
+    program: str
+    analysis: str  # "structure" | "markers" | "bounds" | "legality"
+    node: str  # human-readable path, e.g. "loop j > loop i > stmt cu"
+    message: str
+    severity: str = ERROR
+
+    def __str__(self) -> str:
+        return (
+            f"{self.program}: [{self.analysis}] {self.severity} at "
+            f"{self.node}: {self.message}"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Everything the verifier found in one program."""
+
+    program_name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Cheap coverage stats, filled by ``verify_program``.
+    refs_checked: int = 0
+    markers_checked: int = 0
+    nests_audited: int = 0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    def ok(self, strict: bool = False) -> bool:
+        """No errors (and, under ``strict``, no warnings either)."""
+        if strict:
+            return not self.diagnostics
+        return not self.errors
+
+    def by_analysis(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.analysis] = (
+                counts.get(diagnostic.analysis, 0) + 1
+            )
+        return counts
+
+    def summary(self) -> str:
+        if not self.diagnostics:
+            return (
+                f"{self.program_name}: clean ({self.refs_checked} refs, "
+                f"{self.markers_checked} markers, "
+                f"{self.nests_audited} nests audited)"
+            )
+        parts = ", ".join(
+            f"{count} {name}" for name, count in sorted(self.by_analysis().items())
+        )
+        return (
+            f"{self.program_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) ({parts})"
+        )
+
+
+class VerificationError(Exception):
+    """Raised by ``LocalityOptimizer.optimize(verify=True)`` on errors."""
+
+    def __init__(self, report: VerifyReport):
+        self.report = report
+        lines = [report.summary()]
+        lines.extend(str(d) for d in report.errors[:10])
+        super().__init__("\n".join(lines))
+
+
+def describe_node(node: Node | Reference) -> str:
+    """A short stable description of one IR node."""
+    if isinstance(node, Loop):
+        return f"loop {node.var}"
+    if isinstance(node, Statement):
+        return f"stmt {node.label or 'stmt'}"
+    if isinstance(node, MarkerStmt):
+        return f"marker HW_{node.kind.upper()}"
+    if isinstance(node, Reference):
+        return f"ref {format_reference(node)}"
+    return repr(node)
+
+
+def node_path(ancestors: list[Loop], node: Node | Reference | None = None) -> str:
+    """``loop j > loop i > stmt cu`` — the path from the program root."""
+    parts = [f"loop {loop.var}" for loop in ancestors]
+    if node is not None:
+        described = describe_node(node)
+        if not (parts and parts[-1] == described):
+            parts.append(described)
+    return " > ".join(parts) if parts else "<program body>"

@@ -1,0 +1,437 @@
+"""Analysis 4: post-transform legality audit.
+
+The transforms in :mod:`repro.compiler.transforms` check their own
+preconditions before rewriting; this pass re-derives the legality facts
+*after* the fact so a buggy transform (or a corrupted program) is
+caught instead of silently changing program semantics.
+
+Two layers:
+
+**Program-only checks** (always run): every :class:`RegisterRef` left
+by scalar replacement must wrap a reference that is genuinely invariant
+in the innermost loop it lives in, and its promoted value must be
+loaded before / stored after that loop — a promotion of a variant
+reference would read one element where the original program read many.
+
+**Replay audit** (when the caller supplies the pre-transform
+``baseline`` program and the :class:`OptimizationReport` the optimizer
+produced): the software nest heads of the baseline are enumerated
+exactly as the optimizer enumerated them, the dependence distance
+vectors of each nest are *recomputed from the subscripts* (nothing is
+trusted from the report but the claimed loop orders), and then
+
+* each applied interchange's ``order_before → order_after`` permutation
+  must keep every distance vector lexicographically non-negative
+  (Wolf & Lam), and the transformed program must actually contain the
+  claimed order on some nest path;
+* each applied tiling must have been fully permutable (every rotation
+  of the nest legal), since tiling reorders traversal like an
+  interchange of the controlling loops;
+* each applied unroll-and-jam must carry no dependence on the unrolled
+  variable and the unrolled trip count must divide by the factor (no
+  epilogue is generated, so a remainder would drop iterations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.analysis.dependence import (
+    distance_vectors,
+    permutation_legal,
+)
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import AffineRef, RegisterRef
+from repro.compiler.ir.stmts import Statement
+from repro.compiler.verify.diagnostics import (
+    WARNING,
+    Diagnostic,
+    describe_node,
+    node_path,
+)
+
+__all__ = ["verify_legality"]
+
+_ANALYSIS = "legality"
+
+
+def verify_legality(
+    program: Program,
+    report=None,
+    baseline: Optional[Program] = None,
+) -> list[Diagnostic]:
+    """Run the legality audit; return the diagnostics.
+
+    ``report`` is the :class:`~repro.compiler.optimizer
+    .OptimizationReport` for ``program``; ``baseline`` is the
+    pre-transform program (a fresh instantiation or a clone taken
+    before optimizing).  Without them only the program-only scalar
+    replacement checks run.
+    """
+    diagnostics: list[Diagnostic] = []
+    _check_scalar_replacement(program, diagnostics)
+    if report is not None and baseline is not None:
+        _replay_audit(program, report, baseline, diagnostics)
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# scalar replacement (program-only)
+
+
+def _check_scalar_replacement(
+    program: Program, diagnostics: list[Diagnostic]
+) -> None:
+    _scan_scalar(program, program.body, [], diagnostics)
+
+
+def _scan_scalar(
+    program: Program,
+    nodes: list[Node],
+    ancestors: list[Loop],
+    diagnostics: list[Diagnostic],
+) -> None:
+    for position, node in enumerate(nodes):
+        if not isinstance(node, Loop):
+            continue
+        if node.is_innermost:
+            _check_promotions(
+                program, node, nodes, position, ancestors, diagnostics
+            )
+        _scan_scalar(
+            program, node.body, ancestors + [node], diagnostics
+        )
+
+
+def _check_promotions(
+    program: Program,
+    inner: Loop,
+    siblings: list[Node],
+    position: int,
+    ancestors: list[Loop],
+    diagnostics: list[Diagnostic],
+) -> None:
+    promoted_reads: dict[AffineRef, None] = {}
+    promoted_writes: dict[AffineRef, None] = {}
+    for statement in inner.statements():
+        for ref in statement.reads:
+            if isinstance(ref, RegisterRef):
+                _check_invariant(
+                    program, ref, inner, ancestors, diagnostics
+                )
+                if isinstance(ref.original, AffineRef):
+                    promoted_reads[ref.original] = None
+        for ref in statement.writes:
+            if isinstance(ref, RegisterRef):
+                _check_invariant(
+                    program, ref, inner, ancestors, diagnostics
+                )
+                if isinstance(ref.original, AffineRef):
+                    promoted_writes[ref.original] = None
+
+    before = siblings[:position]
+    after = siblings[position + 1:]
+    for original in promoted_reads:
+        if not _has_plain_access(before, original, want_read=True):
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS,
+                    node_path(ancestors, inner)
+                    + f" > {describe_node(original)}",
+                    "promoted reference is read in registers but never "
+                    "loaded before the loop",
+                )
+            )
+    for original in promoted_writes:
+        if not _has_plain_access(after, original, want_read=False):
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS,
+                    node_path(ancestors, inner)
+                    + f" > {describe_node(original)}",
+                    "promoted reference is written in registers but never "
+                    "stored after the loop",
+                )
+            )
+
+
+def _check_invariant(
+    program: Program,
+    ref: RegisterRef,
+    inner: Loop,
+    ancestors: list[Loop],
+    diagnostics: list[Diagnostic],
+) -> None:
+    original = ref.original
+    if isinstance(original, AffineRef) and original.depends_on(inner.var):
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS,
+                node_path(ancestors, inner)
+                + f" > {describe_node(ref)}",
+                f"scalar-replaced reference varies with the innermost "
+                f"loop variable {inner.var!r}: one register cannot hold "
+                "every element the original touched",
+            )
+        )
+
+
+def _has_plain_access(
+    nodes: list[Node], original: AffineRef, want_read: bool
+) -> bool:
+    for node in nodes:
+        if not isinstance(node, Statement):
+            continue
+        refs = node.reads if want_read else node.writes
+        if any(ref == original for ref in refs):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# replay audit against the baseline
+
+
+def _replay_audit(
+    program: Program,
+    report,
+    baseline: Program,
+    diagnostics: list[Diagnostic],
+) -> None:
+    """Replay the pipeline's claims against the baseline.
+
+    The baseline is *mutated*: a head whose interchange claim checks
+    out is physically permuted before the tiling/unroll audits, because
+    those transforms ran on the interchanged nest and their legality
+    conditions are stated in that loop order.  Callers pass a private
+    clone or fresh instantiation.
+    """
+    # Enumerate nest heads exactly as the optimizer did.  Only the
+    # *enumeration* is shared with the optimizer; every legality fact
+    # below is recomputed from the baseline's subscripts.
+    from repro.compiler.optimizer import software_nest_heads
+    from repro.compiler.regions.detect import detect_regions
+
+    threshold = (
+        report.regions.threshold if report.regions is not None else 0.5
+    )
+    detect_regions(baseline, threshold)
+    heads = list(software_nest_heads(baseline))
+
+    transformed_paths = _var_paths(program)
+
+    for name, results in (
+        ("interchange", report.interchanges),
+        ("tiling", report.tilings),
+        ("unroll", report.unrolls),
+    ):
+        if results and len(results) != len(heads):
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS, "<program body>",
+                    f"report lists {len(results)} {name} result(s) but "
+                    f"the baseline has {len(heads)} software nest "
+                    "head(s): report and program are out of sync",
+                    severity=WARNING,
+                )
+            )
+
+    for index, head in enumerate(heads):
+        interchange = _result_at(report.interchanges, index)
+        if interchange is not None and interchange.applied:
+            ok = _audit_interchange(
+                program, head, interchange, transformed_paths, diagnostics
+            )
+            if not ok:
+                continue  # nest unrecognizable: later audits would lie
+        tiling = _result_at(report.tilings, index)
+        if tiling is not None and tiling.applied:
+            _audit_tiling(program, head, tiling, diagnostics)
+        unroll = _result_at(report.unrolls, index)
+        if unroll is not None and unroll.applied:
+            _audit_unroll(program, head, unroll, diagnostics)
+
+
+def _result_at(results, index: int):
+    return results[index] if index < len(results) else None
+
+
+def _nest_facts(head: Loop, limit: Optional[int] = None):
+    """(vars, statements, vectors) of the baseline nest under ``head``."""
+    chain = head.perfect_nest_loops()
+    if limit is not None:
+        chain = chain[:limit]
+    nest_vars = tuple(loop.var for loop in chain)
+    statements = list(chain[-1].all_statements())
+    vectors = distance_vectors(list(nest_vars), statements)
+    return chain, nest_vars, vectors
+
+
+def _audit_interchange(
+    program: Program,
+    head: Loop,
+    result,
+    transformed_paths: list[tuple[str, ...]],
+    diagnostics: list[Diagnostic],
+) -> bool:
+    """Audit one interchange claim; on success, permute the baseline
+    chain so tiling/unroll audits see the order those transforms saw.
+    Returns False when the nest could not even be matched."""
+    where = f"nest {' > '.join(result.order_before)}"
+    chain, nest_vars, vectors = _nest_facts(
+        head, limit=len(result.order_before)
+    )
+    if nest_vars != tuple(result.order_before):
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"report claims original order {result.order_before} but "
+                f"the baseline nest is {nest_vars}",
+                severity=WARNING,
+            )
+        )
+        return False
+    try:
+        permutation = tuple(
+            result.order_before.index(var) for var in result.order_after
+        )
+    except ValueError:
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"order_after {result.order_after} is not a permutation "
+                f"of order_before {result.order_before}",
+            )
+        )
+        return False
+    if not permutation_legal(vectors, permutation):
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"illegal interchange {result.order_before} -> "
+                f"{result.order_after}: a dependence distance vector "
+                "becomes lexicographically negative "
+                f"(vectors {vectors})",
+            )
+        )
+    if not any(
+        _subsequence(result.order_after, path)
+        for path in transformed_paths
+    ):
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"report claims loop order {result.order_after} but no "
+                "nest path in the transformed program matches it",
+                severity=WARNING,
+            )
+        )
+    _apply_permutation(chain, permutation)
+    return True
+
+
+def _apply_permutation(chain: list[Loop], permutation: tuple[int, ...]) -> None:
+    """Re-seat the chain's control fields per ``permutation`` — the
+    same mechanics interchange uses, applied to our private baseline so
+    the tiling/unroll audits replay in the right loop order."""
+    controls = [
+        (loop.var, loop.lower, loop.upper, loop.step) for loop in chain
+    ]
+    for level, source in enumerate(permutation):
+        variable, lower, upper, step = controls[source]
+        chain[level].var = variable
+        chain[level].lower = lower
+        chain[level].upper = upper
+        chain[level].step = step
+
+
+def _audit_tiling(
+    program: Program, head: Loop, result, diagnostics: list[Diagnostic]
+) -> None:
+    chain, nest_vars, vectors = _nest_facts(head)
+    where = f"nest {' > '.join(nest_vars)}"
+    rotations = [
+        tuple(range(shift, len(chain))) + tuple(range(shift))
+        for shift in range(len(chain))
+    ]
+    if vectors is None or not all(
+        permutation_legal(vectors, rotation) for rotation in rotations
+    ):
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"tiling (tile {result.tile_size}) applied to a nest "
+                "that is not fully permutable "
+                f"(vectors {vectors})",
+            )
+        )
+
+
+def _audit_unroll(
+    program: Program, head: Loop, result, diagnostics: list[Diagnostic]
+) -> None:
+    chain, nest_vars, _ = _nest_facts(head)
+    where = f"nest {' > '.join(nest_vars)}"
+    if result.variable not in nest_vars:
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"report claims unroll of {result.variable!r} but the "
+                f"baseline nest is {nest_vars}",
+                severity=WARNING,
+            )
+        )
+        return
+    position = nest_vars.index(result.variable)
+    unrolled = chain[position]
+    statements = list(unrolled.all_statements())
+    vectors = distance_vectors(
+        [loop.var for loop in chain[position:]], statements
+    )
+    if vectors is None or any(vector[0] != 0 for vector in vectors):
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"unroll-and-jam of {result.variable!r} by "
+                f"{result.factor} carries a dependence on the unrolled "
+                f"variable (vectors {vectors})",
+            )
+        )
+    trip = unrolled.trip_count_estimate()
+    if result.factor and trip % result.factor:
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"unroll factor {result.factor} does not divide the "
+                f"trip count {trip}: iterations would be dropped "
+                "(no epilogue is generated)",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# helpers
+
+
+def _var_paths(program: Program) -> list[tuple[str, ...]]:
+    """Every root-to-innermost loop-variable path of ``program``."""
+    paths: list[tuple[str, ...]] = []
+
+    def visit(nodes: list[Node], prefix: tuple[str, ...]) -> None:
+        for node in nodes:
+            if not isinstance(node, Loop):
+                continue
+            path = prefix + (node.var,)
+            if node.is_innermost:
+                paths.append(path)
+            else:
+                visit(node.body, path)
+
+    visit(program.body, ())
+    return paths
+
+
+def _subsequence(needle: tuple[str, ...], haystack: tuple[str, ...]) -> bool:
+    iterator = iter(haystack)
+    return all(var in iterator for var in needle)

@@ -1,0 +1,211 @@
+"""Analysis 2: abstract interpretation of the hardware ON/OFF state.
+
+Recomputes, independently of the fused emitter in
+:mod:`repro.compiler.regions.markers`, the hardware state at every node
+over the lattice ``{ON, OFF, UNKNOWN}`` and checks the central property
+of paper Section 2.2: every hardware-preferred region executes with the
+mechanism ON and every software-preferred region with it OFF — on
+*every* iteration of every loop, which is where the emitter's one-retry
+heuristic could in principle go wrong.
+
+Loop bodies are iterated to a fixed point: the body's entry state is
+the join of the state before the loop and the state at the end of the
+body (distinct states join to UNKNOWN, which no region requirement
+accepts, so a loop whose body nets a state change *must* carry a
+marker before its first region — the Figure 2(c) "reactivate at the
+bottom" shape).  A loop that may run zero times additionally joins its
+exit state with the pre-loop state; trip positivity is proven with the
+same interval arithmetic the bounds analysis uses, so tiled point
+loops (``min(N, tt+T)`` uppers) are still recognized as
+always-executing.
+
+**Minimality** is checked by deletion: a marker whose removal leaves
+the property intact is redundant and reported as a warning — the
+emitter's elimination pass should never have produced it.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.analysis.classify import HARDWARE, SOFTWARE
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+from repro.compiler.verify.bounds import (
+    Interval,
+    definitely_executes,
+    loop_var_interval,
+)
+from repro.compiler.verify.diagnostics import (
+    WARNING,
+    Diagnostic,
+    node_path,
+)
+
+__all__ = ["verify_markers"]
+
+_ANALYSIS = "markers"
+
+#: The abstract hardware state lattice.
+_ON = "on"
+_OFF = "off"
+_UNKNOWN = "unknown"
+
+#: What state each region preference requires.
+_REQUIRED = {HARDWARE: _ON, SOFTWARE: _OFF}
+
+
+def _join(a: str, b: str) -> str:
+    return a if a == b else _UNKNOWN
+
+
+def verify_markers(
+    program: Program, check_minimality: bool = True
+) -> list[Diagnostic]:
+    """Check marker correctness (and, optionally, minimality).
+
+    On a program without region annotations or markers every check is
+    vacuous; run :func:`repro.compiler.regions.detect.detect_regions`
+    (or the full marker pass) first for a meaningful verdict.
+    """
+    diagnostics = _check_program(program)
+    if check_minimality and not diagnostics:
+        diagnostics.extend(_check_minimality(program))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# the abstract interpreter
+
+
+def _check_program(program: Program) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    _run(program, program.body, _OFF, [], {}, diagnostics)
+    return diagnostics
+
+
+def _run(
+    program: Program,
+    nodes: list[Node],
+    state: str,
+    ancestors: list[Loop],
+    env: dict[str, Interval],
+    diagnostics: list[Diagnostic] | None,
+) -> str:
+    """Abstractly execute ``nodes`` from ``state``; return the exit
+    state.  With ``diagnostics=None`` the walk is silent (used for the
+    fixed-point warm-up passes and the minimality probes)."""
+    for node in nodes:
+        if isinstance(node, MarkerStmt):
+            state = _ON if node.activates else _OFF
+        elif isinstance(node, Statement):
+            _require(program, node, state, ancestors, diagnostics)
+        elif isinstance(node, Loop):
+            _require(program, node, state, ancestors, diagnostics)
+            state = _run_loop(
+                program, node, state, ancestors, env, diagnostics
+            )
+    return state
+
+
+def _run_loop(
+    program: Program,
+    loop: Loop,
+    state: str,
+    ancestors: list[Loop],
+    env: dict[str, Interval],
+    diagnostics: list[Diagnostic] | None,
+) -> str:
+    below = ancestors + [loop]
+    iterates = loop_var_interval(loop, env)
+    shadowed = loop.var in env
+    if iterates is not None and not shadowed:
+        env[loop.var] = iterates
+    try:
+        # Fixed point on the body's entry state: iteration i+1 enters
+        # in the exit state of iteration i, so the entry must absorb
+        # the exit.  The lattice has height 2, so one widening step
+        # (to UNKNOWN) always converges.
+        entry = state
+        exit_state = _run(program, loop.body, entry, below, env, None)
+        if exit_state != entry:
+            entry = _UNKNOWN
+            exit_state = _run(program, loop.body, entry, below, env, None)
+        # Converged: replay once more, collecting diagnostics.
+        exit_state = _run(
+            program, loop.body, entry, below, env, diagnostics
+        )
+        if definitely_executes(loop, env if not shadowed else {}):
+            return exit_state
+        return _join(state, exit_state)
+    finally:
+        if iterates is not None and not shadowed:
+            del env[loop.var]
+
+
+def _require(
+    program: Program,
+    node: Node,
+    state: str,
+    ancestors: list[Loop],
+    diagnostics: list[Diagnostic] | None,
+) -> None:
+    required = _REQUIRED.get(getattr(node, "preference", None))
+    if required is None or state == required:
+        return
+    if diagnostics is not None:
+        want = "ON" if required == _ON else "OFF"
+        have = state.upper()
+        diagnostics.append(
+            Diagnostic(
+                program.name,
+                _ANALYSIS,
+                node_path(ancestors, node),
+                f"{node.preference!r} region entered with hardware state "
+                f"{have}, requires {want}",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# minimality
+
+
+def _check_minimality(program: Program) -> list[Diagnostic]:
+    """Delete each marker in turn; if the property survives, the
+    marker was redundant.  Quadratic in marker count, but marker
+    counts are tiny (one per region boundary at most)."""
+    diagnostics: list[Diagnostic] = []
+    for container, index, marker, ancestors in _marker_sites(program):
+        del container[index]
+        try:
+            still_valid = not _check_program(program)
+        finally:
+            container.insert(index, marker)
+        if still_valid:
+            diagnostics.append(
+                Diagnostic(
+                    program.name,
+                    _ANALYSIS,
+                    node_path(ancestors, marker),
+                    "removable marker: deleting it leaves every region "
+                    "in the required state (emitter minimality bug)",
+                    severity=WARNING,
+                )
+            )
+    return diagnostics
+
+
+def _marker_sites(program: Program):
+    """Yield (container_list, index, marker, ancestor_loops) for every
+    marker, in program order."""
+    sites = []
+
+    def visit(container: list[Node], ancestors: list[Loop]) -> None:
+        for index, node in enumerate(container):
+            if isinstance(node, MarkerStmt):
+                sites.append((container, index, node, list(ancestors)))
+            elif isinstance(node, Loop):
+                visit(node.body, ancestors + [node])
+
+    visit(program.body, [])
+    return sites

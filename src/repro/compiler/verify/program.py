@@ -1,0 +1,76 @@
+"""The verifier facade: run all four analyses over one program.
+
+This is the pass suite the rest of the system calls — the CLI's
+``repro lint``, the ``verify=True`` hook on
+:meth:`repro.compiler.optimizer.LocalityOptimizer.optimize`, and the
+mutation/differential test suites.  The four analyses are independent
+of the code they check: nothing is trusted from the optimizer or the
+marker emitter except, for the legality replay, the *claimed* loop
+orders in the optimization report (which are then validated against
+dependence vectors recomputed from the subscripts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import Reference
+from repro.compiler.verify.bounds import verify_bounds
+from repro.compiler.verify.diagnostics import VerifyReport
+from repro.compiler.verify.legality import verify_legality
+from repro.compiler.verify.markers import verify_markers
+from repro.compiler.verify.structure import verify_structure
+
+__all__ = ["verify_program"]
+
+
+def verify_program(
+    program: Program,
+    report=None,
+    baseline: Optional[Program] = None,
+    check_minimality: bool = True,
+) -> VerifyReport:
+    """Run structure, marker, bounds, and legality analyses.
+
+    ``report`` (an :class:`~repro.compiler.optimizer
+    .OptimizationReport`) and ``baseline`` (the pre-transform program —
+    a clone taken before optimizing, or a fresh instantiation; it is
+    mutated during the replay) enable the full legality audit; without
+    them only the program-local legality checks run.
+    """
+    result = VerifyReport(program.name)
+    result.diagnostics.extend(verify_structure(program))
+    result.diagnostics.extend(
+        verify_markers(program, check_minimality=check_minimality)
+    )
+    result.diagnostics.extend(verify_bounds(program))
+    result.diagnostics.extend(
+        verify_legality(program, report=report, baseline=baseline)
+    )
+    result.refs_checked = _count_refs(program)
+    result.markers_checked = len(program.markers())
+    result.nests_audited = (
+        sum(
+            1
+            for results in (
+                report.interchanges,
+                report.tilings,
+                report.unrolls,
+            )
+            for r in results
+            if r.applied
+        )
+        if report is not None
+        else 0
+    )
+    return result
+
+
+def _count_refs(program: Program) -> int:
+    return sum(
+        1
+        for statement in program.all_statements()
+        for ref in statement.references
+        if isinstance(ref, Reference)
+    )

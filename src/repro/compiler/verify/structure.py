@@ -1,0 +1,247 @@
+"""Analysis 1: structural well-formedness of the IR.
+
+Checks the invariants every later pass (and the interpreter) silently
+relies on, so a corrupted transform fails here with a named node
+instead of as an address error three layers down:
+
+* array declarations are internally consistent (positive shape,
+  ``dim_order`` a permutation, non-negative padding) and every
+  reference's declaration is the *same object* registered in
+  ``program.arrays`` — transforms mutate declarations in place, so a
+  stale alias would silently address the old layout;
+* subscript count matches array rank, for plain affine references and
+  for the index part of subscripted-subscript references;
+* loop variables are unique along every nest path (shadowing would
+  make inner bindings clobber outer ones in the interpreter);
+* loop bounds and affine subscripts use only in-scope loop variables
+  (bounds are evaluated at loop entry, so a loop's own variable is not
+  in scope for its own bounds);
+* markers appear only in *body* positions outside uniform regions: a
+  marker nested inside an "sw"/"hw" loop would toggle the hardware
+  mid-region, which the emitter never does;
+* index arrays behind :class:`IndexedRef` carry run-time data.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.analysis.classify import HARDWARE, SOFTWARE
+from repro.compiler.ir.expr import AffineExpr, MinExpr
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import (
+    AffineRef,
+    ArrayDecl,
+    IndexedRef,
+    NonAffineRef,
+    PointerChaseRef,
+    Reference,
+    RegisterRef,
+)
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+from repro.compiler.verify.diagnostics import (
+    Diagnostic,
+    describe_node,
+    node_path,
+)
+
+__all__ = ["verify_structure"]
+
+_ANALYSIS = "structure"
+
+
+def verify_structure(program: Program) -> list[Diagnostic]:
+    """Run every structural check; return the diagnostics."""
+    diagnostics: list[Diagnostic] = []
+    for name, decl in program.arrays.items():
+        _check_decl(program, name, decl, diagnostics)
+    _walk(program, program.body, [], False, diagnostics)
+    return diagnostics
+
+
+def _emit(
+    diagnostics: list[Diagnostic],
+    program: Program,
+    ancestors: list[Loop],
+    node,
+    message: str,
+) -> None:
+    diagnostics.append(
+        Diagnostic(
+            program=program.name,
+            analysis=_ANALYSIS,
+            node=node_path(ancestors, node),
+            message=message,
+        )
+    )
+
+
+def _check_decl(
+    program: Program,
+    registered_name: str,
+    decl: ArrayDecl,
+    diagnostics: list[Diagnostic],
+) -> None:
+    where = f"array {decl.name}"
+
+    def emit(message: str) -> None:
+        diagnostics.append(
+            Diagnostic(program.name, _ANALYSIS, where, message)
+        )
+
+    if registered_name != decl.name:
+        emit(f"registered as {registered_name!r} but named {decl.name!r}")
+    if not decl.shape or any(extent <= 0 for extent in decl.shape):
+        emit(f"non-positive shape {decl.shape}")
+    if sorted(decl.dim_order) != list(range(decl.rank)):
+        emit(
+            f"dim_order {decl.dim_order} is not a permutation of "
+            f"{decl.rank} dimensions"
+        )
+    if decl.pad < 0 or decl.base_skew < 0:
+        emit(f"negative padding (pad={decl.pad}, skew={decl.base_skew})")
+    if decl.element_size <= 0:
+        emit(f"non-positive element size {decl.element_size}")
+
+
+def _walk(
+    program: Program,
+    nodes: list[Node],
+    ancestors: list[Loop],
+    inside_uniform_region: bool,
+    diagnostics: list[Diagnostic],
+) -> None:
+    scope = {loop.var for loop in ancestors}
+    for node in nodes:
+        if isinstance(node, Loop):
+            _check_loop(program, node, ancestors, scope, diagnostics)
+            uniform = inside_uniform_region or node.preference in (
+                SOFTWARE,
+                HARDWARE,
+            )
+            _walk(
+                program,
+                node.body,
+                ancestors + [node],
+                uniform,
+                diagnostics,
+            )
+        elif isinstance(node, Statement):
+            for ref in node.references:
+                _check_reference(
+                    program, ref, node, ancestors, scope, diagnostics
+                )
+        elif isinstance(node, MarkerStmt):
+            if node.kind not in ("on", "off"):
+                _emit(
+                    diagnostics, program, ancestors, node,
+                    f"invalid marker kind {node.kind!r}",
+                )
+            if inside_uniform_region:
+                _emit(
+                    diagnostics, program, ancestors, node,
+                    "marker inside a uniform region: the hardware state "
+                    "would change mid-region",
+                )
+        else:
+            _emit(
+                diagnostics, program, ancestors, node,
+                f"unknown node type {type(node).__name__} in body position",
+            )
+
+
+def _check_loop(
+    program: Program,
+    loop: Loop,
+    ancestors: list[Loop],
+    scope: set[str],
+    diagnostics: list[Diagnostic],
+) -> None:
+    if loop.var in scope:
+        _emit(
+            diagnostics, program, ancestors, loop,
+            f"loop variable {loop.var!r} shadows an enclosing loop",
+        )
+    if loop.step <= 0:
+        _emit(
+            diagnostics, program, ancestors, loop,
+            f"non-positive step {loop.step}",
+        )
+    for role, bound in (("lower", loop.lower), ("upper", loop.upper)):
+        if isinstance(bound, MinExpr):
+            variables = bound.variables
+        elif isinstance(bound, AffineExpr):
+            variables = bound.variables
+        else:
+            _emit(
+                diagnostics, program, ancestors, loop,
+                f"{role} bound is {type(bound).__name__}, "
+                "not an affine expression",
+            )
+            continue
+        escaped = variables - scope
+        if escaped:
+            _emit(
+                diagnostics, program, ancestors, loop,
+                f"{role} bound {bound!r} uses out-of-scope "
+                f"variable(s) {sorted(escaped)}",
+            )
+
+
+def _check_reference(
+    program: Program,
+    ref: Reference,
+    statement: Statement,
+    ancestors: list[Loop],
+    scope: set[str],
+    diagnostics: list[Diagnostic],
+) -> None:
+    here = node_path(ancestors, statement) + f" > {describe_node(ref)}"
+
+    def emit(message: str) -> None:
+        diagnostics.append(
+            Diagnostic(program.name, _ANALYSIS, here, message)
+        )
+
+    if isinstance(ref, RegisterRef):
+        _check_reference(
+            program, ref.original, statement, ancestors, scope, diagnostics
+        )
+        return
+    if isinstance(ref, AffineRef):
+        _check_affine(program, ref, emit, scope)
+    elif isinstance(ref, IndexedRef):
+        _check_registered(program, ref.array, emit)
+        _check_affine(program, ref.index, emit, scope)
+        if ref.index.array.data is None:
+            emit(
+                f"index array {ref.index.array.name} carries no run-time "
+                "data"
+            )
+    elif isinstance(ref, (NonAffineRef, PointerChaseRef)):
+        _check_registered(program, ref.array, emit)
+
+
+def _check_affine(
+    program: Program, ref: AffineRef, emit, scope: set[str]
+) -> None:
+    _check_registered(program, ref.array, emit)
+    if len(ref.subscripts) != ref.array.rank:
+        emit(
+            f"{len(ref.subscripts)} subscript(s) for rank-"
+            f"{ref.array.rank} array {ref.array.name}"
+        )
+    escaped = ref.variables - scope
+    if escaped:
+        emit(f"uses out-of-scope variable(s) {sorted(escaped)}")
+
+
+def _check_registered(program: Program, decl: ArrayDecl, emit) -> None:
+    registered = program.arrays.get(decl.name)
+    if registered is None:
+        emit(f"array {decl.name} is not declared in the program")
+    elif registered is not decl:
+        emit(
+            f"array {decl.name} declaration is a stale alias: the "
+            "reference does not share the registered declaration object, "
+            "so in-place layout changes would not reach it"
+        )

@@ -22,7 +22,6 @@ packed hot loop; both paths produce identical histograms.
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
 
 from repro.isa.instructions import Opcode
 from repro.isa.packed import AnyTrace, PackedTrace

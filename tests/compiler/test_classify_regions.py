@@ -13,7 +13,7 @@ from repro.compiler.analysis.classify import (
 )
 from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
 from repro.compiler.ir.expr import var
-from repro.compiler.ir.refs import IndexedRef, PointerChaseRef
+from repro.compiler.ir.refs import IndexedRef
 from repro.compiler.ir.stmts import MarkerStmt
 from repro.compiler.regions.detect import detect_regions
 from repro.compiler.regions.markers import insert_markers

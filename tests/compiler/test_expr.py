@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compiler.ir.expr import AffineExpr, MinExpr, as_expr, const, var
+from repro.compiler.ir.expr import MinExpr, as_expr, const, var
 
 
 class TestArithmetic:

@@ -13,7 +13,7 @@ from repro.compiler.analysis.reuse import (
     rank_innermost_candidates,
     reuse_kind,
 )
-from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.builder import loop, stmt
 from repro.compiler.ir.expr import var
 from repro.compiler.ir.refs import ArrayDecl
 

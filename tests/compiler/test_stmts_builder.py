@@ -53,8 +53,8 @@ class TestProgramBuilder:
         assert decl.element_size == 4
 
     def test_loop_accepts_int_bounds(self):
-        l = loop("i", 0, 10, [])
-        assert l.lower.is_constant and l.upper.is_constant
+        built = loop("i", 0, 10, [])
+        assert built.lower.is_constant and built.upper.is_constant
 
     def test_build_collects_everything(self):
         b = ProgramBuilder("t")

@@ -1,9 +1,8 @@
 """Edge cases for the transformations: tiled bounds, markers, depth."""
 
-import pytest
 
 from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
-from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.expr import var
 from repro.compiler.ir.stmts import MarkerStmt
 from repro.compiler.optimizer import LocalityOptimizer
 from repro.compiler.regions.markers import insert_markers

@@ -1,7 +1,6 @@
 """Tests for the loop and data transformations."""
 
 import numpy as np
-import pytest
 
 from repro.compiler.analysis.dependence import (
     INDEPENDENT,
@@ -10,7 +9,7 @@ from repro.compiler.analysis.dependence import (
     permutation_legal,
 )
 from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
-from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.expr import var
 from repro.compiler.ir.refs import RegisterRef
 from repro.compiler.optimizer import LocalityOptimizer
 from repro.compiler.regions.detect import detect_regions

@@ -1,0 +1,109 @@
+"""Unit tests for the interval bounds analysis."""
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.verify import Interval, verify_bounds
+from repro.compiler.verify.bounds import (
+    definitely_executes,
+    eval_interval,
+    loop_var_interval,
+)
+
+
+def test_eval_interval_mixed_coefficients():
+    expr = var("i") * 2 - var("j") + 3
+    env = {"i": Interval(0, 4), "j": Interval(1, 2)}
+    assert eval_interval(expr, env) == Interval(1, 10)
+
+
+def test_eval_interval_unbound_variable_is_none():
+    assert eval_interval(var("i"), {}) is None
+
+
+def test_loop_var_interval_min_upper():
+    inner = loop("t", var("tt"), MinExpr(16, var("tt") + 4), [])
+    env = {"tt": Interval(0, 12)}
+    assert loop_var_interval(inner, env) == Interval(0, 15)
+
+
+def test_loop_var_interval_step_sharpening():
+    unrolled = loop("i", 0, 8, [], step=2)
+    assert loop_var_interval(unrolled, {}) == Interval(0, 6)
+
+
+def test_tile_point_loop_definitely_executes():
+    # min(N, tt+T) - tt stays >= min(N - tt, T) because the subtraction
+    # happens symbolically; the uncorrelated interval difference would
+    # be 16 - 12 - ... and wrongly admit zero trips.
+    inner = loop("t", var("tt"), MinExpr(14, var("tt") + 4), [])
+    assert definitely_executes(inner, {"tt": Interval(0, 12)})
+
+
+def test_zero_trip_loop_not_definitely_executing():
+    assert not definitely_executes(loop("t", 3, 3, []), {})
+
+
+def test_in_bounds_program_is_clean():
+    b = ProgramBuilder("clean")
+    A = b.array("A", (8, 8))
+    i, j = var("i"), var("j")
+    b.append(loop("i", 0, 8, [loop("j", 0, 8, [
+        stmt(writes=[A[i, j]], reads=[A[i, j]]),
+    ])]))
+    assert verify_bounds(b.build()) == []
+
+
+def test_out_of_bounds_access_flagged():
+    b = ProgramBuilder("oob")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, 9, [stmt(reads=[A[i]])]))
+    diags = verify_bounds(b.build())
+    assert len(diags) == 1
+    assert diags[0].analysis == "bounds"
+    assert "extent is 8" in diags[0].message
+    assert "ref A[i]" in diags[0].node
+
+
+def test_tile_remainder_loop_in_bounds():
+    # N = 10, T = 4: the last tile is a remainder tile; the min upper
+    # must keep the point loop inside the array.
+    b = ProgramBuilder("tiled")
+    A = b.array("A", (10,))
+    t = var("t")
+    b.append(loop("tt", 0, 10, [
+        loop("t", var("tt"), MinExpr(10, var("tt") + 4), [
+            stmt(writes=[A[t]], reads=[A[t]]),
+        ]),
+    ], step=4))
+    assert verify_bounds(b.build()) == []
+
+
+def test_unroll_shifted_copies_in_bounds():
+    b = ProgramBuilder("unrolled")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, 8, [
+        stmt(reads=[A[i], A[i + 1]]),
+    ], step=2))
+    assert verify_bounds(b.build()) == []
+
+
+def test_unroll_copy_past_the_end_flagged():
+    b = ProgramBuilder("unrolled_bad")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, 8, [stmt(reads=[A[i + 2]])], step=2))
+    diags = verify_bounds(b.build())
+    assert any("spans [2, 8]" in d.message for d in diags)
+
+
+def test_provably_empty_loop_warns():
+    b = ProgramBuilder("empty")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 5, 3, [stmt(reads=[A[i]])]))
+    diags = verify_bounds(b.build())
+    assert len(diags) == 1
+    assert diags[0].severity == "warning"
+    assert "never executes" in diags[0].message

@@ -1,0 +1,176 @@
+"""Unit tests for the post-transform legality audit."""
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.refs import RegisterRef
+from repro.compiler.optimizer import OptimizationReport
+from repro.compiler.transforms.interchange import InterchangeResult
+from repro.compiler.transforms.tiling import TilingResult
+from repro.compiler.transforms.unroll import UnrollResult
+from repro.compiler.verify import verify_legality
+
+
+def skewed_nest(name, order=("i", "j")):
+    """A nest whose only dependence has distance (1, -1) in (i, j)
+    order — legal as written, illegal to interchange."""
+    b = ProgramBuilder(name)
+    A = b.array("A", (16, 16))
+    i, j = var("i"), var("j")
+    body = [stmt(writes=[A[i, j]], reads=[A[i - 1, j + 1]])]
+    inner_var = order[1]
+    outer_var = order[0]
+    b.append(
+        loop(outer_var, 1, 15, [loop(inner_var, 1, 15, body)])
+    )
+    return b.build()
+
+
+def uniform_nest(name, order=("i", "j")):
+    """Distance (1, 1): every permutation is legal."""
+    b = ProgramBuilder(name)
+    A = b.array("A", (16, 16))
+    i, j = var("i"), var("j")
+    body = [stmt(writes=[A[i, j]], reads=[A[i - 1, j - 1]])]
+    b.append(loop(order[0], 1, 16, [loop(order[1], 1, 16, body)]))
+    return b.build()
+
+
+def report_with(name, **fields):
+    report = OptimizationReport(name)
+    for key, value in fields.items():
+        setattr(report, key, value)
+    return report
+
+
+def errors(diags):
+    return [d for d in diags if d.severity == "error"]
+
+
+def test_illegal_interchange_claim_detected():
+    baseline = skewed_nest("skew")
+    transformed = skewed_nest("skew", order=("j", "i"))
+    report = report_with(
+        "skew",
+        interchanges=[
+            InterchangeResult(True, ("i", "j"), ("j", "i"))
+        ],
+    )
+    diags = verify_legality(transformed, report=report, baseline=baseline)
+    flagged = errors(diags)
+    assert flagged
+    assert "illegal interchange" in flagged[0].message
+    assert "lexicographically negative" in flagged[0].message
+    assert flagged[0].node == "nest i > j"
+
+
+def test_legal_interchange_claim_accepted():
+    baseline = uniform_nest("uni")
+    transformed = uniform_nest("uni", order=("j", "i"))
+    report = report_with(
+        "uni",
+        interchanges=[
+            InterchangeResult(True, ("i", "j"), ("j", "i"))
+        ],
+    )
+    assert verify_legality(
+        transformed, report=report, baseline=baseline
+    ) == []
+
+
+def test_interchange_claim_missing_from_program_warns():
+    baseline = uniform_nest("gone")
+    transformed = uniform_nest("gone")  # never actually permuted
+    report = report_with(
+        "gone",
+        interchanges=[
+            InterchangeResult(True, ("i", "j"), ("j", "i"))
+        ],
+    )
+    diags = verify_legality(transformed, report=report, baseline=baseline)
+    assert any(
+        d.severity == "warning" and "no nest path" in d.message
+        for d in diags
+    )
+
+
+def test_tiling_of_non_permutable_nest_detected():
+    baseline = skewed_nest("tileskew")
+    transformed = skewed_nest("tileskew")
+    report = report_with(
+        "tileskew",
+        tilings=[TilingResult(True, tile_size=4, tiled_vars=("i", "j"))],
+    )
+    diags = verify_legality(transformed, report=report, baseline=baseline)
+    assert any("not fully permutable" in d.message for d in errors(diags))
+
+
+def test_unroll_with_carried_dependence_detected():
+    b = ProgramBuilder("carry")
+    A = b.array("A", (16,))
+    i = var("i")
+    b.append(loop("i", 1, 16, [stmt(writes=[A[i]], reads=[A[i - 1]])]))
+    program = b.build()
+    report = report_with(
+        "carry", unrolls=[UnrollResult(True, variable="i", factor=2)]
+    )
+    diags = verify_legality(
+        program, report=report, baseline=program.clone()
+    )
+    assert any(
+        "carries a dependence on the unrolled" in d.message
+        for d in errors(diags)
+    )
+
+
+def test_unroll_remainder_detected():
+    b = ProgramBuilder("rem")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, 8, [stmt(writes=[A[i]])]))
+    program = b.build()
+    report = report_with(
+        "rem", unrolls=[UnrollResult(True, variable="i", factor=3)]
+    )
+    diags = verify_legality(
+        program, report=report, baseline=program.clone()
+    )
+    assert any(
+        "does not divide the trip count" in d.message
+        for d in errors(diags)
+    )
+
+
+def test_variant_promotion_detected():
+    b = ProgramBuilder("promote")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, 8, [stmt(reads=[RegisterRef(A[i])])]))
+    diags = verify_legality(b.build())
+    assert any(
+        "varies with the innermost loop variable 'i'" in d.message
+        for d in errors(diags)
+    )
+
+
+def test_promotion_without_prologue_load_detected():
+    b = ProgramBuilder("noload")
+    A = b.array("A", (8,))
+    j = var("j")
+    inner = loop("i", 0, 8, [stmt(reads=[RegisterRef(A[j])])])
+    b.append(loop("j", 0, 8, [inner]))
+    diags = verify_legality(b.build())
+    assert any(
+        "never loaded before the loop" in d.message for d in errors(diags)
+    )
+
+
+def test_well_formed_promotion_accepted():
+    b = ProgramBuilder("goodload")
+    A = b.array("A", (8,))
+    j = var("j")
+    prologue = stmt(reads=[A[j]])
+    inner = loop("i", 0, 8, [stmt(reads=[RegisterRef(A[j])])])
+    epilogue = stmt(writes=[A[j]])
+    body = [prologue, inner, epilogue]
+    b.append(loop("j", 0, 8, body))
+    assert verify_legality(b.build()) == []

@@ -1,0 +1,108 @@
+"""Unit tests for the marker abstract interpretation.
+
+The emitter-independent checker must accept the emitter's output,
+reject any single dropped or flipped marker, flag redundant extras,
+and get loop re-entry right (the fixed point), including loops that
+may run zero times.
+"""
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.stmts import MarkerStmt
+from repro.compiler.regions.markers import insert_markers
+from repro.compiler.verify import verify_markers
+from repro.compiler.verify.markers import _marker_sites
+
+from tests.compiler.test_marker_properties import build_program
+
+
+def test_emitter_output_verifies_clean():
+    program = build_program(("sw", "hw", "sw"))
+    insert_markers(program)
+    assert verify_markers(program) == []
+
+
+def test_dropped_marker_is_an_error():
+    program = build_program(("sw", "hw", "sw"))
+    insert_markers(program)
+    sites = _marker_sites(program)
+    assert sites
+    container, index, _marker, _ancestors = sites[0]
+    del container[index]
+    diags = verify_markers(program)
+    errors = [d for d in diags if d.severity == "error"]
+    assert errors
+    assert all(d.analysis == "markers" for d in errors)
+    assert any("requires" in d.message for d in errors)
+
+
+def test_flipped_marker_is_an_error():
+    program = build_program(("sw", "hw"))
+    insert_markers(program)
+    sites = _marker_sites(program)
+    container, index, marker, _ancestors = sites[0]
+    container[index] = MarkerStmt("off" if marker.activates else "on")
+    diags = verify_markers(program)
+    assert any(d.severity == "error" for d in diags)
+
+
+def test_redundant_marker_warns_minimality():
+    program = build_program(("sw", "hw"))
+    insert_markers(program)
+    # An OFF marker at program start restates the initial state: the
+    # property still holds everywhere, so minimality must flag it.
+    program.body.insert(0, MarkerStmt("off"))
+    diags = verify_markers(program)
+    assert len(diags) == 1
+    assert diags[0].severity == "warning"
+    assert "removable marker" in diags[0].message
+
+
+def test_fixed_point_catches_second_iteration():
+    # Outer mixed loop over [sw, hw]: iteration 2 re-enters with the
+    # hardware ON, so the leading OFF marker is load-bearing.  A single
+    # forward pass from the initial OFF state would call its deletion
+    # safe; the fixed point must not.
+    program = build_program(("sw", "hw"))
+    insert_markers(program)
+    sites = _marker_sites(program)
+    off_sites = [s for s in sites if not s[2].activates]
+    assert off_sites, "emitter placed no OFF marker"
+    container, index, _marker, _ancestors = off_sites[0]
+    del container[index]
+    diags = verify_markers(program)
+    assert any(
+        d.severity == "error" and "'sw' region entered" in d.message
+        for d in diags
+    )
+
+
+def test_zero_trip_loop_joins_exit_state():
+    # A loop that may run zero times cannot be trusted to establish a
+    # state: after it, the state is the join of before/inside, which
+    # satisfies no requirement.
+    b = ProgramBuilder("zerotrip")
+    A = b.array("A", (8,))
+    i = var("i")
+    maybe = loop("z", 0, 0, [MarkerStmt("on")])
+    hw = loop("i", 0, 4, [stmt(reads=[A[i]])])
+    hw.preference = "hw"
+    b.append(maybe, hw)
+    diags = verify_markers(b.build(), check_minimality=False)
+    assert any(
+        "'hw' region entered with hardware state UNKNOWN" in d.message
+        for d in diags
+    )
+
+
+def test_definitely_executing_loop_propagates_state():
+    # The same shape with a provably non-empty loop is fine: the ON
+    # from inside the loop definitely reaches the hw region.
+    b = ProgramBuilder("onetrip")
+    A = b.array("A", (8,))
+    i = var("i")
+    certain = loop("z", 0, 2, [MarkerStmt("on")])
+    hw = loop("i", 0, 4, [stmt(reads=[A[i]])])
+    hw.preference = "hw"
+    b.append(certain, hw)
+    assert verify_markers(b.build(), check_minimality=False) == []

@@ -1,0 +1,148 @@
+"""Mutation tests on real benchmarks: seed one bug, demand one report.
+
+Each test breaks one layer the way a buggy transform or emitter would
+— an illegal interchange, a dropped or flipped marker, a widened tile
+— and asserts the verifier reports it with a diagnostic naming the
+program, the analysis, and the offending node.
+"""
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.refs import AffineRef
+from repro.compiler.optimizer import LocalityOptimizer, software_nest_heads
+from repro.compiler.regions.detect import detect_regions
+from repro.compiler.regions.markers import insert_markers
+from repro.compiler.transforms.tiling import apply_tiling
+from repro.compiler.verify import (
+    verify_bounds,
+    verify_legality,
+    verify_markers,
+    verify_program,
+)
+from repro.compiler.verify.markers import _marker_sites
+from repro.params import base_config
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+
+def optimized_pair(name):
+    """(program, baseline, report) after the real pipeline."""
+    program = get_spec(name).instantiate(TINY)
+    insert_markers(program)
+    baseline = program.clone()
+    machine = base_config().scaled(TINY.machine_divisor)
+    report = LocalityOptimizer(machine).optimize(program)
+    return program, baseline, report
+
+
+def test_real_suite_variant_is_clean_before_mutation():
+    program, baseline, report = optimized_pair("adi")
+    result = verify_program(program, report=report, baseline=baseline)
+    assert result.ok(strict=True), [str(d) for d in result.diagnostics]
+
+
+def test_illegal_interchange_on_adi_detected():
+    # adi's second software nest is interchanged (i, j) -> (j, i),
+    # legal for its (0, 1) dependence.  Seed the bug the optimizer
+    # could have: pretend the original nest also carried a (1, -1)
+    # dependence, which the interchange would have had to refuse.
+    program, baseline, report = optimized_pair("adi")
+    interchanged = [r for r in report.interchanges if r.applied]
+    assert interchanged, "adi no longer interchanges; pick another seed"
+
+    detect_regions(baseline)
+    for index, head in enumerate(software_nest_heads(baseline)):
+        if not report.interchanges[index].applied:
+            continue
+        inner = head.perfect_nest_loops()[-1]
+        statement = next(iter(inner.statements()))
+        write = next(
+            ref for ref in statement.writes
+            if isinstance(ref, AffineRef) and ref.array.rank >= 2
+        )
+        skewed = AffineRef(
+            write.array,
+            (write.subscripts[0] - 1, write.subscripts[1] + 1),
+        )
+        statement.reads.append(skewed)
+        break
+
+    diags = verify_legality(program, report=report, baseline=baseline)
+    flagged = [d for d in diags if d.severity == "error"]
+    assert flagged
+    assert flagged[0].program == "adi"
+    assert flagged[0].analysis == "legality"
+    assert "illegal interchange" in flagged[0].message
+    assert "nest i > j" == flagged[0].node
+
+
+def test_dropped_marker_on_tpcd_q3_detected():
+    program = get_spec("tpcd_q3").instantiate(TINY)
+    insert_markers(program)
+    sites = _marker_sites(program)
+    assert sites, "tpcd_q3 no longer carries markers; pick another seed"
+    container, index, _marker, _ancestors = sites[0]
+    del container[index]
+    diags = verify_markers(program)
+    flagged = [d for d in diags if d.severity == "error"]
+    assert flagged
+    assert flagged[0].program == "tpcd_q3"
+    assert flagged[0].analysis == "markers"
+    assert "region entered with hardware state" in flagged[0].message
+    assert flagged[0].node != "<program body>"  # names the region's path
+
+
+def test_flipped_marker_on_chaos_detected():
+    from repro.compiler.ir.stmts import MarkerStmt
+
+    program = get_spec("chaos").instantiate(TINY)
+    insert_markers(program)
+    sites = _marker_sites(program)
+    assert sites, "chaos no longer carries markers; pick another seed"
+    container, index, marker, _ancestors = sites[0]
+    container[index] = MarkerStmt("off" if marker.activates else "on")
+    diags = verify_markers(program)
+    flagged = [d for d in diags if d.severity == "error"]
+    assert flagged
+    assert flagged[0].program == "chaos"
+    assert flagged[0].analysis == "markers"
+
+
+def tiled_matmul():
+    """A nest the tiler actually transforms (forced with a small L1)."""
+    b = ProgramBuilder("mm")
+    n = 32
+    A = b.array("A", (n, n))
+    B = b.array("B", (n, n))
+    C = b.array("C", (n, n))
+    i, j, k = var("i"), var("j"), var("k")
+    b.append(loop("i", 0, n, [loop("j", 0, n, [loop("k", 0, n, [
+        stmt(writes=[C[i, j]], reads=[C[i, j], A[i, k], B[k, j]]),
+    ])])]))
+    program = b.build()
+    result = apply_tiling(program.body[0], l1_bytes=2048)
+    assert result.applied, result.reason
+    return program
+
+
+def test_tiled_nest_is_clean_before_mutation():
+    assert verify_bounds(tiled_matmul()) == []
+
+
+def test_widened_tile_out_of_bounds_detected():
+    program = tiled_matmul()
+    point_loops = [
+        node for node in program.walk()
+        if isinstance(node, Loop) and isinstance(node.upper, MinExpr)
+    ]
+    assert point_loops, "tiling produced no min-bounded point loop"
+    victim = point_loops[0]
+    victim.upper = MinExpr(*(op + 1 for op in victim.upper.operands))
+    diags = verify_bounds(program)
+    flagged = [d for d in diags if d.severity == "error"]
+    assert flagged
+    assert flagged[0].program == "mm"
+    assert flagged[0].analysis == "bounds"
+    assert "extent is 32" in flagged[0].message
+    assert "ref " in flagged[0].node

@@ -1,0 +1,125 @@
+"""Unit tests for the structural well-formedness analysis."""
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.refs import ArrayDecl
+from repro.compiler.ir.stmts import MarkerStmt
+from repro.compiler.verify import verify_structure
+
+
+def simple_program():
+    b = ProgramBuilder("demo")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, 8, [stmt(writes=[A[i]], reads=[A[i]])]))
+    return b.build(), A
+
+
+def messages(diagnostics):
+    return [d.message for d in diagnostics]
+
+
+def test_clean_program_has_no_diagnostics():
+    program, _ = simple_program()
+    assert verify_structure(program) == []
+
+
+def test_rank_mismatch_after_decl_corruption():
+    program, A = simple_program()
+    # Simulate a transform corrupting the declaration in place: the
+    # existing rank-1 references now disagree with the rank-2 decl.
+    A.shape = (8, 8)
+    A.dim_order = (0, 1)
+    diags = verify_structure(program)
+    assert any("1 subscript(s) for rank-2" in m for m in messages(diags))
+    assert all(d.analysis == "structure" for d in diags)
+    assert all(d.program == "demo" for d in diags)
+
+
+def test_shadowed_loop_variable():
+    b = ProgramBuilder("shadow")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, 4, [loop("i", 0, 4, [stmt(reads=[A[i]])])]))
+    diags = verify_structure(b.build())
+    assert any("shadows an enclosing loop" in m for m in messages(diags))
+    assert any(d.node == "loop i" for d in diags)
+
+
+def test_out_of_scope_subscript_variable():
+    b = ProgramBuilder("scope")
+    A = b.array("A", (8,))
+    b.append(loop("i", 0, 8, [stmt(reads=[A[var("j")]])]))
+    diags = verify_structure(b.build())
+    assert any("out-of-scope variable(s) ['j']" in m for m in messages(diags))
+
+
+def test_out_of_scope_bound_variable():
+    b = ProgramBuilder("bound")
+    A = b.array("A", (8,))
+    i = var("i")
+    b.append(loop("i", 0, var("n"), [stmt(reads=[A[i]])]))
+    diags = verify_structure(b.build())
+    assert any(
+        "upper bound" in m and "['n']" in m for m in messages(diags)
+    )
+
+
+def test_non_positive_step_detected():
+    program, _ = simple_program()
+    program.body[0].step = 0
+    diags = verify_structure(program)
+    assert any("non-positive step" in m for m in messages(diags))
+
+
+def test_stale_declaration_alias_detected():
+    b = ProgramBuilder("alias")
+    b.array("A", (8,))
+    ghost = ArrayDecl(name="A", shape=(8,))
+    i = var("i")
+    b.append(loop("i", 0, 8, [stmt(reads=[ghost[i]])]))
+    diags = verify_structure(b.build())
+    assert any("stale alias" in m for m in messages(diags))
+
+
+def test_undeclared_array_detected():
+    b = ProgramBuilder("ghost")
+    b.array("A", (8,))
+    other = ArrayDecl(name="B", shape=(8,))
+    i = var("i")
+    b.append(loop("i", 0, 8, [stmt(reads=[other[i]])]))
+    diags = verify_structure(b.build())
+    assert any("not declared in the program" in m for m in messages(diags))
+
+
+def test_bad_dim_order_detected():
+    program, A = simple_program()
+    A.dim_order = (1,)
+    diags = verify_structure(program)
+    assert any("not a permutation" in m for m in messages(diags))
+
+
+def test_marker_inside_uniform_region():
+    program, _ = simple_program()
+    head = program.body[0]
+    head.preference = "sw"
+    head.body.insert(0, MarkerStmt("off"))
+    diags = verify_structure(program)
+    assert any("marker inside a uniform region" in m for m in messages(diags))
+    assert any("marker HW_OFF" in d.node for d in diags)
+
+
+def test_invalid_marker_kind_detected():
+    program, _ = simple_program()
+    marker = MarkerStmt("on")
+    marker.kind = "bogus"  # corrupt post-construction
+    program.body.append(marker)
+    diags = verify_structure(program)
+    assert any("invalid marker kind" in m for m in messages(diags))
+
+
+def test_unknown_node_type_in_body():
+    program, _ = simple_program()
+    program.body.append("not a node")
+    diags = verify_structure(program)
+    assert any("unknown node type str" in m for m in messages(diags))

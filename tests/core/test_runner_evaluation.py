@@ -10,7 +10,7 @@ from repro.evaluation.report import (
     render_table2,
     render_table3,
 )
-from repro.evaluation.table2 import Table2Row, table2_rows
+from repro.evaluation.table2 import Table2Row
 from repro.evaluation.table3 import TABLE3_COLUMNS, sweep_to_row
 from repro.params import base_config, higher_mem_latency
 from repro.workloads.base import TINY

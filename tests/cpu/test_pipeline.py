@@ -1,6 +1,5 @@
 """Tests for the trace-driven timing model."""
 
-import pytest
 
 from repro.cpu.pipeline import CPUSimulator
 from repro.hwopt.controller import VictimCacheAssist

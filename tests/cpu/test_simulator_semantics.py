@@ -1,6 +1,5 @@
 """Cross-cutting CPU-model semantics: monotonicity and composition."""
 
-import pytest
 
 from repro.cpu.pipeline import CPUSimulator
 from repro.hwopt.gate import HardwareGate

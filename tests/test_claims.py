@@ -1,9 +1,8 @@
 """Tests for the claims checker, using synthetic sweeps."""
 
-import pytest
 
 from repro.evaluation.claims import PAPER_CLAIMS, check_claims
-from tests.test_evaluation_units import ALL_KEYS, fake_run
+from tests.test_evaluation_units import fake_run
 from repro.core.sweep import SweepResult
 
 

@@ -1,6 +1,5 @@
 """Coverage for smaller paths: L2 victim integration, scales, misc."""
 
-import pytest
 
 from repro.hwopt.controller import VictimCacheAssist
 from repro.memory.hierarchy import MemoryHierarchy

@@ -61,7 +61,8 @@ class TestZipf:
     def test_low_skew_flatter(self):
         hot = zipf_indices(10_000, 256, skew=1.5, seed=3)
         flat = zipf_indices(10_000, 256, skew=0.2, seed=3)
-        top = lambda idx: np.sort(np.bincount(idx, minlength=256))[-10:].sum()
+        def top(idx):
+            return np.sort(np.bincount(idx, minlength=256))[-10:].sum()
         assert top(hot) > top(flat)
 
     def test_bad_universe(self):

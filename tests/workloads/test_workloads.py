@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler.analysis.classify import HARDWARE, MIXED, SOFTWARE
+from repro.compiler.analysis.classify import HARDWARE, SOFTWARE
 from repro.compiler.regions.detect import detect_regions
 from repro.tracegen.interpreter import TraceGenerator
 from repro.workloads.base import SMALL, TINY, Scale

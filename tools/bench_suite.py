@@ -6,7 +6,8 @@ default) twice — once with ``jobs=1`` and once with ``--jobs`` worker
 processes — verifies that every cell of the two sweeps is identical,
 and measures the packed-columnar trace path against the legacy object
 path for single-thread generation, simulation, and the reuse-distance/
-miss-ratio-curve engine.  Results are written
+miss-ratio-curve engine, plus the wall-clock of the static verifier
+(``python -m repro lint``) over the full suite.  Results are written
 to ``BENCH_sweep.json`` next to this script's repo root so future PRs
 have a perf trajectory to compare against.
 
@@ -29,6 +30,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.compiler.verify.lint import lint_registry  # noqa: E402
 from repro.core.experiment import simulate_trace  # noqa: E402
 from repro.core.runner import run_suite  # noqa: E402
 from repro.locality.mrc import distance_histogram  # noqa: E402
@@ -151,6 +153,19 @@ def bench_mrc(scale, benchmark):
     }
 
 
+def bench_verify(scale):
+    """Wall-clock of the full static lint (``python -m repro lint``):
+    all four analyses over every benchmark's base and optimized
+    variants.  Purely static — the cost of the correctness backstop."""
+    result, wall_s = _time(lambda: lint_registry(scale))
+    return {
+        "variants": len(result.rows),
+        "diagnostics": len(result.diagnostics),
+        "clean": result.ok(strict=True),
+        "seconds": round(wall_s, 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -205,6 +220,12 @@ def main(argv=None) -> int:
         f"-> {mrc['packed_speedup']}x, identical={mrc['results_identical']}"
     )
 
+    verify = bench_verify(scale)
+    print(
+        f"static lint: {verify['variants']} program variants in "
+        f"{verify['seconds']}s, clean={verify['clean']}"
+    )
+
     report = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "cpu_count": os.cpu_count(),
@@ -215,6 +236,7 @@ def main(argv=None) -> int:
         "sweep": sweep,
         "packed_vs_objects": packed,
         "mrc_engine": mrc,
+        "verify": verify,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -223,9 +245,10 @@ def main(argv=None) -> int:
         sweep["results_identical"]
         and packed["results_identical"]
         and mrc["results_identical"]
+        and verify["clean"]
     ):
         print(
-            "ERROR: parallel, packed, or MRC results diverged",
+            "ERROR: parallel, packed, MRC, or lint results diverged",
             file=sys.stderr,
         )
         return 1
