@@ -13,7 +13,17 @@ Commands mirror the paper's evaluation artifacts:
 * ``lint``       — static IR verification (structure, markers, bounds,
   transform legality) of every benchmark's base and optimized+marked
   variants;
+* ``runs``       — list and validate the cells of a ``--store`` run
+  store (checkpointed sweep results);
 * ``trace``      — dump a benchmark's trace to a file (binary format).
+
+Long sweeps (``table2``/``table3``/``figure``) are fault-tolerant:
+``--store DIR`` checkpoints every completed cell (atomic write +
+checksum) and ``--resume`` skips verified-complete cells on a re-run;
+``--timeout``/``--retries`` bound each cell's execution; a cell that
+fails permanently is reported (partial results, exit status 1) instead
+of aborting the sweep.  ``--faults``/``$REPRO_FAULTS`` inject
+deterministic failures for testing the recovery paths.
 """
 
 from __future__ import annotations
@@ -23,14 +33,22 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.core.parallel import resolve_jobs, run_benchmark_parallel
-from repro.core.runner import run_suite
+from repro.core.faults import FaultPlan
+from repro.core.parallel import (
+    DEFAULT_RETRIES,
+    resolve_jobs,
+    run_benchmark_parallel,
+)
+from repro.core.runner import SuiteResult, run_suite
+from repro.core.runstore import RunStore
 from repro.core.versions import prepare_codes
 from repro.evaluation.figures import FIGURES, figure_series
 from repro.evaluation.locality import locality_rows
 from repro.evaluation.report import (
+    render_failures,
     render_figure,
     render_locality,
+    render_runs,
     render_table2,
     render_table3,
 )
@@ -71,6 +89,52 @@ def _parser() -> argparse.ArgumentParser:
             "any job count)"
         ),
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "run-store directory: checkpoint each completed sweep cell "
+            "(atomic write + checksum) for crash-safe restarts"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip cells already completed and verified in --store "
+            "(without this flag the store is written but existing "
+            "entries are recomputed)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any sweep cell running longer than this",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRIES,
+        metavar="N",
+        help=(
+            "retry budget per sweep cell (crash/timeout/error); a cell "
+            f"failing all attempts is reported, not fatal "
+            f"(default: {DEFAULT_RETRIES})"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject deterministic faults into worker cells "
+            "(kind:benchmark:config[:times][;...], kinds: raise, hang, "
+            "exit, corrupt); overrides $REPRO_FAULTS"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the benchmark suite")
@@ -98,6 +162,12 @@ def _parser() -> argparse.ArgumentParser:
         action="append",
         choices=list(SENSITIVITY_CONFIGS),
         help="restrict to specific configurations (default: all six)",
+    )
+    table3_cmd.add_argument(
+        "--benchmark",
+        action="append",
+        metavar="NAME",
+        help="restrict to specific benchmarks (default: all 13)",
     )
 
     figure_cmd = sub.add_parser("figure", help="reproduce one figure")
@@ -134,6 +204,19 @@ def _parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="treat warnings (e.g. removable markers) as failures",
+    )
+
+    runs_cmd = sub.add_parser(
+        "runs",
+        help=(
+            "list the cells of the --store run store, verifying each "
+            "entry's checksum"
+        ),
+    )
+    runs_cmd.add_argument(
+        "--purge-bad",
+        action="store_true",
+        help="delete entries that fail verification",
     )
 
     trace_cmd = sub.add_parser(
@@ -199,34 +282,74 @@ def _cmd_regions(name: str, scale: Scale) -> int:
     return 0
 
 
-def _cmd_table2(scale: Scale, jobs: Optional[int]) -> int:
-    print(render_table2(table2_rows(scale, jobs=jobs)))
+def _cmd_table2(scale: Scale, jobs: Optional[int], resilience: dict) -> int:
+    rows = table2_rows(
+        scale,
+        jobs=jobs,
+        store=resilience["store"],
+        resume=resilience["resume"],
+    )
+    print(render_table2(rows))
+    return 0
+
+
+def _report_failures(suite: SuiteResult) -> int:
+    """Print the partial-results warning; exit status 1 if any cell died."""
+    if suite.failures:
+        print(render_failures(suite.failures), file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_table3(
-    config_names: Optional[list[str]], scale: Scale, jobs: Optional[int]
+    config_names: Optional[list[str]],
+    benchmarks: Optional[list[str]],
+    scale: Scale,
+    jobs: Optional[int],
+    resilience: dict,
 ) -> int:
     names = config_names or list(SENSITIVITY_CONFIGS)
     configs = {name: SENSITIVITY_CONFIGS[name] for name in names}
-    suite = run_suite(scale, configs=configs, progress=_progress, jobs=jobs)
+    suite = run_suite(
+        scale,
+        benchmarks=benchmarks,
+        configs=configs,
+        progress=_progress,
+        jobs=jobs,
+        **resilience,
+    )
     rows = [
         sweep_to_row(name, suite.sweeps[name]) for name in suite.sweeps
     ]
     print(render_table3(rows))
-    return 0
+    return _report_failures(suite)
 
 
-def _cmd_figure(number: int, scale: Scale, jobs: Optional[int]) -> int:
+def _cmd_figure(
+    number: int, scale: Scale, jobs: Optional[int], resilience: dict
+) -> int:
     config_name = FIGURES[number]
     suite = run_suite(
         scale,
         configs={config_name: SENSITIVITY_CONFIGS[config_name]},
         progress=_progress,
         jobs=jobs,
+        **resilience,
     )
     print(render_figure(figure_series(number, suite.sweep(config_name))))
-    return 0
+    return _report_failures(suite)
+
+
+def _cmd_runs(store: Optional[RunStore], purge_bad: bool) -> int:
+    if store is None:
+        print("error: 'runs' requires --store DIR", file=sys.stderr)
+        return 2
+    if purge_bad:
+        for key in store.purge_corrupt():
+            print(f"purged {key}", file=sys.stderr)
+    entries = store.entries()
+    print(render_runs(entries))
+    return 0 if all(entry.ok for entry in entries) else 1
 
 
 def _cmd_locality(
@@ -271,7 +394,26 @@ def _progress(message: str) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
     scale = _SCALES[args.scale]
-    jobs = resolve_jobs(args.jobs)
+    try:
+        jobs = resolve_jobs(args.jobs)
+        faults = FaultPlan.parse(args.faults) if args.faults else None
+        if args.retries < 0:
+            raise ValueError(f"--retries must be >= 0, got {args.retries}")
+        if args.timeout is not None and args.timeout <= 0:
+            raise ValueError(f"--timeout must be positive, got {args.timeout}")
+        if args.resume and args.store is None:
+            raise ValueError("--resume requires --store DIR")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = RunStore(args.store) if args.store else None
+    resilience = {
+        "store": store,
+        "resume": args.resume,
+        "timeout": args.timeout,
+        "retries": args.retries,
+        "faults": faults,
+    }
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -279,15 +421,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "regions":
         return _cmd_regions(args.benchmark, scale)
     if args.command == "table2":
-        return _cmd_table2(scale, jobs)
+        return _cmd_table2(scale, jobs, resilience)
     if args.command == "table3":
-        return _cmd_table3(args.config, scale, jobs)
+        return _cmd_table3(args.config, args.benchmark, scale, jobs, resilience)
     if args.command == "figure":
-        return _cmd_figure(args.number, scale, jobs)
+        return _cmd_figure(args.number, scale, jobs, resilience)
     if args.command == "locality":
         return _cmd_locality(args.benchmarks, scale, jobs)
     if args.command == "lint":
         return _cmd_lint(args.benchmarks, scale, args.strict)
+    if args.command == "runs":
+        return _cmd_runs(store, args.purge_bad)
     if args.command == "trace":
         return _cmd_trace(args.benchmark, args.output, args.version, scale)
     raise AssertionError(f"unhandled command {args.command}")

@@ -8,9 +8,21 @@ Software*, *Combined*, and *Selective* — against any machine
 configuration.
 """
 
-from repro.core.experiment import BenchmarkRun, run_benchmark
-from repro.core.parallel import resolve_jobs, run_benchmark_parallel, run_grid
+from repro.core.experiment import (
+    BenchmarkRun,
+    expected_version_keys,
+    run_benchmark,
+)
+from repro.core.faults import FaultInjected, FaultPlan
+from repro.core.parallel import (
+    CellFailure,
+    SweepInterrupted,
+    resolve_jobs,
+    run_benchmark_parallel,
+    run_grid,
+)
 from repro.core.runner import SuiteResult, run_suite
+from repro.core.runstore import RunStore, trace_checksum
 from repro.core.sweep import SweepResult, run_sweep
 from repro.core.versions import (
     BYPASS,
@@ -25,11 +37,17 @@ __all__ = [
     "BYPASS",
     "BenchmarkCodes",
     "BenchmarkRun",
+    "CellFailure",
+    "FaultInjected",
+    "FaultPlan",
     "MECHANISMS",
+    "RunStore",
     "SuiteResult",
+    "SweepInterrupted",
     "SweepResult",
     "VERSIONS",
     "VICTIM",
+    "expected_version_keys",
     "prepare_codes",
     "resolve_jobs",
     "run_benchmark",
@@ -37,4 +55,5 @@ __all__ = [
     "run_grid",
     "run_suite",
     "run_sweep",
+    "trace_checksum",
 ]

@@ -13,7 +13,31 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.params import MachineParams
 from repro.core.versions import MECHANISMS, BenchmarkCodes, make_assist
 
-__all__ = ["BenchmarkRun", "run_benchmark", "simulate_trace"]
+__all__ = [
+    "BenchmarkRun",
+    "expected_version_keys",
+    "run_benchmark",
+    "simulate_trace",
+]
+
+
+def expected_version_keys(
+    mechanisms: tuple[str, ...] = MECHANISMS,
+) -> list[str]:
+    """Version keys of a complete run, in :func:`run_benchmark` order.
+
+    The run store validates restored cells against this before trusting
+    them, so an entry written under a different mechanism set (or a
+    partial/stale payload) is recomputed rather than silently merged.
+    """
+    keys = ["base", "pure_sw"]
+    for mechanism in mechanisms:
+        keys += [
+            f"pure_hw/{mechanism}",
+            f"combined/{mechanism}",
+            f"selective/{mechanism}",
+        ]
+    return keys
 
 
 def simulate_trace(
@@ -62,6 +86,10 @@ class BenchmarkRun:
 
     def version_keys(self) -> list[str]:
         return list(self.results)
+
+    def is_complete(self, mechanisms: tuple[str, ...] = MECHANISMS) -> bool:
+        """True iff every version of a full run is present, in order."""
+        return list(self.results) == expected_version_keys(mechanisms)
 
 
 def run_benchmark(

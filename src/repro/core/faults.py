@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the sweep scheduler.
+
+The resilience layer (run store, retry/timeout scheduler, resume) is
+only trustworthy if every recovery path is exercised, the same way the
+static verifier proved the compiler: by deliberately breaking things.
+This module injects four failure modes into chosen worker cells of a
+sweep grid:
+
+* ``raise``   — the cell raises :class:`FaultInjected` before running;
+* ``hang``    — the cell sleeps far past any sane per-cell timeout, so
+  the scheduler must kill it;
+* ``exit``    — the worker process dies via :func:`os._exit` without
+  reporting anything (simulating an OOM kill or segfault);
+* ``corrupt`` — the cell runs normally but its run-store entry is
+  written corrupted, so resume-time checksum verification must reject
+  it and recompute.
+
+Faults are described by a compact spec string, settable via the
+``REPRO_FAULTS`` environment variable or the ``--faults`` CLI flag::
+
+    kind:benchmark:config[:times][;kind:benchmark:config[:times]...]
+
+``benchmark`` and ``config`` may be ``*`` (match any).  ``times``
+bounds how many *attempts* of a matching cell are sabotaged (default:
+all of them) — ``exit:vpenta:*:1`` kills only attempt 0 of every
+vpenta cell, so bounded retry recovers; ``exit:vpenta:*`` keeps
+killing, so retries exhaust into a structured
+:class:`~repro.core.parallel.CellFailure`.
+
+Injection is deterministic: whether a fault fires depends only on the
+(benchmark, config, attempt) triple, never on timing or randomness, so
+every recovery test is reproducible.  Execution faults fire only inside
+worker processes (the in-process fallback path strips the plan — a
+parent-process ``os._exit`` would kill the whole sweep rather than one
+cell); ``corrupt`` fires in the parent at store-write time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runstore import RunStore
+
+__all__ = [
+    "EXECUTION_KINDS",
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "corrupt_stored_entry",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+RAISE = "raise"
+HANG = "hang"
+EXIT = "exit"
+CORRUPT = "corrupt"
+
+#: Kinds applied inside a worker, before the cell's simulations run.
+EXECUTION_KINDS = (RAISE, HANG, EXIT)
+FAULT_KINDS = EXECUTION_KINDS + (CORRUPT,)
+
+#: Exit status of an ``exit``-faulted worker; chosen to be obviously
+#: deliberate in scheduler logs and tests.
+EXIT_STATUS = 23
+
+#: How long a ``hang`` fault sleeps.  Any realistic per-cell timeout is
+#: orders of magnitude shorter, so the scheduler must kill the worker.
+HANG_SECONDS = 3600.0
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``raise`` fault inside a sabotaged worker cell."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault-spec entry."""
+
+    kind: str
+    benchmark: str  # benchmark name or "*"
+    config: str  # machine configuration name or "*"
+    times: Optional[int] = None  # sabotage attempts [0, times); None = all
+
+    def matches(self, benchmark: str, config: str, attempt: int) -> bool:
+        if self.benchmark not in ("*", benchmark):
+            return False
+        if self.config not in ("*", config):
+            return False
+        return self.times is None or attempt < self.times
+
+    def spec(self) -> str:
+        times = "" if self.times is None else f":{self.times}"
+        return f"{self.kind}:{self.benchmark}:{self.config}{times}"
+
+
+def _parse_entry(entry: str) -> Fault:
+    fields = [field.strip() for field in entry.split(":")]
+    if not 3 <= len(fields) <= 4:
+        raise ValueError(
+            f"bad fault entry {entry!r}: expected "
+            "kind:benchmark:config[:times]"
+        )
+    kind = fields[0]
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+        )
+    times: Optional[int] = None
+    if len(fields) == 4 and fields[3] != "*":
+        try:
+            times = int(fields[3])
+        except ValueError:
+            raise ValueError(
+                f"bad fault entry {entry!r}: times must be an integer or '*'"
+            ) from None
+        if times < 1:
+            raise ValueError(
+                f"bad fault entry {entry!r}: times must be >= 1"
+            )
+    return Fault(kind, fields[1], fields[2], times)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed set of fault entries; empty plans inject nothing."""
+
+    entries: tuple[Fault, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "FaultPlan":
+        if not spec or not spec.strip():
+            return cls()
+        return cls(
+            tuple(
+                _parse_entry(entry)
+                for entry in spec.split(";")
+                if entry.strip()
+            )
+        )
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        """Parse ``REPRO_FAULTS``; unset/empty means no faults."""
+        return cls.parse(os.environ.get(FAULTS_ENV))
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def spec(self) -> str:
+        return ";".join(entry.spec() for entry in self.entries)
+
+    def _find(
+        self, kinds: tuple[str, ...], benchmark: str, config: str, attempt: int
+    ) -> Optional[Fault]:
+        for fault in self.entries:
+            if fault.kind in kinds and fault.matches(benchmark, config, attempt):
+                return fault
+        return None
+
+    def execution_fault(
+        self, benchmark: str, config: str, attempt: int
+    ) -> Optional[Fault]:
+        return self._find(EXECUTION_KINDS, benchmark, config, attempt)
+
+    def store_fault(
+        self, benchmark: str, config: str, attempt: int
+    ) -> Optional[Fault]:
+        return self._find((CORRUPT,), benchmark, config, attempt)
+
+    def apply_execution(self, benchmark: str, config: str, attempt: int) -> None:
+        """Fire any matching execution fault (called inside the worker)."""
+        fault = self.execution_fault(benchmark, config, attempt)
+        if fault is None:
+            return
+        if fault.kind == RAISE:
+            raise FaultInjected(
+                f"injected fault {fault.spec()!r} on {benchmark}/{config} "
+                f"attempt {attempt}"
+            )
+        if fault.kind == HANG:
+            import time
+
+            time.sleep(HANG_SECONDS)
+            return
+        if fault.kind == EXIT:
+            os._exit(EXIT_STATUS)
+        raise AssertionError(f"unhandled fault kind {fault.kind!r}")
+
+
+def corrupt_stored_entry(store: "RunStore", key: str) -> None:
+    """Flip one payload byte of a stored entry in place.
+
+    Used by the ``corrupt`` fault after a successful store write: the
+    file keeps its valid header and embedded checksum, so only the
+    checksum verification on read can catch the damage.
+    """
+    path = store.path_for(key)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty store entry {key!r}")
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))

@@ -1,51 +1,98 @@
-"""Process-pool sweep scheduler.
+"""Fault-tolerant process scheduler for the sweep grid.
 
 The paper's evaluation grid — 13 benchmarks × 6 machine configurations
 × 11 version/mechanism simulations — is embarrassingly parallel: every
 cell is a fresh machine instance timing a pre-generated trace.  This
-module fans that grid out over a :class:`~concurrent.futures.\
-ProcessPoolExecutor`.
+module fans that grid out over worker processes, one process per cell,
+and survives the ways long sweeps actually die:
 
-Design points:
-
-* **Chunking** — one task is one (benchmark × configuration) cell, i.e.
-  all 11 simulations of :func:`repro.core.experiment.run_benchmark`.
-  That amortizes the pickling of the benchmark's three traces over a
-  few seconds of simulation work.
-* **Slim payloads** — tasks carry a copy of :class:`BenchmarkCodes`
-  stripped of its compiler reports (which drag whole IR graphs through
-  pickle); the packed columnar traces serialize as flat buffers.
+* **Per-cell timeouts** — a hung worker (deadlock, runaway input) is
+  killed at ``timeout`` seconds and the cell retried; a
+  ``ProcessPoolExecutor`` cannot do this (``future.result(timeout=...)``
+  abandons the worker but leaves it running), which is why the
+  scheduler manages its own processes.
+* **Bounded retry with exponential backoff** — crashed (``os._exit``,
+  OOM kill, segfault), raising, and timed-out cells are retried up to
+  ``retries`` times, waiting ``backoff * 2**attempt`` (capped) between
+  attempts.
+* **Graceful degradation** — a cell that exhausts its retries becomes a
+  structured :class:`CellFailure` in the result grid and the sweep
+  *completes* with partial results (``on_failure="record"``, the
+  default) instead of throwing hours of finished cells away;
+  ``on_failure="raise"`` aborts with :class:`SweepInterrupted` for
+  callers that need all-or-nothing semantics.  If worker processes
+  cannot be spawned at all, cells fall back to in-process execution.
+* **Crash-safe checkpointing** — with a :class:`~repro.core.runstore.\
+  RunStore` attached, every completed cell is persisted (atomic write,
+  embedded checksum) the moment it arrives, and ``resume=True`` skips
+  cells whose stored results verify, so a killed sweep restarts where
+  it left off and ends bit-identical to an uninterrupted run.
 * **Determinism** — results are keyed ``(config_name, benchmark_name)``
-  and reassembled in submission order, so the output is independent of
-  worker scheduling and identical to a sequential run.
-* **Job resolution** — ``jobs=None`` means the ``REPRO_JOBS``
-  environment variable if set, else ``os.cpu_count()``; any explicit
-  value is clamped to at least 1.
+  and reassembled in submission order by the callers, so the output is
+  independent of worker scheduling, retries, and resume boundaries.
+
+Cells are prepared lazily: the parent runs the optimizer + trace
+generation for benchmark *k+1* while workers simulate benchmark *k*,
+and at most a few benchmarks' traces are in flight at once.  Recovery
+paths are exercised end-to-end by the fault-injection harness
+(:mod:`repro.core.faults`, ``REPRO_FAULTS``).
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Optional
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Union
 
-from repro.core.experiment import BenchmarkRun, run_benchmark, simulate_trace
+from repro.core.experiment import (
+    BenchmarkRun,
+    run_benchmark,
+    simulate_trace,
+)
+from repro.core.faults import FaultPlan, corrupt_stored_entry
+from repro.core.runstore import RunStore, trace_checksum
 from repro.core.versions import MECHANISMS, BenchmarkCodes
 from repro.params import MachineParams
 from repro.workloads.base import WorkloadSpec
 
-__all__ = ["resolve_jobs", "run_grid", "run_benchmark_parallel"]
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "CellFailure",
+    "GridValue",
+    "SweepInterrupted",
+    "resolve_jobs",
+    "run_benchmark_parallel",
+    "run_grid",
+]
+
+#: Default attempt budget: 1 initial try + 2 retries per cell.
+DEFAULT_RETRIES = 2
+#: First retry delay in seconds; doubles per attempt, capped below.
+DEFAULT_BACKOFF = 0.25
+_BACKOFF_CAP = 5.0
+#: Upper bound on one scheduler poll, so deadlines are checked promptly.
+_POLL_SECONDS = 0.5
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Number of worker processes to use.
 
     ``None`` consults the ``REPRO_JOBS`` environment variable, falling
-    back to ``os.cpu_count()``.  The result is always at least 1.
+    back to ``os.cpu_count()``.  Non-integer and non-positive values
+    (from either source) raise ``ValueError`` — silently clamping
+    ``REPRO_JOBS=0`` to one worker used to hide misconfigured CI
+    environments.
     """
+    source = "jobs"
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
         if env:
+            source = "REPRO_JOBS"
             try:
                 jobs = int(env)
             except ValueError:
@@ -54,7 +101,49 @@ def resolve_jobs(jobs: Optional[int]) -> int:
                 ) from None
         else:
             jobs = os.cpu_count() or 1
-    return max(int(jobs), 1)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"{source} must be a positive integer, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A grid cell that exhausted its retry budget.
+
+    Recorded in the result grid in place of a :class:`BenchmarkRun` so
+    the sweep can complete with partial results; ``kind`` is ``error``
+    (the cell raised), ``timeout`` (killed at the per-cell deadline), or
+    ``crash`` (the worker died without reporting).
+    """
+
+    benchmark: str
+    config: str
+    kind: str
+    attempts: int
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark} on {self.config}: {self.kind} after "
+            f"{self.attempts} attempt(s) — {self.message}"
+        )
+
+
+class SweepInterrupted(RuntimeError):
+    """A cell failed permanently under ``on_failure="raise"``.
+
+    Completed cells already checkpointed to the run store survive the
+    abort; rerunning with ``resume=True`` picks up from them.
+    """
+
+    def __init__(self, failure: CellFailure):
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+#: What one grid slot holds once the sweep finishes.
+GridValue = Union[BenchmarkRun, CellFailure]
 
 
 def _slim_codes(codes: BenchmarkCodes) -> BenchmarkCodes:
@@ -77,8 +166,15 @@ def _slim_codes(codes: BenchmarkCodes) -> BenchmarkCodes:
 
 
 def _run_cell(task) -> BenchmarkRun:
-    """Worker entry: simulate all versions of one benchmark × config."""
-    codes, machine, mechanisms, classify_misses = task
+    """Worker entry: simulate all versions of one benchmark × config.
+
+    ``plan``/``attempt`` drive deterministic fault injection; a ``None``
+    plan (the normal case, and always the in-process fallback) runs the
+    cell untouched.
+    """
+    codes, machine, mechanisms, classify_misses, config_name, attempt, plan = task
+    if plan is not None:
+        plan.apply_execution(codes.name, config_name, attempt)
     return run_benchmark(codes, machine, mechanisms, classify_misses)
 
 
@@ -86,6 +182,256 @@ def _simulate_cell(task):
     """Worker entry: one (trace, machine, mechanism) simulation."""
     trace, machine, mechanism, initially_on, classify_misses = task
     return simulate_trace(trace, machine, mechanism, initially_on, classify_misses)
+
+
+def _cell_worker(conn, fn, task) -> None:
+    """Child-process main: run ``fn(task)``, report through the pipe."""
+    try:
+        result = fn(task)
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+def _mp_context():
+    """Prefer fork (cheap, no re-import); everything is spawn-safe too."""
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _start_worker(fn, task):
+    """Spawn one worker; returns (process, parent_conn).
+
+    Module-level so tests can monkeypatch it to simulate a broken pool
+    (``OSError`` here triggers the in-process fallback).
+    """
+    ctx = _mp_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_cell_worker, args=(child_conn, fn, task), daemon=True
+    )
+    try:
+        proc.start()
+    except BaseException:
+        parent_conn.close()
+        raise
+    finally:
+        child_conn.close()
+    return proc, parent_conn
+
+
+def _stop_worker(proc) -> None:
+    proc.terminate()
+    proc.join(1.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(1.0)
+
+
+class _Cell:
+    """Mutable per-cell scheduling state."""
+
+    __slots__ = ("key", "benchmark", "config", "payload", "attempt", "eligible_at")
+
+    def __init__(self, key, benchmark, config, payload):
+        self.key = key
+        self.benchmark = benchmark
+        self.config = config
+        self.payload = payload  # (codes, machine, mechanisms, classify)
+        self.attempt = 0
+        self.eligible_at = 0.0
+
+    def task(self, plan: Optional[FaultPlan]):
+        return self.payload + (self.config, self.attempt, plan)
+
+
+class _Scheduler:
+    """Runs cells on worker processes with retry/timeout/fallback."""
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        timeout: Optional[float],
+        retries: int,
+        backoff: float,
+        plan: FaultPlan,
+        on_failure: str,
+        notify: Callable[[str], None],
+        on_success: Callable[[_Cell, BenchmarkRun], None],
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if on_failure not in ("record", "raise"):
+            raise ValueError(
+                f"on_failure must be 'record' or 'raise', got {on_failure!r}"
+            )
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.plan = plan
+        self.on_failure = on_failure
+        self.notify = notify
+        self.on_success = on_success
+        self.results: dict[tuple[str, str], GridValue] = {}
+        self._retry: list[_Cell] = []
+        self._running: dict[object, tuple[_Cell, object, Optional[float]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, cells: Iterator[_Cell]) -> dict[tuple[str, str], GridValue]:
+        pending_source = True
+        try:
+            while True:
+                now = time.monotonic()
+                while len(self._running) < self.workers:
+                    cell = self._eligible(now)
+                    if cell is None and pending_source:
+                        cell = next(cells, None)
+                        if cell is None:
+                            pending_source = False
+                    if cell is None:
+                        break
+                    self._launch(cell)
+                    now = time.monotonic()
+                if not self._running:
+                    if not pending_source and not self._retry:
+                        break
+                    if self._retry:
+                        # Everything is backing off; sleep to eligibility.
+                        wake = min(c.eligible_at for c in self._retry)
+                        time.sleep(max(0.0, min(wake - now, _BACKOFF_CAP)))
+                    continue
+                self._collect()
+        finally:
+            for cell, proc, _ in self._running.values():
+                _stop_worker(proc)
+            self._running.clear()
+        return self.results
+
+    # ------------------------------------------------------------------
+
+    def _eligible(self, now: float) -> Optional[_Cell]:
+        for index, cell in enumerate(self._retry):
+            if cell.eligible_at <= now:
+                return self._retry.pop(index)
+        return None
+
+    def _launch(self, cell: _Cell) -> None:
+        try:
+            proc, conn = _start_worker(_run_cell, cell.task(self.plan or None))
+        except OSError as exc:
+            self._run_in_process(cell, exc)
+            return
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        self._running[conn] = (cell, proc, deadline)
+
+    def _run_in_process(self, cell: _Cell, cause: OSError) -> None:
+        """Broken-pool fallback: run the cell in the parent.
+
+        Faults are stripped — an ``os._exit`` fired in the parent would
+        kill the whole sweep, which is exactly what the fallback exists
+        to avoid.
+        """
+        self.notify(
+            f"  worker unavailable ({cause}); running "
+            f"{cell.benchmark} on {cell.config} in-process"
+        )
+        try:
+            value = _run_cell(cell.task(None))
+        except Exception as exc:  # noqa: BLE001
+            self._attempt_failed(cell, "error", f"{type(exc).__name__}: {exc}")
+            return
+        self._succeeded(cell, value)
+
+    def _collect(self) -> None:
+        wait_for = _POLL_SECONDS
+        now = time.monotonic()
+        deadlines = [d for _, _, d in self._running.values() if d is not None]
+        if deadlines:
+            wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+        if self._retry and len(self._running) < self.workers:
+            # A free slot is waiting on a backoff: wake when it expires.
+            wake = min(c.eligible_at for c in self._retry)
+            wait_for = min(wait_for, max(0.0, wake - now))
+        ready = _connection_wait(list(self._running), timeout=wait_for)
+        for conn in ready:
+            cell, proc, _ = self._running.pop(conn)
+            try:
+                status, value = conn.recv()
+            except (EOFError, OSError):
+                proc.join(1.0)
+                status, value = (
+                    "crash",
+                    f"worker died without reporting "
+                    f"(exit code {proc.exitcode})",
+                )
+            conn.close()
+            proc.join(1.0)
+            if status == "ok":
+                self._succeeded(cell, value)
+            elif status == "error":
+                self._attempt_failed(cell, "error", value)
+            else:
+                self._attempt_failed(cell, "crash", value)
+        now = time.monotonic()
+        for conn in [
+            conn
+            for conn, (_, _, deadline) in self._running.items()
+            if deadline is not None and now >= deadline
+        ]:
+            cell, proc, _ = self._running.pop(conn)
+            _stop_worker(proc)
+            conn.close()
+            self._attempt_failed(
+                cell,
+                "timeout",
+                f"cell exceeded the {self.timeout:g}s per-cell timeout",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _succeeded(self, cell: _Cell, value: BenchmarkRun) -> None:
+        self.results[cell.key] = value
+        self.notify(f"  {cell.benchmark} on {cell.config} done")
+        self.on_success(cell, value)
+
+    def _attempt_failed(self, cell: _Cell, kind: str, message: str) -> None:
+        cell.attempt += 1
+        if cell.attempt <= self.retries:
+            delay = min(
+                self.backoff * (2 ** (cell.attempt - 1)), _BACKOFF_CAP
+            )
+            cell.eligible_at = time.monotonic() + delay
+            self._retry.append(cell)
+            self.notify(
+                f"  {cell.benchmark} on {cell.config} {kind} "
+                f"({message}); retrying in {delay:.2f}s "
+                f"(attempt {cell.attempt + 1}/{self.retries + 1})"
+            )
+            return
+        failure = CellFailure(
+            benchmark=cell.benchmark,
+            config=cell.config,
+            kind=kind,
+            attempts=cell.attempt,
+            message=message,
+        )
+        self.notify(f"  FAILED {failure.describe()}")
+        if self.on_failure == "raise":
+            raise SweepInterrupted(failure)
+        self.results[cell.key] = failure
 
 
 def run_grid(
@@ -96,35 +442,119 @@ def run_grid(
     classify_misses: bool = False,
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
-) -> dict[tuple[str, str], BenchmarkRun]:
-    """Fan the (benchmark × configuration) grid over a process pool.
+    *,
+    store: Union[RunStore, str, Path, None] = None,
+    resume: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    faults: Optional[FaultPlan] = None,
+    on_failure: str = "record",
+) -> dict[tuple[str, str], GridValue]:
+    """Fan the (benchmark × configuration) grid over worker processes.
 
     ``prepare`` runs in the parent, once per benchmark (optimizer +
-    trace generation, exactly as the sequential driver does); each
-    prepared benchmark's cells are submitted immediately, so workers
-    simulate one benchmark while the parent prepares the next.
+    trace generation, exactly as the sequential driver does); cells are
+    pulled lazily, so workers simulate one benchmark while the parent
+    prepares the next.
 
-    Returns results keyed ``(config_name, benchmark_name)``.  The
-    ``progress`` callback is invoked only from the calling thread —
-    once per benchmark during preparation and once per cell as its
-    result is collected — so it needs no synchronization.
+    Returns results keyed ``(config_name, benchmark_name)``; a cell
+    that exhausted its retries maps to a :class:`CellFailure` (under
+    the default ``on_failure="record"``).  With a ``store``, completed
+    cells are checkpointed as they arrive and — when ``resume`` is true
+    — cells whose stored result verifies are not re-executed.  The
+    ``progress`` callback is invoked only from the calling thread.
     """
     workers = resolve_jobs(jobs)
-    results: dict[tuple[str, str], BenchmarkRun] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {}
+    notify = progress if progress is not None else lambda message: None
+    plan = faults if faults is not None else FaultPlan.from_env()
+    if isinstance(store, (str, Path)):
+        store = RunStore(store)
+
+    results: dict[tuple[str, str], GridValue] = {}
+    store_keys: dict[tuple[str, str], str] = {}
+
+    def cells() -> Iterator[_Cell]:
+        from repro.core.experiment import expected_version_keys
+
+        expected = expected_version_keys(mechanisms)
         for spec in specs:
-            if progress:
-                progress(f"preparing {spec.name}")
+            notify(f"preparing {spec.name}")
             codes = _slim_codes(prepare(spec))
+            digests = (
+                [
+                    trace_checksum(codes.base_trace),
+                    trace_checksum(codes.optimized_trace),
+                    trace_checksum(codes.selective_trace),
+                ]
+                if store is not None
+                else []
+            )
             for config_name, machine in machines.items():
-                futures[(config_name, spec.name)] = pool.submit(
-                    _run_cell, (codes, machine, mechanisms, classify_misses)
+                key = (config_name, spec.name)
+                if store is not None:
+                    store_keys[key] = store.cell_key(
+                        "cell",
+                        spec.name,
+                        config_name,
+                        scale=codes.scale,
+                        machine=machine,
+                        mechanisms=mechanisms,
+                        classify_misses=classify_misses,
+                        digests=digests,
+                    )
+                    if resume:
+                        cached = store.get(store_keys[key])
+                        if (
+                            isinstance(cached, BenchmarkRun)
+                            and list(cached.results) == expected
+                        ):
+                            results[key] = cached
+                            notify(
+                                f"  {spec.name} on {config_name} done "
+                                "(restored from store)"
+                            )
+                            continue
+                yield _Cell(
+                    key,
+                    spec.name,
+                    config_name,
+                    (codes, machine, mechanisms, classify_misses),
                 )
-        for key, future in futures.items():
-            results[key] = future.result()
-            if progress:
-                progress(f"  {key[1]} on {key[0]} done")
+
+    def checkpoint(cell: _Cell, run: BenchmarkRun) -> None:
+        if store is None:
+            return
+        skey = store_keys[cell.key]
+        store.put(
+            skey,
+            run,
+            meta={
+                "kind": "cell",
+                "benchmark": cell.benchmark,
+                "config": cell.config,
+                "scale": cell.payload[0].scale.name,
+            },
+        )
+        fault = plan.store_fault(cell.benchmark, cell.config, cell.attempt)
+        if fault is not None:
+            corrupt_stored_entry(store, skey)
+            notify(
+                f"  injected store corruption on {cell.benchmark} "
+                f"on {cell.config} ({fault.spec()})"
+            )
+
+    scheduler = _Scheduler(
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        plan=plan,
+        on_failure=on_failure,
+        notify=notify,
+        on_success=checkpoint,
+    )
+    results.update(scheduler.run(cells()))
     return results
 
 
@@ -143,6 +573,8 @@ def run_benchmark_parallel(
     reassembled in the canonical version-key order, so the returned
     :class:`BenchmarkRun` is indistinguishable from a sequential one.
     """
+    from concurrent.futures import ProcessPoolExecutor
+
     workers = resolve_jobs(jobs)
     if workers <= 1:
         return run_benchmark(codes, machine, mechanisms, classify_misses)

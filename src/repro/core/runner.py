@@ -4,18 +4,37 @@ Memory discipline: traces are generated per benchmark and simulated on
 every requested configuration before the next benchmark is prepared,
 so at most one benchmark's three traces are alive at a time.  With
 ``jobs > 1`` the (benchmark × configuration) grid instead fans out
-over a process pool (see :mod:`repro.core.parallel`); results are
-bit-identical to a sequential run in either mode.
+over the fault-tolerant scheduler in :mod:`repro.core.parallel`;
+results are bit-identical to a sequential run in either mode.
+
+Resilience: pass ``store=`` (a :class:`~repro.core.runstore.RunStore`
+or a directory path) and every completed cell is checkpointed the
+moment it finishes; with ``resume=True`` (the default when a store is
+given) a re-run skips cells whose stored results verify, so a sweep
+killed mid-grid restarts where it left off and produces a suite
+bit-identical to an uninterrupted run.  Under ``on_failure="record"``
+(default) a cell that exhausts its retries becomes a structured
+:class:`~repro.core.parallel.CellFailure` on ``SuiteResult.failures``
+and the sweep completes with partial results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from repro.compiler.optimizer import LocalityOptimizer
-from repro.core.experiment import run_benchmark
-from repro.core.parallel import resolve_jobs, run_grid
+from repro.core.experiment import expected_version_keys, run_benchmark
+from repro.core.parallel import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    CellFailure,
+    resolve_jobs,
+    run_grid,
+)
+from repro.core.faults import FaultPlan
+from repro.core.runstore import RunStore, trace_checksum
 from repro.core.sweep import SweepResult
 from repro.core.versions import MECHANISMS, prepare_codes
 from repro.params import SENSITIVITY_CONFIGS, MachineParams, base_config
@@ -27,16 +46,35 @@ __all__ = ["SuiteResult", "run_suite"]
 
 @dataclass
 class SuiteResult:
-    """Results for a set of benchmarks across configurations."""
+    """Results for a set of benchmarks across configurations.
+
+    ``failures`` lists cells that exhausted their retry budget under
+    ``on_failure="record"``; such cells are absent from their sweep's
+    ``runs``, so averages/figures are computed over the surviving
+    benchmarks (a partial-results report, not an exception).
+    """
 
     scale_name: str
     sweeps: dict[str, SweepResult] = field(default_factory=dict)
+    failures: list[CellFailure] = field(default_factory=list)
 
     def sweep(self, config_name: str) -> SweepResult:
         return self.sweeps[config_name]
 
     def config_names(self) -> list[str]:
         return list(self.sweeps)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    def failure_report(self) -> str:
+        """Human-readable summary of permanently failed cells."""
+        if not self.failures:
+            return "all cells completed"
+        lines = [f"{len(self.failures)} cell(s) failed permanently:"]
+        lines += [f"  - {failure.describe()}" for failure in self.failures]
+        return "\n".join(lines)
 
 
 def run_suite(
@@ -47,6 +85,14 @@ def run_suite(
     classify_misses: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = 1,
+    *,
+    store: Union[RunStore, str, Path, None] = None,
+    resume: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    faults: Optional[FaultPlan] = None,
+    on_failure: str = "record",
 ) -> SuiteResult:
     """Run the benchmark suite across machine configurations.
 
@@ -59,6 +105,13 @@ def run_suite(
     in-process; N > 1 fans the grid over N worker processes; ``None``
     resolves from ``REPRO_JOBS`` / CPU count.  Results are identical
     for every job count — only wall-clock changes.
+
+    ``store``/``resume`` checkpoint and skip completed cells in both
+    modes.  ``timeout``/``retries``/``backoff``/``faults``/
+    ``on_failure`` harden the parallel scheduler (see
+    :func:`repro.core.parallel.run_grid`); the sequential path executes
+    cells directly in this process, so per-cell kill/retry (and fault
+    injection, which targets worker cells) does not apply there.
     """
     if configs is None:
         configs = dict(SENSITIVITY_CONFIGS)
@@ -73,6 +126,8 @@ def run_suite(
     }
     reference = base_config().scaled(scale.machine_divisor)
     optimizer = LocalityOptimizer(reference)
+    if isinstance(store, (str, Path)):
+        store = RunStore(store)
 
     suite = SuiteResult(scale.name)
     for name, machine in machines.items():
@@ -88,23 +143,76 @@ def run_suite(
             classify_misses=classify_misses,
             jobs=workers,
             progress=progress,
+            store=store,
+            resume=resume,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            faults=faults,
+            on_failure=on_failure,
         )
-        # Reassemble in the exact insertion order of a sequential run.
+        # Reassemble in the exact insertion order of a sequential run;
+        # permanently failed cells land on ``failures`` instead.
         for spec in specs:
             for config_name in machines:
-                suite.sweeps[config_name].runs[spec.name] = grid[
-                    (config_name, spec.name)
-                ]
+                value = grid[(config_name, spec.name)]
+                if isinstance(value, CellFailure):
+                    suite.failures.append(value)
+                else:
+                    suite.sweeps[config_name].runs[spec.name] = value
         return suite
 
+    expected = expected_version_keys(mechanisms)
     for spec in specs:
         if progress:
             progress(f"preparing {spec.name}")
         codes = prepare_codes(spec, scale, reference, optimizer)
+        digests = (
+            [
+                trace_checksum(codes.base_trace),
+                trace_checksum(codes.optimized_trace),
+                trace_checksum(codes.selective_trace),
+            ]
+            if store is not None
+            else []
+        )
         for config_name, machine in machines.items():
-            if progress:
-                progress(f"  {spec.name} on {config_name}")
-            suite.sweeps[config_name].runs[spec.name] = run_benchmark(
-                codes, machine, mechanisms, classify_misses
-            )
+            run = None
+            key = None
+            if store is not None:
+                key = store.cell_key(
+                    "cell",
+                    spec.name,
+                    config_name,
+                    scale=scale,
+                    machine=machine,
+                    mechanisms=mechanisms,
+                    classify_misses=classify_misses,
+                    digests=digests,
+                )
+                if resume:
+                    cached = store.get(key)
+                    if cached is not None and list(cached.results) == expected:
+                        run = cached
+                        if progress:
+                            progress(
+                                f"  {spec.name} on {config_name} "
+                                "(restored from store)"
+                            )
+            if run is None:
+                if progress:
+                    progress(f"  {spec.name} on {config_name}")
+                run = run_benchmark(codes, machine, mechanisms, classify_misses)
+                if store is not None:
+                    store.put(
+                        key,
+                        run,
+                        meta={
+                            "kind": "cell",
+                            "benchmark": spec.name,
+                            "config": config_name,
+                            "scale": scale.name,
+                        },
+                    )
+            suite.sweeps[config_name].runs[spec.name] = run
     return suite

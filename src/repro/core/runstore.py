@@ -1,0 +1,256 @@
+"""Crash-safe on-disk store for completed sweep cells.
+
+The evaluation grid (13 benchmarks × 6 configurations × 11 simulations
+per cell, plus sensitivity sweeps) runs for minutes to hours; before
+this store existed, nothing was persisted until the whole suite
+finished, so one OOM-killed worker threw the entire sweep away.  The
+store checkpoints every completed cell so a killed sweep resumes by
+skipping verified-complete cells.
+
+Design:
+
+* **Content-addressed keys** — a cell's key is a digest over everything
+  that determines its result: store format version, payload kind,
+  benchmark, configuration name, workload scale, the full machine
+  parameters, the mechanism tuple, the miss-classification flag, and
+  the checksums of the input traces (:meth:`PackedTrace.checksum`).
+  Change any input and the key changes, so stale entries can never be
+  mistaken for current ones — there is no invalidation logic to get
+  wrong.
+* **Atomic writes** — entries are written to a temp file in the store
+  directory and published with :func:`os.replace`, so a crash mid-write
+  leaves either no entry or a complete one, never a torn file that a
+  resume would trust.
+* **Embedded checksums** — each entry carries a SHA-256 of its payload
+  bytes; :meth:`RunStore.get` re-verifies on every read and treats any
+  mismatch (bit rot, torn copy, deliberate corruption from the fault
+  harness) as a miss, so a corrupt entry costs a recompute, never a
+  wrong result.
+
+Keys hash raw ``array('q')`` column bytes, so they are stable across
+processes on one machine but not across byte orders — a store is a
+local checkpoint, not a portable artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from repro.isa.packed import AnyTrace, PackedTrace
+from repro.params import MachineParams
+from repro.workloads.base import Scale
+
+__all__ = ["STORE_FORMAT", "RunStore", "StoredEntry", "trace_checksum"]
+
+#: Bump to invalidate every existing entry (keys embed this version).
+STORE_FORMAT = 1
+
+_MAGIC = b"repro-runstore v1\n"
+_SUFFIX = ".cell"
+
+
+def trace_checksum(trace: AnyTrace) -> str:
+    """Content digest of a trace in either representation.
+
+    Object traces are packed first so both forms of the same stream
+    digest identically.
+    """
+    if not isinstance(trace, PackedTrace):
+        trace = PackedTrace.from_trace(trace)
+    return trace.checksum()
+
+
+@dataclass(frozen=True)
+class StoredEntry:
+    """One store file, as seen by ``repro runs``."""
+
+    key: str
+    path: Path
+    size: int
+    ok: bool
+    error: str = ""
+    meta: Optional[dict] = None
+
+    @property
+    def kind(self) -> str:
+        return (self.meta or {}).get("kind", "?")
+
+    @property
+    def benchmark(self) -> str:
+        return (self.meta or {}).get("benchmark", "?")
+
+    @property
+    def config(self) -> str:
+        return (self.meta or {}).get("config", "?")
+
+
+class RunStore:
+    """Directory of checksummed, atomically-written result cells."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"RunStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    # keys
+
+    def cell_key(
+        self,
+        kind: str,
+        benchmark: str,
+        config: str,
+        *,
+        scale: Scale,
+        machine: MachineParams,
+        mechanisms: tuple[str, ...] = (),
+        classify_misses: bool = False,
+        digests: Iterable[str] = (),
+    ) -> str:
+        """Deterministic content-addressed key for one grid cell."""
+        identity = {
+            "format": STORE_FORMAT,
+            "kind": kind,
+            "benchmark": benchmark,
+            "config": config,
+            "scale": dataclasses.asdict(scale),
+            "machine": dataclasses.asdict(machine),
+            "mechanisms": list(mechanisms),
+            "classify_misses": bool(classify_misses),
+            "digests": list(digests),
+        }
+        blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+        return f"{kind}-{_slug(benchmark)}-{_slug(config)}-{digest}"
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # read/write
+
+    def put(self, key: str, payload: Any, meta: Optional[dict] = None) -> Path:
+        """Persist one cell atomically (temp file + rename)."""
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = dict(meta or {})
+        header["sha256"] = hashlib.sha256(data).hexdigest()
+        header["size"] = len(data)
+        header["created"] = time.time()
+        path = self.path_for(key)
+        tmp = self.root / f".{key}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(json.dumps(header, sort_keys=True).encode())
+                handle.write(b"\n")
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # publish failed; don't leave droppings
+                tmp.unlink()
+        return path
+
+    def _read(self, key: str) -> tuple[Optional[dict], Any, str]:
+        """(meta, payload, error); error is "" only on a verified read."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None, None, "missing"
+        if not raw.startswith(_MAGIC):
+            return None, None, "bad magic"
+        body = raw[len(_MAGIC):]
+        newline = body.find(b"\n")
+        if newline < 0:
+            return None, None, "truncated header"
+        try:
+            meta = json.loads(body[:newline])
+        except ValueError:
+            return None, None, "unparseable header"
+        data = body[newline + 1:]
+        if len(data) != meta.get("size"):
+            return meta, None, (
+                f"payload size mismatch: {len(data)} != {meta.get('size')}"
+            )
+        if hashlib.sha256(data).hexdigest() != meta.get("sha256"):
+            return meta, None, "payload checksum mismatch"
+        try:
+            payload = pickle.loads(data)
+        except Exception as exc:
+            return meta, None, f"unpicklable payload: {exc}"
+        return meta, payload, ""
+
+    def get(self, key: str) -> Any:
+        """The stored payload, or None if missing or failing verification.
+
+        Corruption is deliberately indistinguishable from absence for
+        callers: the sweep recomputes the cell either way.  ``repro
+        runs`` surfaces the difference for humans via :meth:`entries`.
+        """
+        _, payload, error = self._read(key)
+        return payload if not error else None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def delete(self, key: str) -> bool:
+        path = self.path_for(key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    # maintenance / listing
+
+    def keys(self) -> list[str]:
+        return sorted(
+            path.name[: -len(_SUFFIX)]
+            for path in self.root.glob(f"*{_SUFFIX}")
+        )
+
+    def entries(self) -> list[StoredEntry]:
+        """Every entry, verified — what ``repro runs`` renders."""
+        out = []
+        for key in self.keys():
+            meta, _, error = self._read(key)
+            out.append(
+                StoredEntry(
+                    key=key,
+                    path=self.path_for(key),
+                    size=self.path_for(key).stat().st_size,
+                    ok=not error,
+                    error=error,
+                    meta=meta,
+                )
+            )
+        return out
+
+    def purge_corrupt(self) -> list[str]:
+        """Delete entries failing verification; returns their keys."""
+        removed = []
+        for entry in self.entries():
+            if not entry.ok:
+                self.delete(entry.key)
+                removed.append(entry.key)
+        return removed
+
+
+def _slug(text: str) -> str:
+    """Filename-safe version of a benchmark/configuration name."""
+    return "".join(
+        ch if ch.isalnum() or ch in "-_" else "_" for ch in text
+    ).strip("_") or "x"

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.parallel import CellFailure
+from repro.core.runstore import StoredEntry
 from repro.evaluation.figures import FIGURE_VERSIONS, FigureSeries
 from repro.evaluation.locality import LocalityRow
 from repro.evaluation.table2 import Table2Row
@@ -14,6 +16,8 @@ __all__ = [
     "render_table3",
     "render_figure",
     "render_locality",
+    "render_failures",
+    "render_runs",
 ]
 
 
@@ -97,5 +101,41 @@ def render_figure(series: FigureSeries) -> str:
         + "".join(
             f"{series.version_average(label):>15.2f}" for label in labels
         )
+    )
+    return "\n".join(lines)
+
+
+def render_failures(failures: Iterable[CellFailure]) -> str:
+    """Partial-results report: cells that exhausted their retries."""
+    failures = list(failures)
+    lines = [
+        f"WARNING: {len(failures)} cell(s) failed permanently; "
+        "averages above cover the surviving benchmarks only.",
+    ]
+    lines += [f"  - {failure.describe()}" for failure in failures]
+    return "\n".join(lines)
+
+
+def render_runs(entries: Iterable[StoredEntry]) -> str:
+    """``repro runs`` — stored sweep cells with verification status."""
+    entries = list(entries)
+    if not entries:
+        return "store is empty"
+    lines = [
+        f"{'kind':<8} {'benchmark':<10} {'config':<18} {'bytes':>9} "
+        f"{'status'}",
+    ]
+    corrupt = 0
+    for entry in entries:
+        status = "ok" if entry.ok else f"CORRUPT ({entry.error})"
+        if not entry.ok:
+            corrupt += 1
+        lines.append(
+            f"{entry.kind:<8} {entry.benchmark:<10} {entry.config:<18} "
+            f"{entry.size:>9,} {status}"
+        )
+    lines.append(
+        f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+        f"{corrupt} corrupt"
     )
     return "\n".join(lines)

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.core.experiment import simulate_trace
 from repro.core.parallel import resolve_jobs
+from repro.core.runstore import RunStore
 from repro.core.versions import prepare_codes
 from repro.params import MachineParams, base_config
 from repro.workloads.base import SMALL, Scale
@@ -60,22 +61,67 @@ def table2_rows(
     scale: Scale = SMALL,
     machine: MachineParams | None = None,
     jobs: Optional[int] = 1,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
 ) -> list[Table2Row]:
     """Simulate every benchmark's base code; return Table 2 rows.
 
     With ``jobs`` > 1 (or ``None`` for the ``REPRO_JOBS``/CPU-count
     default) each benchmark is prepared and simulated in its own worker
     process; row order and values are identical either way.
+
+    With a ``store``, each row is checkpointed as it completes and —
+    when ``resume`` is true — rows with verified stored results are
+    skipped.  Rows are keyed over scale + machine only (no trace
+    digests: preparation happens inside the worker, and workloads are
+    deterministic functions of benchmark × scale).
     """
     if machine is None:
         machine = base_config().scaled(scale.machine_divisor)
     names = [spec.name for spec in all_specs()]
+    keys = {
+        name: store.cell_key(
+            "table2",
+            name,
+            machine.name,
+            scale=scale,
+            machine=machine,
+            classify_misses=True,
+        )
+        for name in names
+    } if store is not None else {}
+    rows: dict[str, Table2Row] = {}
+    if store is not None and resume:
+        for name in names:
+            cached = store.get(keys[name])
+            if isinstance(cached, Table2Row) and cached.benchmark == name:
+                rows[name] = cached
+    missing = [name for name in names if name not in rows]
+
+    def record(name: str, row: Table2Row) -> None:
+        rows[name] = row
+        if store is not None:
+            store.put(
+                keys[name],
+                row,
+                meta={
+                    "kind": "table2",
+                    "benchmark": name,
+                    "config": machine.name,
+                    "scale": scale.name,
+                },
+            )
+
     workers = resolve_jobs(jobs)
-    if workers > 1:
+    if workers > 1 and missing:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_characterize, name, scale, machine)
-                for name in names
+                (name, pool.submit(_characterize, name, scale, machine))
+                for name in missing
             ]
-            return [future.result() for future in futures]
-    return [_characterize(name, scale, machine) for name in names]
+            for name, future in futures:
+                record(name, future.result())
+    else:
+        for name in missing:
+            record(name, _characterize(name, scale, machine))
+    return [rows[name] for name in names]

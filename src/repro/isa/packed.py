@@ -20,6 +20,7 @@ grid cheap (see :mod:`repro.core.parallel`).
 
 from __future__ import annotations
 
+import hashlib
 from array import array
 from collections import Counter
 from typing import TYPE_CHECKING, Iterable, Iterator, Union
@@ -140,6 +141,23 @@ class PackedTrace:
             elif op == _HW_OFF:
                 balance -= 1
         return balance
+
+    def checksum(self) -> str:
+        """Cheap content digest over the three columns.
+
+        Hashes the raw column bytes (length-prefixed, so column
+        boundaries are unambiguous) with BLAKE2b; the trace *name* is
+        deliberately excluded — two traces with identical streams
+        digest identically.  The run store keys sweep cells by this
+        digest, so any single flipped word changes the key.  Column
+        bytes are machine-endian: digests are stable per machine, not
+        across byte orders.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for column in (self._ops, self._args, self._pcs):
+            digest.update(len(column).to_bytes(8, "little"))
+            digest.update(column.tobytes())
+        return digest.hexdigest()
 
     def extend(self, other: "PackedTrace") -> None:
         self._ops.extend(other._ops)

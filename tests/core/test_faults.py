@@ -1,0 +1,89 @@
+"""Parsing and matching of the fault-injection plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import (
+    FAULTS_ENV,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+)
+
+
+class TestParsing:
+    def test_empty_specs_inject_nothing(self):
+        assert not FaultPlan.parse(None)
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse("  ;  ")
+
+    def test_single_entry(self):
+        plan = FaultPlan.parse("exit:vpenta:Base Confg.:1")
+        assert plan.entries == (
+            Fault("exit", "vpenta", "Base Confg.", 1),
+        )
+
+    def test_multiple_entries_and_wildcards(self):
+        plan = FaultPlan.parse("raise:*:*;hang:compress:Higher Mem. Lat.")
+        assert len(plan.entries) == 2
+        assert plan.entries[0].benchmark == "*"
+        assert plan.entries[1].times is None
+
+    def test_spec_round_trips(self):
+        spec = "raise:vpenta:*:2;corrupt:*:Base Confg."
+        assert FaultPlan.parse(spec).spec() == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode:vpenta:*",  # unknown kind
+            "raise:vpenta",  # too few fields
+            "raise:a:b:c:d",  # too many fields
+            "raise:vpenta:*:zero",  # non-integer times
+            "raise:vpenta:*:0",  # non-positive times
+        ],
+    )
+    def test_bad_entries_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "exit:vpenta:*:1")
+        assert FaultPlan.from_env().entries[0].kind == "exit"
+        monkeypatch.delenv(FAULTS_ENV)
+        assert not FaultPlan.from_env()
+
+
+class TestMatching:
+    def test_attempt_bounded_by_times(self):
+        fault = Fault("exit", "vpenta", "*", times=2)
+        assert fault.matches("vpenta", "Base Confg.", 0)
+        assert fault.matches("vpenta", "Base Confg.", 1)
+        assert not fault.matches("vpenta", "Base Confg.", 2)
+
+    def test_unlimited_times_matches_every_attempt(self):
+        fault = Fault("raise", "*", "*")
+        assert fault.matches("anything", "anywhere", 10_000)
+
+    def test_benchmark_and_config_filters(self):
+        fault = Fault("raise", "vpenta", "Base Confg.")
+        assert fault.matches("vpenta", "Base Confg.", 0)
+        assert not fault.matches("compress", "Base Confg.", 0)
+        assert not fault.matches("vpenta", "Higher Mem. Lat.", 0)
+
+    def test_kind_selection(self):
+        plan = FaultPlan.parse("corrupt:vpenta:*;raise:vpenta:*")
+        execution = plan.execution_fault("vpenta", "Base Confg.", 0)
+        assert execution is not None and execution.kind == "raise"
+        stored = plan.store_fault("vpenta", "Base Confg.", 0)
+        assert stored is not None and stored.kind == "corrupt"
+        assert plan.execution_fault("compress", "Base Confg.", 0) is None
+
+    def test_apply_execution_raise(self):
+        plan = FaultPlan.parse("raise:vpenta:*:1")
+        with pytest.raises(FaultInjected):
+            plan.apply_execution("vpenta", "Base Confg.", 0)
+        # attempt 1 is past ``times`` — no fault
+        plan.apply_execution("vpenta", "Base Confg.", 1)
+        plan.apply_execution("compress", "Base Confg.", 0)

@@ -70,14 +70,31 @@ class TestSerialParallelEquality:
 
 
 class TestResolveJobs:
-    def test_explicit_value_clamped(self):
+    def test_explicit_positive_value(self):
         assert resolve_jobs(4) == 4
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-3) == 1
+        assert resolve_jobs(1) == 1
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_non_positive_value_rejected(self, bad):
+        # Silently clamping 0/negative to one worker used to hide
+        # misconfigured callers; now it is a hard error.
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_jobs(bad)
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert resolve_jobs(None) == 3
+
+    @pytest.mark.parametrize("bad", ["0", "-2"])
+    def test_non_positive_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
 
     def test_env_ignored_when_explicit(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")

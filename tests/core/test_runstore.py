@@ -1,0 +1,155 @@
+"""Crash-safe run store: keys, atomic writes, corruption detection."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.faults import corrupt_stored_entry
+from repro.core.runstore import RunStore, trace_checksum
+from repro.isa.packed import PackedTrace
+from repro.params import base_config, higher_mem_latency
+from repro.workloads.base import SMALL, TINY
+
+
+def _store(tmp_path) -> RunStore:
+    return RunStore(tmp_path / "store")
+
+
+def _key(store, **overrides) -> str:
+    spec = dict(
+        kind="cell",
+        benchmark="vpenta",
+        config="Base Confg.",
+        scale=TINY,
+        machine=base_config(),
+        mechanisms=("bypass", "victim"),
+        classify_misses=False,
+        digests=("aa", "bb", "cc"),
+    )
+    spec.update(overrides)
+    kind = spec.pop("kind")
+    benchmark = spec.pop("benchmark")
+    config = spec.pop("config")
+    return store.cell_key(kind, benchmark, config, **spec)
+
+
+class TestKeys:
+    def test_deterministic(self, tmp_path):
+        store = _store(tmp_path)
+        assert _key(store) == _key(store)
+
+    def test_every_identity_field_changes_the_key(self, tmp_path):
+        store = _store(tmp_path)
+        base = _key(store)
+        assert _key(store, kind="table2") != base
+        assert _key(store, benchmark="compress") != base
+        assert _key(store, config="Higher Mem. Lat.") != base
+        assert _key(store, scale=SMALL) != base
+        assert _key(store, machine=higher_mem_latency()) != base
+        assert _key(store, mechanisms=("bypass",)) != base
+        assert _key(store, classify_misses=True) != base
+        assert _key(store, digests=("aa", "bb", "zz")) != base
+
+    def test_key_is_filename_safe(self, tmp_path):
+        store = _store(tmp_path)
+        key = _key(store, benchmark="tpcd_q1", config="Higher L2 Asc.")
+        path = store.path_for(key)
+        assert path.parent == store.root
+        assert "/" not in key and " " not in key
+
+    def test_trace_checksum_object_and_packed_agree(self):
+        packed = PackedTrace("t", ops=[1, 2], args=[3, 4], pcs=[0, 4])
+        assert trace_checksum(packed) == trace_checksum(packed.to_trace())
+
+
+class TestReadWrite:
+    def test_round_trip(self, tmp_path):
+        store = _store(tmp_path)
+        payload = {"cycles": 123, "nested": [1.5, "x"]}
+        key = _key(store)
+        store.put(key, payload, meta={"kind": "cell", "benchmark": "vpenta"})
+        assert key in store
+        assert store.get(key) == payload
+
+    def test_missing_key(self, tmp_path):
+        store = _store(tmp_path)
+        assert store.get("nonesuch") is None
+        assert "nonesuch" not in store
+        assert not store.delete("nonesuch")
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = _store(tmp_path)
+        key = _key(store)
+        store.put(key, "first")
+        store.put(key, "second")
+        assert store.get(key) == "second"
+        assert len(store.keys()) == 1
+
+    def test_no_temp_droppings(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(_key(store), list(range(1000)))
+        leftovers = [
+            path for path in store.root.iterdir() if path.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        store = _store(tmp_path)
+        key = _key(store)
+        store.put(key, {"value": 42})
+        corrupt_stored_entry(store, key)
+        assert store.get(key) is None
+        assert key not in store
+        (entry,) = store.entries()
+        assert not entry.ok and "checksum" in entry.error
+
+    def test_truncated_entry_detected(self, tmp_path):
+        store = _store(tmp_path)
+        key = _key(store)
+        path = store.put(key, {"value": 42})
+        path.write_bytes(path.read_bytes()[:-5])
+        assert store.get(key) is None
+
+    def test_garbage_file_detected(self, tmp_path):
+        store = _store(tmp_path)
+        path = store.path_for("junk")
+        path.write_bytes(b"not a store entry at all")
+        (entry,) = store.entries()
+        assert not entry.ok and entry.error == "bad magic"
+
+    def test_purge_corrupt_removes_only_bad_entries(self, tmp_path):
+        store = _store(tmp_path)
+        good, bad = _key(store), _key(store, benchmark="compress")
+        store.put(good, "good")
+        store.put(bad, "bad")
+        corrupt_stored_entry(store, bad)
+        assert store.purge_corrupt() == [bad]
+        assert store.get(good) == "good"
+        assert store.keys() == [good]
+
+
+class TestEntries:
+    def test_entries_report_meta(self, tmp_path):
+        store = _store(tmp_path)
+        key = _key(store)
+        store.put(
+            key,
+            "payload",
+            meta={"kind": "cell", "benchmark": "vpenta", "config": "Base Confg."},
+        )
+        (entry,) = store.entries()
+        assert entry.ok
+        assert entry.kind == "cell"
+        assert entry.benchmark == "vpenta"
+        assert entry.config == "Base Confg."
+        assert entry.size > 0
+
+    def test_machine_identity_uses_all_fields(self, tmp_path):
+        # The key digests the *entire* MachineParams dataclass, so a new
+        # field added later automatically invalidates old entries.
+        machine = base_config()
+        tweaked = dataclasses.replace(machine, mem_latency=machine.mem_latency + 1)
+        store = _store(tmp_path)
+        assert _key(store, machine=tweaked) != _key(store, machine=machine)

@@ -111,6 +111,47 @@ class TestEncodingAndPickle:
         assert clone.instructions == packed.instructions
 
 
+class TestChecksum:
+    """The run store keys sweep cells by this digest (see runstore)."""
+
+    def test_deterministic_and_name_independent(self):
+        packed = PackedTrace.from_trace(_mixed_trace())
+        renamed = PackedTrace(
+            "other-name", *(array[:] for array in packed.columns())
+        )
+        assert packed.checksum() == packed.checksum()
+        assert renamed.checksum() == packed.checksum()
+
+    def test_round_trip_preserves_checksum(self):
+        packed = PackedTrace.from_trace(_mixed_trace())
+        assert PackedTrace.from_trace(packed.to_trace()).checksum() == (
+            packed.checksum()
+        )
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone.checksum() == packed.checksum()
+
+    @pytest.mark.parametrize("column", [0, 1, 2])
+    def test_single_word_corruption_detected(self, column):
+        packed = PackedTrace.from_trace(_mixed_trace())
+        columns = [array[:] for array in packed.columns()]
+        columns[column][3] ^= 1  # flip one bit of one word
+        corrupted = PackedTrace(packed.name, *columns)
+        assert corrupted.checksum() != packed.checksum()
+
+    def test_swapped_columns_detected(self):
+        # The digest is column-position-sensitive: exchanging the args
+        # and pcs columns of equal length must change it.
+        ops, args, pcs = (
+            array[:] for array in PackedTrace.from_trace(_mixed_trace()).columns()
+        )
+        straight = PackedTrace("t", ops, args, pcs)
+        swapped = PackedTrace("t", ops, pcs, args)
+        assert straight.checksum() != swapped.checksum()
+
+    def test_empty_columns_checksum(self):
+        assert PackedTrace("a").checksum() == PackedTrace("b").checksum()
+
+
 class TestValidation:
     def test_column_length_mismatch_rejected(self):
         with pytest.raises(ValueError):

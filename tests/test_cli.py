@@ -50,3 +50,64 @@ class TestCLI:
     def test_bad_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "3"])
+
+
+class TestResilienceFlags:
+    def test_non_positive_jobs_is_a_clean_error(self, capsys):
+        assert main(["--jobs", "0", "list"]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["--resume", "list"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_bad_faults_spec_is_a_clean_error(self, capsys):
+        assert main(["--faults", "explode:vpenta:*", "list"]) == 2
+        assert "fault" in capsys.readouterr().err
+
+    def test_runs_requires_store(self, capsys):
+        assert main(["runs"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_runs_empty_store(self, tmp_path, capsys):
+        assert main(["--store", str(tmp_path / "s"), "runs"]) == 0
+        assert "store is empty" in capsys.readouterr().out
+
+    def test_table3_store_resume_and_runs_listing(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        base = [
+            "--scale", "tiny", "--store", store,
+            "table3", "--config", "Base Confg.", "--benchmark", "vpenta",
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+
+        assert main(["--store", store, "runs"]) == 0
+        out = capsys.readouterr().out
+        assert "vpenta" in out and "0 corrupt" in out
+
+        # Resumed run restores the cell and prints the same table.
+        assert main(["--scale", "tiny", "--store", store, "--resume",
+                     "table3", "--config", "Base Confg.",
+                     "--benchmark", "vpenta"]) == 0
+        captured = capsys.readouterr()
+        assert "restored from store" in captured.err
+        assert "Table 3" in captured.out
+
+    def test_runs_purges_corrupt_entries(self, tmp_path, capsys):
+        from repro.core.faults import corrupt_stored_entry
+        from repro.core.runstore import RunStore
+
+        store_dir = tmp_path / "s"
+        store = RunStore(store_dir)
+        store.put("goodkey", {"x": 1}, meta={"kind": "cell"})
+        store.put("badkey", {"x": 2}, meta={"kind": "cell"})
+        corrupt_stored_entry(store, "badkey")
+
+        assert main(["--store", str(store_dir), "runs"]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+        assert main(["--store", str(store_dir), "runs", "--purge-bad"]) == 0
+        captured = capsys.readouterr()
+        assert "purged badkey" in captured.err
+        assert "1 entry, 0 corrupt" in captured.out

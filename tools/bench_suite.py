@@ -24,6 +24,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -33,6 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.compiler.verify.lint import lint_registry  # noqa: E402
 from repro.core.experiment import simulate_trace  # noqa: E402
 from repro.core.runner import run_suite  # noqa: E402
+from repro.core.runstore import RunStore  # noqa: E402
 from repro.locality.mrc import distance_histogram  # noqa: E402
 from repro.params import SENSITIVITY_CONFIGS  # noqa: E402
 from repro.tracegen.interpreter import TraceGenerator  # noqa: E402
@@ -69,7 +71,11 @@ def _suites_identical(a, b) -> bool:
 
 
 def bench_sweep(scale, benchmarks, configs, jobs):
-    """Time run_suite serially and with ``jobs`` workers; verify equality."""
+    """Time run_suite serially and with ``jobs`` workers; verify equality.
+
+    Returns the report dict plus the serial suite so the resume bench
+    can reuse it as its bit-identical reference without a third run.
+    """
     serial, serial_s = _time(
         lambda: run_suite(scale, benchmarks=benchmarks, configs=configs, jobs=1)
     )
@@ -79,12 +85,58 @@ def bench_sweep(scale, benchmarks, configs, jobs):
         )
     )
     identical = _suites_identical(serial, parallel)
-    return {
+    report = {
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "jobs": jobs,
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "cells": len(benchmarks) * len(configs),
+        "results_identical": identical,
+    }
+    return report, serial
+
+
+def bench_sweep_resume(scale, benchmarks, configs, reference, serial_seconds):
+    """Checkpoint overhead and resume speedup of the run store.
+
+    Runs the same serial mini-sweep once against a cold store (every
+    cell simulated + checkpointed) and once resuming from it (every
+    cell restored after re-preparing traces for the content keys).
+    ``checkpoint_overhead_pct`` compares the cold store leg against the
+    store-less serial leg already timed by :func:`bench_sweep` — the
+    acceptance budget for the store is <5%.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-runstore-") as tmp:
+        store = RunStore(tmp)
+        cold, cold_s = _time(
+            lambda: run_suite(
+                scale, benchmarks=benchmarks, configs=configs, jobs=1,
+                store=store,
+            )
+        )
+        warm, warm_s = _time(
+            lambda: run_suite(
+                scale, benchmarks=benchmarks, configs=configs, jobs=1,
+                store=store, resume=True,
+            )
+        )
+        cells = len(store.entries())
+    identical = _suites_identical(reference, cold) and _suites_identical(
+        reference, warm
+    )
+    overhead = (
+        100.0 * (cold_s - serial_seconds) / serial_seconds
+        if serial_seconds
+        else None
+    )
+    return {
+        "store_seconds": round(cold_s, 3),
+        "resume_seconds": round(warm_s, 3),
+        "checkpoint_overhead_pct": round(overhead, 2)
+        if overhead is not None
+        else None,
+        "resume_speedup": round(cold_s / warm_s, 3) if warm_s else None,
+        "cells": cells,
         "results_identical": identical,
     }
 
@@ -196,11 +248,22 @@ def main(argv=None) -> int:
         f"at scale={scale.name}, jobs={args.jobs} "
         f"(cpu_count={os.cpu_count()})"
     )
-    sweep = bench_sweep(scale, benchmarks, configs, args.jobs)
+    sweep, reference = bench_sweep(scale, benchmarks, configs, args.jobs)
     print(
         f"  serial {sweep['serial_seconds']}s, "
         f"parallel {sweep['parallel_seconds']}s "
         f"-> {sweep['speedup']}x, identical={sweep['results_identical']}"
+    )
+
+    resume = bench_sweep_resume(
+        scale, benchmarks, configs, reference, sweep["serial_seconds"]
+    )
+    print(
+        f"run store: cold {resume['store_seconds']}s "
+        f"({resume['checkpoint_overhead_pct']}% overhead vs serial), "
+        f"resume {resume['resume_seconds']}s "
+        f"-> {resume['resume_speedup']}x, "
+        f"identical={resume['results_identical']}"
     )
 
     packed = bench_packed(scale, benchmarks[0])
@@ -234,6 +297,7 @@ def main(argv=None) -> int:
         "benchmarks": benchmarks,
         "configs": list(configs),
         "sweep": sweep,
+        "sweep_resume": resume,
         "packed_vs_objects": packed,
         "mrc_engine": mrc,
         "verify": verify,
@@ -243,12 +307,13 @@ def main(argv=None) -> int:
 
     if not (
         sweep["results_identical"]
+        and resume["results_identical"]
         and packed["results_identical"]
         and mrc["results_identical"]
         and verify["clean"]
     ):
         print(
-            "ERROR: parallel, packed, MRC, or lint results diverged",
+            "ERROR: parallel, resume, packed, MRC, or lint results diverged",
             file=sys.stderr,
         )
         return 1
