@@ -13,9 +13,17 @@ Commands mirror the paper's evaluation artifacts:
 * ``lint``       — static IR verification (structure, markers, bounds,
   transform legality) of every benchmark's base and optimized+marked
   variants;
+* ``profile``    — one version of one benchmark with telemetry
+  attached: per-region statistics plus an optional Chrome trace
+  (``--trace-out``, opens in Perfetto / chrome://tracing);
 * ``runs``       — list and validate the cells of a ``--store`` run
   store (checkpointed sweep results);
 * ``trace``      — dump a benchmark's trace to a file (binary format).
+
+``--trace-out FILE`` also works on the sweep commands (``table2``,
+``table3``, ``figure``), where it exports a wall-clock timeline of
+prepare/simulate/retry/restore spans, and on ``run --telemetry``,
+where it exports simulated-cycle telemetry for all versions.
 
 Long sweeps (``table2``/``table3``/``figure``) are fault-tolerant:
 ``--store DIR`` checkpoints every completed cell (atomic write +
@@ -44,10 +52,12 @@ from repro.core.runstore import RunStore
 from repro.core.versions import prepare_codes
 from repro.evaluation.figures import FIGURES, figure_series
 from repro.evaluation.locality import locality_rows
+from repro.evaluation.profile import profile_benchmark
 from repro.evaluation.report import (
     render_failures,
     render_figure,
     render_locality,
+    render_profile,
     render_runs,
     render_table2,
     render_table3,
@@ -56,6 +66,13 @@ from repro.evaluation.table2 import table2_rows
 from repro.evaluation.table3 import sweep_to_row
 from repro.isa.encoding import encode_trace
 from repro.params import SENSITIVITY_CONFIGS, base_config
+from repro.telemetry import (
+    SweepTimeline,
+    Telemetry,
+    sweep_trace_events,
+    telemetry_trace_events,
+    write_trace,
+)
 from repro.workloads.base import MEDIUM, SMALL, TINY, Scale
 from repro.workloads.registry import all_specs, get_spec
 
@@ -135,7 +152,48 @@ def _parser() -> argparse.ArgumentParser:
             "exit, corrupt); overrides $REPRO_FAULTS"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write a Chrome trace-event JSON file (Perfetto / "
+            "chrome://tracing): simulated-cycle telemetry for "
+            "profile and run --telemetry, wall-clock sweep timeline "
+            "for table2/table3/figure"
+        ),
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=1000,
+        metavar="CYCLES",
+        help=(
+            "telemetry sampling period in simulated cycles for "
+            "profile / run --telemetry (default: 1000)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def accept_trace_args(cmd: argparse.ArgumentParser) -> None:
+        """Let --trace-out/--interval appear after the subcommand too.
+
+        ``SUPPRESS`` keeps the parent parser's value when the option is
+        absent, so both positions work and the subcommand wins.
+        """
+        cmd.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
+        cmd.add_argument(
+            "--interval",
+            type=int,
+            metavar="CYCLES",
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
 
     sub.add_parser("list", help="list the benchmark suite")
 
@@ -148,13 +206,23 @@ def _parser() -> argparse.ArgumentParser:
         choices=list(SENSITIVITY_CONFIGS),
         default="Base Confg.",
     )
+    run_cmd.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "attach a telemetry hub to every version (runs "
+            "sequentially); combine with --trace-out for a Chrome trace"
+        ),
+    )
+    accept_trace_args(run_cmd)
 
     regions_cmd = sub.add_parser(
         "regions", help="show region detection + markers for a benchmark"
     )
     regions_cmd.add_argument("benchmark")
 
-    sub.add_parser("table2", help="reproduce Table 2")
+    table2_cmd = sub.add_parser("table2", help="reproduce Table 2")
+    accept_trace_args(table2_cmd)
 
     table3_cmd = sub.add_parser("table3", help="reproduce Table 3")
     table3_cmd.add_argument(
@@ -170,8 +238,11 @@ def _parser() -> argparse.ArgumentParser:
         help="restrict to specific benchmarks (default: all 13)",
     )
 
+    accept_trace_args(table3_cmd)
+
     figure_cmd = sub.add_parser("figure", help="reproduce one figure")
     figure_cmd.add_argument("number", type=int, choices=sorted(FIGURES))
+    accept_trace_args(figure_cmd)
 
     locality_cmd = sub.add_parser(
         "locality",
@@ -206,6 +277,33 @@ def _parser() -> argparse.ArgumentParser:
         help="treat warnings (e.g. removable markers) as failures",
     )
 
+    profile_cmd = sub.add_parser(
+        "profile",
+        help=(
+            "simulate one version of one benchmark with telemetry: "
+            "per-region statistics + optional Chrome trace (--trace-out)"
+        ),
+    )
+    profile_cmd.add_argument("benchmark")
+    profile_cmd.add_argument(
+        "--config",
+        choices=list(SENSITIVITY_CONFIGS),
+        default="Base Confg.",
+    )
+    profile_cmd.add_argument(
+        "--version",
+        choices=["base", "pure_sw", "pure_hw", "combined", "selective"],
+        default="selective",
+        help="which version to profile (default: selective)",
+    )
+    profile_cmd.add_argument(
+        "--mechanism",
+        choices=["bypass", "victim", "prefetch"],
+        default="bypass",
+        help="hardware assist for hw-backed versions (default: bypass)",
+    )
+    accept_trace_args(profile_cmd)
+
     runs_cmd = sub.add_parser(
         "runs",
         help=(
@@ -239,8 +337,40 @@ def _cmd_list() -> int:
     return 0
 
 
+def _run_with_telemetry(codes, machine, interval: int):
+    """Sequential run of all versions, one telemetry hub per version."""
+    from repro.core.experiment import BenchmarkRun, simulate_trace
+    from repro.core.versions import MECHANISMS
+
+    run = BenchmarkRun(codes.name, codes.category, machine.name)
+    hubs: dict[str, Telemetry] = {}
+    plan = [
+        ("base", codes.base_trace, None, True),
+        ("pure_sw", codes.optimized_trace, None, True),
+    ]
+    for mechanism in MECHANISMS:
+        plan += [
+            (f"pure_hw/{mechanism}", codes.base_trace, mechanism, True),
+            (f"combined/{mechanism}", codes.optimized_trace, mechanism, True),
+            (f"selective/{mechanism}", codes.selective_trace, mechanism, False),
+        ]
+    for key, trace, mechanism, initially_on in plan:
+        hub = Telemetry(interval=interval, name=f"{codes.name}/{key}")
+        run.results[key] = simulate_trace(
+            trace, machine, mechanism, initially_on, telemetry=hub
+        )
+        hubs[key] = hub
+    return run, hubs
+
+
 def _cmd_run(
-    name: str, config_name: str, scale: Scale, jobs: Optional[int]
+    name: str,
+    config_name: str,
+    scale: Scale,
+    jobs: Optional[int],
+    telemetry: bool,
+    interval: int,
+    trace_out: Optional[str],
 ) -> int:
     machine = SENSITIVITY_CONFIGS[config_name]().scaled(
         scale.machine_divisor
@@ -248,7 +378,26 @@ def _cmd_run(
     reference = base_config().scaled(scale.machine_divisor)
     started = time.time()
     codes = prepare_codes(get_spec(name), scale, reference)
-    run = run_benchmark_parallel(codes, machine, jobs=jobs)
+    if telemetry or trace_out:
+        run, hubs = _run_with_telemetry(codes, machine, interval)
+        if trace_out:
+            events = []
+            for pid, (key, hub) in enumerate(hubs.items(), start=1):
+                events += telemetry_trace_events(
+                    hub, pid=pid, label=f"{name}/{key}"
+                )
+            write_trace(
+                trace_out,
+                events,
+                meta={"benchmark": name, "config": config_name},
+            )
+            print(
+                f"wrote Chrome trace ({len(events)} events) to "
+                f"{trace_out}",
+                file=sys.stderr,
+            )
+    else:
+        run = run_benchmark_parallel(codes, machine, jobs=jobs)
     print(
         f"{name} on {config_name} (scale {scale.name}, "
         f"{time.time() - started:.1f}s)"
@@ -282,14 +431,40 @@ def _cmd_regions(name: str, scale: Scale) -> int:
     return 0
 
 
-def _cmd_table2(scale: Scale, jobs: Optional[int], resilience: dict) -> int:
+def _sweep_timeline(trace_out: Optional[str]) -> Optional[SweepTimeline]:
+    return SweepTimeline() if trace_out else None
+
+
+def _write_sweep_trace(
+    timeline: Optional[SweepTimeline], trace_out: Optional[str]
+) -> None:
+    if timeline is None or trace_out is None:
+        return
+    events = sweep_trace_events(timeline)
+    write_trace(trace_out, events, meta={"kind": "sweep"})
+    print(
+        f"wrote sweep timeline ({len(timeline)} spans, "
+        f"{len(events)} events) to {trace_out}",
+        file=sys.stderr,
+    )
+
+
+def _cmd_table2(
+    scale: Scale,
+    jobs: Optional[int],
+    resilience: dict,
+    trace_out: Optional[str],
+) -> int:
+    timeline = _sweep_timeline(trace_out)
     rows = table2_rows(
         scale,
         jobs=jobs,
         store=resilience["store"],
         resume=resilience["resume"],
+        timeline=timeline,
     )
     print(render_table2(rows))
+    _write_sweep_trace(timeline, trace_out)
     return 0
 
 
@@ -307,37 +482,91 @@ def _cmd_table3(
     scale: Scale,
     jobs: Optional[int],
     resilience: dict,
+    trace_out: Optional[str],
 ) -> int:
     names = config_names or list(SENSITIVITY_CONFIGS)
     configs = {name: SENSITIVITY_CONFIGS[name] for name in names}
+    timeline = _sweep_timeline(trace_out)
     suite = run_suite(
         scale,
         benchmarks=benchmarks,
         configs=configs,
         progress=_progress,
         jobs=jobs,
+        timeline=timeline,
         **resilience,
     )
     rows = [
         sweep_to_row(name, suite.sweeps[name]) for name in suite.sweeps
     ]
     print(render_table3(rows))
+    _write_sweep_trace(timeline, trace_out)
     return _report_failures(suite)
 
 
 def _cmd_figure(
-    number: int, scale: Scale, jobs: Optional[int], resilience: dict
+    number: int,
+    scale: Scale,
+    jobs: Optional[int],
+    resilience: dict,
+    trace_out: Optional[str],
 ) -> int:
     config_name = FIGURES[number]
+    timeline = _sweep_timeline(trace_out)
     suite = run_suite(
         scale,
         configs={config_name: SENSITIVITY_CONFIGS[config_name]},
         progress=_progress,
         jobs=jobs,
+        timeline=timeline,
         **resilience,
     )
     print(render_figure(figure_series(number, suite.sweep(config_name))))
+    _write_sweep_trace(timeline, trace_out)
     return _report_failures(suite)
+
+
+def _cmd_profile(
+    name: str,
+    config_name: str,
+    version: str,
+    mechanism: str,
+    scale: Scale,
+    interval: int,
+    trace_out: Optional[str],
+) -> int:
+    machine = SENSITIVITY_CONFIGS[config_name]().scaled(
+        scale.machine_divisor
+    )
+    profile = profile_benchmark(
+        name,
+        scale,
+        machine,
+        config_name,
+        version=version,
+        mechanism=mechanism,
+        interval=interval,
+    )
+    print(render_profile(profile))
+    if trace_out:
+        events = telemetry_trace_events(
+            profile.telemetry, label=f"{name}/{profile.version}"
+        )
+        write_trace(
+            trace_out,
+            events,
+            meta={
+                "benchmark": name,
+                "version": profile.version,
+                "config": config_name,
+                "interval": interval,
+            },
+        )
+        print(
+            f"wrote Chrome trace ({len(events)} events) to {trace_out}; "
+            "open in Perfetto (ui.perfetto.dev) or chrome://tracing"
+        )
+    return 0 if profile.consistent() else 1
 
 
 def _cmd_runs(store: Optional[RunStore], purge_bad: bool) -> int:
@@ -403,6 +632,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             raise ValueError(f"--timeout must be positive, got {args.timeout}")
         if args.resume and args.store is None:
             raise ValueError("--resume requires --store DIR")
+        if args.interval < 0:
+            raise ValueError(
+                f"--interval must be >= 0, got {args.interval}"
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -417,15 +650,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.benchmark, args.config, scale, jobs)
+        return _cmd_run(
+            args.benchmark,
+            args.config,
+            scale,
+            jobs,
+            args.telemetry,
+            args.interval,
+            args.trace_out,
+        )
     if args.command == "regions":
         return _cmd_regions(args.benchmark, scale)
     if args.command == "table2":
-        return _cmd_table2(scale, jobs, resilience)
+        return _cmd_table2(scale, jobs, resilience, args.trace_out)
     if args.command == "table3":
-        return _cmd_table3(args.config, args.benchmark, scale, jobs, resilience)
+        return _cmd_table3(
+            args.config, args.benchmark, scale, jobs, resilience,
+            args.trace_out,
+        )
     if args.command == "figure":
-        return _cmd_figure(args.number, scale, jobs, resilience)
+        return _cmd_figure(args.number, scale, jobs, resilience, args.trace_out)
+    if args.command == "profile":
+        return _cmd_profile(
+            args.benchmark,
+            args.config,
+            args.version,
+            args.mechanism,
+            scale,
+            args.interval,
+            args.trace_out,
+        )
     if args.command == "locality":
         return _cmd_locality(args.benchmarks, scale, jobs)
     if args.command == "lint":

@@ -46,6 +46,7 @@ def simulate_trace(
     mechanism: Optional[str] = None,
     initially_on: bool = True,
     classify_misses: bool = False,
+    telemetry=None,
 ) -> SimulationResult:
     """Time one trace on a fresh machine instance.
 
@@ -53,11 +54,15 @@ def simulate_trace(
     named assist is attached with the given initial gate state (the
     Selective version starts OFF — marker placement assumes the program
     begins in compiler mode).
+
+    ``telemetry`` optionally attaches a
+    :class:`repro.telemetry.hub.Telemetry` hub; observation is passive,
+    so the returned result is bit-identical either way.
     """
     assist = make_assist(mechanism, machine) if mechanism else None
     hierarchy = MemoryHierarchy(machine, assist, classify_misses)
     gate = HardwareGate(assist, initially_on=initially_on)
-    simulator = CPUSimulator(machine, hierarchy, gate)
+    simulator = CPUSimulator(machine, hierarchy, gate, telemetry=telemetry)
     return simulator.run(trace)
 
 

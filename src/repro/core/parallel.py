@@ -46,7 +46,7 @@ import time
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Optional, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Union
 
 from repro.core.experiment import (
     BenchmarkRun,
@@ -58,6 +58,9 @@ from repro.core.runstore import RunStore, trace_checksum
 from repro.core.versions import MECHANISMS, BenchmarkCodes
 from repro.params import MachineParams
 from repro.workloads.base import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.sweeptrace import SweepTimeline
 
 __all__ = [
     "DEFAULT_BACKOFF",
@@ -114,7 +117,10 @@ class CellFailure:
     Recorded in the result grid in place of a :class:`BenchmarkRun` so
     the sweep can complete with partial results; ``kind`` is ``error``
     (the cell raised), ``timeout`` (killed at the per-cell deadline), or
-    ``crash`` (the worker died without reporting).
+    ``crash`` (the worker died without reporting).  ``duration`` is the
+    wall-clock seconds from the cell's first launch to its permanent
+    failure (all attempts plus backoff waits), so failure reports and
+    the sweep timeline show what the dead cell actually cost.
     """
 
     benchmark: str
@@ -122,11 +128,13 @@ class CellFailure:
     kind: str
     attempts: int
     message: str
+    duration: float = 0.0
 
     def describe(self) -> str:
         return (
             f"{self.benchmark} on {self.config}: {self.kind} after "
-            f"{self.attempts} attempt(s) — {self.message}"
+            f"{self.attempts} attempt(s) in {self.duration:.1f}s — "
+            f"{self.message}"
         )
 
 
@@ -237,7 +245,15 @@ def _stop_worker(proc) -> None:
 class _Cell:
     """Mutable per-cell scheduling state."""
 
-    __slots__ = ("key", "benchmark", "config", "payload", "attempt", "eligible_at")
+    __slots__ = (
+        "key",
+        "benchmark",
+        "config",
+        "payload",
+        "attempt",
+        "eligible_at",
+        "first_started",
+    )
 
     def __init__(self, key, benchmark, config, payload):
         self.key = key
@@ -246,9 +262,16 @@ class _Cell:
         self.payload = payload  # (codes, machine, mechanisms, classify)
         self.attempt = 0
         self.eligible_at = 0.0
+        self.first_started: Optional[float] = None  # monotonic, 1st launch
 
     def task(self, plan: Optional[FaultPlan]):
         return self.payload + (self.config, self.attempt, plan)
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since this cell first started running."""
+        if self.first_started is None:
+            return 0.0
+        return time.monotonic() - self.first_started
 
 
 class _Scheduler:
@@ -265,6 +288,7 @@ class _Scheduler:
         on_failure: str,
         notify: Callable[[str], None],
         on_success: Callable[[_Cell, BenchmarkRun], None],
+        timeline: Optional["SweepTimeline"] = None,
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -282,9 +306,12 @@ class _Scheduler:
         self.on_failure = on_failure
         self.notify = notify
         self.on_success = on_success
+        self.timeline = timeline
         self.results: dict[tuple[str, str], GridValue] = {}
         self._retry: list[_Cell] = []
-        self._running: dict[object, tuple[_Cell, object, Optional[float]]] = {}
+        self._running: dict[
+            object, tuple[_Cell, object, Optional[float], float]
+        ] = {}
 
     # ------------------------------------------------------------------
 
@@ -313,10 +340,28 @@ class _Scheduler:
                     continue
                 self._collect()
         finally:
-            for cell, proc, _ in self._running.values():
+            for cell, proc, _, _ in self._running.values():
                 _stop_worker(proc)
             self._running.clear()
         return self.results
+
+    # ------------------------------------------------------------------
+
+    def _record_span(
+        self, cell: _Cell, started: float, status: str, **annotations
+    ) -> None:
+        """Append one attempt span to the sweep timeline, if attached."""
+        if self.timeline is None:
+            return
+        self.timeline.record(
+            cell.benchmark,
+            cell.benchmark,
+            cell.config,
+            start=started - self.timeline.origin,
+            status=status,
+            attempt=cell.attempt + 1,
+            **annotations,
+        )
 
     # ------------------------------------------------------------------
 
@@ -327,15 +372,18 @@ class _Scheduler:
         return None
 
     def _launch(self, cell: _Cell) -> None:
+        started = time.monotonic()
+        if cell.first_started is None:
+            cell.first_started = started
         try:
             proc, conn = _start_worker(_run_cell, cell.task(self.plan or None))
         except OSError as exc:
             self._run_in_process(cell, exc)
             return
         deadline = (
-            time.monotonic() + self.timeout if self.timeout is not None else None
+            started + self.timeout if self.timeout is not None else None
         )
-        self._running[conn] = (cell, proc, deadline)
+        self._running[conn] = (cell, proc, deadline, started)
 
     def _run_in_process(self, cell: _Cell, cause: OSError) -> None:
         """Broken-pool fallback: run the cell in the parent.
@@ -348,17 +396,27 @@ class _Scheduler:
             f"  worker unavailable ({cause}); running "
             f"{cell.benchmark} on {cell.config} in-process"
         )
+        started = time.monotonic()
+        if cell.first_started is None:
+            cell.first_started = started
         try:
             value = _run_cell(cell.task(None))
         except Exception as exc:  # noqa: BLE001
-            self._attempt_failed(cell, "error", f"{type(exc).__name__}: {exc}")
+            message = f"{type(exc).__name__}: {exc}"
+            self._record_span(
+                cell, started, "error", fallback="in-process", message=message
+            )
+            self._attempt_failed(cell, "error", message)
             return
+        self._record_span(cell, started, "ok", fallback="in-process")
         self._succeeded(cell, value)
 
     def _collect(self) -> None:
         wait_for = _POLL_SECONDS
         now = time.monotonic()
-        deadlines = [d for _, _, d in self._running.values() if d is not None]
+        deadlines = [
+            d for _, _, d, _ in self._running.values() if d is not None
+        ]
         if deadlines:
             wait_for = min(wait_for, max(0.0, min(deadlines) - now))
         if self._retry and len(self._running) < self.workers:
@@ -367,7 +425,7 @@ class _Scheduler:
             wait_for = min(wait_for, max(0.0, wake - now))
         ready = _connection_wait(list(self._running), timeout=wait_for)
         for conn in ready:
-            cell, proc, _ = self._running.pop(conn)
+            cell, proc, _, started = self._running.pop(conn)
             try:
                 status, value = conn.recv()
             except (EOFError, OSError):
@@ -380,20 +438,26 @@ class _Scheduler:
             conn.close()
             proc.join(1.0)
             if status == "ok":
+                self._record_span(cell, started, "ok")
                 self._succeeded(cell, value)
             elif status == "error":
+                self._record_span(cell, started, "error", message=value)
                 self._attempt_failed(cell, "error", value)
             else:
+                self._record_span(cell, started, "crash", message=value)
                 self._attempt_failed(cell, "crash", value)
         now = time.monotonic()
         for conn in [
             conn
-            for conn, (_, _, deadline) in self._running.items()
+            for conn, (_, _, deadline, _) in self._running.items()
             if deadline is not None and now >= deadline
         ]:
-            cell, proc, _ = self._running.pop(conn)
+            cell, proc, _, started = self._running.pop(conn)
             _stop_worker(proc)
             conn.close()
+            self._record_span(
+                cell, started, "timeout", timeout_seconds=self.timeout
+            )
             self._attempt_failed(
                 cell,
                 "timeout",
@@ -427,6 +491,7 @@ class _Scheduler:
             kind=kind,
             attempts=cell.attempt,
             message=message,
+            duration=cell.elapsed(),
         )
         self.notify(f"  FAILED {failure.describe()}")
         if self.on_failure == "raise":
@@ -450,6 +515,7 @@ def run_grid(
     backoff: float = DEFAULT_BACKOFF,
     faults: Optional[FaultPlan] = None,
     on_failure: str = "record",
+    timeline: Optional["SweepTimeline"] = None,
 ) -> dict[tuple[str, str], GridValue]:
     """Fan the (benchmark × configuration) grid over worker processes.
 
@@ -464,6 +530,11 @@ def run_grid(
     cells are checkpointed as they arrive and — when ``resume`` is true
     — cells whose stored result verifies are not re-executed.  The
     ``progress`` callback is invoked only from the calling thread.
+
+    A :class:`~repro.telemetry.sweeptrace.SweepTimeline` passed as
+    ``timeline`` collects wall-clock spans for every prepare step and
+    every cell attempt (including retries, timeouts, in-process
+    fallbacks, and store restores) for Chrome-trace export.
     """
     workers = resolve_jobs(jobs)
     notify = progress if progress is not None else lambda message: None
@@ -480,7 +551,16 @@ def run_grid(
         expected = expected_version_keys(mechanisms)
         for spec in specs:
             notify(f"preparing {spec.name}")
+            prep_start = time.monotonic()
             codes = _slim_codes(prepare(spec))
+            if timeline is not None:
+                timeline.record(
+                    f"prepare {spec.name}",
+                    spec.name,
+                    "prepare",
+                    start=prep_start - timeline.origin,
+                    status="prepare",
+                )
             digests = (
                 [
                     trace_checksum(codes.base_trace),
@@ -510,6 +590,8 @@ def run_grid(
                             and list(cached.results) == expected
                         ):
                             results[key] = cached
+                            if timeline is not None:
+                                timeline.restored(spec.name, config_name)
                             notify(
                                 f"  {spec.name} on {config_name} done "
                                 "(restored from store)"
@@ -553,6 +635,7 @@ def run_grid(
         on_failure=on_failure,
         notify=notify,
         on_success=checkpoint,
+        timeline=timeline,
     )
     results.update(scheduler.run(cells()))
     return results

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from repro.compiler.optimizer import LocalityOptimizer
 from repro.core.experiment import expected_version_keys, run_benchmark
@@ -40,6 +40,9 @@ from repro.core.versions import MECHANISMS, prepare_codes
 from repro.params import SENSITIVITY_CONFIGS, MachineParams, base_config
 from repro.workloads.base import SMALL, Scale
 from repro.workloads.registry import all_specs, get_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.sweeptrace import SweepTimeline
 
 __all__ = ["SuiteResult", "run_suite"]
 
@@ -93,6 +96,7 @@ def run_suite(
     backoff: float = DEFAULT_BACKOFF,
     faults: Optional[FaultPlan] = None,
     on_failure: str = "record",
+    timeline: Optional["SweepTimeline"] = None,
 ) -> SuiteResult:
     """Run the benchmark suite across machine configurations.
 
@@ -112,6 +116,11 @@ def run_suite(
     :func:`repro.core.parallel.run_grid`); the sequential path executes
     cells directly in this process, so per-cell kill/retry (and fault
     injection, which targets worker cells) does not apply there.
+
+    ``timeline`` optionally collects wall-clock
+    :class:`~repro.telemetry.sweeptrace.WallSpan` records (prepare
+    steps, cell attempts, restores) for Chrome-trace export; observing
+    the sweep never changes its results.
     """
     if configs is None:
         configs = dict(SENSITIVITY_CONFIGS)
@@ -150,6 +159,7 @@ def run_suite(
             backoff=backoff,
             faults=faults,
             on_failure=on_failure,
+            timeline=timeline,
         )
         # Reassemble in the exact insertion order of a sequential run;
         # permanently failed cells land on ``failures`` instead.
@@ -166,7 +176,16 @@ def run_suite(
     for spec in specs:
         if progress:
             progress(f"preparing {spec.name}")
+        prep_start = timeline.clock() if timeline is not None else 0.0
         codes = prepare_codes(spec, scale, reference, optimizer)
+        if timeline is not None:
+            timeline.record(
+                f"prepare {spec.name}",
+                spec.name,
+                "prepare",
+                start=prep_start,
+                status="prepare",
+            )
         digests = (
             [
                 trace_checksum(codes.base_trace),
@@ -194,6 +213,8 @@ def run_suite(
                     cached = store.get(key)
                     if cached is not None and list(cached.results) == expected:
                         run = cached
+                        if timeline is not None:
+                            timeline.restored(spec.name, config_name)
                         if progress:
                             progress(
                                 f"  {spec.name} on {config_name} "
@@ -202,7 +223,18 @@ def run_suite(
             if run is None:
                 if progress:
                     progress(f"  {spec.name} on {config_name}")
+                cell_start = (
+                    timeline.clock() if timeline is not None else 0.0
+                )
                 run = run_benchmark(codes, machine, mechanisms, classify_misses)
+                if timeline is not None:
+                    timeline.record(
+                        spec.name,
+                        spec.name,
+                        config_name,
+                        start=cell_start,
+                        status="ok",
+                    )
                 if store is not None:
                     store.put(
                         key,

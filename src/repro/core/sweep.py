@@ -8,6 +8,7 @@ from typing import Optional
 
 from repro.core.experiment import BenchmarkRun, run_benchmark
 from repro.core.versions import MECHANISMS, BenchmarkCodes
+from repro.memory.stats import HierarchySnapshot
 from repro.params import MachineParams
 
 __all__ = ["SweepResult", "run_sweep"]
@@ -41,6 +42,21 @@ class SweepResult:
                 f"no runs match version {version_key!r} category {category!r}"
             )
         return mean(values)
+
+    def total_memory(self, version_key: str) -> Optional[HierarchySnapshot]:
+        """Hierarchy counters of one version summed over all benchmarks.
+
+        Uses ``HierarchySnapshot.__add__`` (field-wise merge), so the
+        aggregate is exact — e.g. the sweep-wide L1D miss rate of the
+        Selective version is ``total.l1d.miss_rate``.  ``None`` for an
+        empty sweep.
+        """
+        snapshots = [
+            run.results[version_key].memory for run in self.runs.values()
+        ]
+        if not snapshots:
+            return None
+        return sum(snapshots)
 
 
 def run_sweep(

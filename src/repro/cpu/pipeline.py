@@ -32,7 +32,7 @@ Final cycle count is the completion time of the last instruction.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cpu.branch import BimodalPredictor
 from repro.cpu.results import SimulationResult
@@ -41,6 +41,9 @@ from repro.isa.instructions import Opcode
 from repro.isa.packed import AnyTrace, PackedTrace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.params import MachineParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["CPUSimulator"]
 
@@ -63,12 +66,14 @@ class CPUSimulator:
         hierarchy: MemoryHierarchy,
         gate: Optional[HardwareGate] = None,
         model_ifetch: bool = True,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.machine = machine
         self.hierarchy = hierarchy
         self.gate = gate or HardwareGate(hierarchy.assist)
         self.predictor = BimodalPredictor(machine.bimodal_entries)
         self.model_ifetch = model_ifetch
+        self.telemetry = telemetry
 
     def run(self, trace: AnyTrace) -> SimulationResult:
         """Simulate the whole trace; return cycles and statistics.
@@ -77,7 +82,18 @@ class CPUSimulator:
         the reference loop.  Both produce bit-identical results (pinned
         by ``tests/cpu/test_packed_equivalence.py``) — any change to
         the timing model must be made to *both* loops.
+
+        An attached telemetry hub only *reads* simulator and hierarchy
+        counters, so results are bit-identical with or without one
+        (pinned by ``tests/telemetry/test_identity.py``).
         """
+        if self.telemetry is not None:
+            self.telemetry.bind(
+                self.hierarchy.sample_counters,
+                self.hierarchy.snapshot,
+                gate_on=self.gate.enabled,
+            )
+            self.gate.telemetry = self.telemetry
         if isinstance(trace, PackedTrace):
             return self._run_packed(trace)
         return self._run_objects(trace)
@@ -125,7 +141,20 @@ class CPUSimulator:
         data_access = hierarchy.data_access
         inst_fetch = hierarchy.inst_fetch
 
+        # Telemetry: ``next_sample`` is None unless interval sampling is
+        # on, so a disabled run pays one local ``is None`` check per
+        # record.  Sampling and span bookkeeping only read state.
+        telemetry = self.telemetry
+        sample_step = telemetry.interval if telemetry is not None else 0
+        next_sample = sample_step if sample_step > 0 else None
+
         for op, arg, pc in trace.instructions:
+            if next_sample is not None and issue_cycle >= next_sample:
+                telemetry.sample(issue_cycle, instructions)
+                next_sample = (
+                    issue_cycle - issue_cycle % sample_step + sample_step
+                )
+
             # -- front end: instruction fetch ---------------------------
             if model_ifetch:
                 line = pc & ifetch_line_mask
@@ -204,13 +233,21 @@ class CPUSimulator:
                     issue_cycle += mispredict_penalty
                     slot = 0
             elif op == Opcode.HW_ON:
+                if telemetry is not None:
+                    telemetry.now = issue_cycle
+                    telemetry.instructions = instructions
                 gate.activate()
             elif op == Opcode.HW_OFF:
+                if telemetry is not None:
+                    telemetry.now = issue_cycle
+                    telemetry.instructions = instructions
                 gate.deactivate()
             else:  # pragma: no cover - exhaustive over Opcode
                 raise ValueError(f"unknown opcode {op!r}")
 
         total_cycles = max(issue_cycle + (1 if slot else 0), last_done)
+        if telemetry is not None:
+            telemetry.finish(total_cycles, instructions)
         return self._result(
             trace.name, total_cycles, instructions, loads, stores, branches
         )
@@ -261,9 +298,21 @@ class CPUSimulator:
         activate = gate.activate
         deactivate = gate.deactivate
 
+        # Telemetry: same contract as the object loop — one local
+        # ``is None`` check per record when disabled.
+        telemetry = self.telemetry
+        sample_step = telemetry.interval if telemetry is not None else 0
+        next_sample = sample_step if sample_step > 0 else None
+
         ops, args, pcs = trace.columns()
 
         for op, arg, pc in zip(ops, args, pcs):
+            if next_sample is not None and issue_cycle >= next_sample:
+                telemetry.sample(issue_cycle, instructions)
+                next_sample = (
+                    issue_cycle - issue_cycle % sample_step + sample_step
+                )
+
             # -- front end: instruction fetch ---------------------------
             if model_ifetch:
                 line = pc & ifetch_line_mask
@@ -342,13 +391,21 @@ class CPUSimulator:
                     issue_cycle += mispredict_penalty
                     slot = 0
             elif op == _HW_ON:
+                if telemetry is not None:
+                    telemetry.now = issue_cycle
+                    telemetry.instructions = instructions
                 activate()
             elif op == _HW_OFF:
+                if telemetry is not None:
+                    telemetry.now = issue_cycle
+                    telemetry.instructions = instructions
                 deactivate()
             else:  # pragma: no cover - exhaustive over Opcode
                 raise ValueError(f"unknown opcode {op!r}")
 
         total_cycles = max(issue_cycle + (1 if slot else 0), last_done)
+        if telemetry is not None:
+            telemetry.finish(total_cycles, instructions)
         return self._result(
             trace.name, total_cycles, instructions, loads, stores, branches
         )

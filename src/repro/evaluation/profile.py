@@ -1,0 +1,145 @@
+"""Per-region execution profile of one simulated benchmark version.
+
+``repro profile`` runs a single version of one benchmark with a
+:class:`~repro.telemetry.hub.Telemetry` hub attached and folds the
+hub's boundary snapshots into a region table: every interval between
+consecutive hardware-gate transitions (plus the run edges) becomes a
+:class:`ProfileRegion` whose statistics are *exact* counter deltas
+(``HierarchySnapshot.__sub__``), not interpolations of the sampled
+time series.  Summing the region deltas (``HierarchySnapshot.__add__``)
+must reproduce the run totals — rendered as a checksum row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.experiment import simulate_trace
+from repro.core.versions import prepare_codes
+from repro.cpu.results import SimulationResult
+from repro.memory.stats import HierarchySnapshot
+from repro.params import MachineParams, base_config
+from repro.telemetry.hub import Telemetry
+from repro.workloads.base import Scale
+from repro.workloads.registry import get_spec
+
+__all__ = ["BenchmarkProfile", "ProfileRegion", "profile_benchmark"]
+
+#: Sampling period (simulated cycles) used when the caller gives none.
+DEFAULT_INTERVAL = 1000
+
+
+@dataclass(frozen=True)
+class ProfileRegion:
+    """One gate-delimited interval of a run, with exact counter deltas."""
+
+    index: int
+    gate_on: bool
+    start_cycle: int
+    end_cycle: int
+    instructions: int
+    memory: HierarchySnapshot
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        return self.memory.l1d.miss_rate
+
+    @property
+    def mem_traffic(self) -> int:
+        return self.memory.mem_reads + self.memory.mem_writes
+
+
+@dataclass
+class BenchmarkProfile:
+    """Everything ``repro profile`` shows (and exports as a trace)."""
+
+    benchmark: str
+    version: str
+    config_name: str
+    result: SimulationResult
+    telemetry: Telemetry
+    regions: list[ProfileRegion]
+
+    def region_totals(self) -> Optional[HierarchySnapshot]:
+        """Sum of all region deltas; must equal the run's totals."""
+        if not self.regions:
+            return None
+        return sum(region.memory for region in self.regions)
+
+    def consistent(self) -> bool:
+        """Region deltas add back up to the run's final counters."""
+        totals = self.region_totals()
+        return totals is None or totals == self.result.memory
+
+
+def _regions_from_boundaries(telemetry: Telemetry) -> list[ProfileRegion]:
+    regions = []
+    boundaries = telemetry.boundaries
+    for index in range(len(boundaries) - 1):
+        lo, hi = boundaries[index], boundaries[index + 1]
+        if hi.cycle == lo.cycle:
+            continue  # zero-length edge (e.g. toggle at the final cycle)
+        regions.append(
+            ProfileRegion(
+                index=len(regions),
+                gate_on=lo.gate_on,
+                start_cycle=lo.cycle,
+                end_cycle=hi.cycle,
+                instructions=hi.instructions - lo.instructions,
+                memory=hi.memory - lo.memory,
+            )
+        )
+    return regions
+
+
+def profile_benchmark(
+    name: str,
+    scale: Scale,
+    machine: MachineParams,
+    config_name: str,
+    version: str = "selective",
+    mechanism: str = "bypass",
+    interval: int = DEFAULT_INTERVAL,
+) -> BenchmarkProfile:
+    """Simulate one version of ``name`` with telemetry attached.
+
+    ``version`` picks the (code, hardware) pairing of Section 4.3:
+    ``base``/``pure_sw`` run without an assist, ``pure_hw``/``combined``
+    with the assist always on, ``selective`` with the marker-gated
+    assist starting OFF.
+    """
+    if version not in ("base", "pure_sw", "pure_hw", "combined", "selective"):
+        raise ValueError(f"unknown version {version!r}")
+    # The optimizer always plans against the base machine (as the suite
+    # driver does); ``machine`` only affects the timed simulation.
+    reference = base_config().scaled(scale.machine_divisor)
+    codes = prepare_codes(get_spec(name), scale, reference)
+    trace = {
+        "base": codes.base_trace,
+        "pure_hw": codes.base_trace,
+        "pure_sw": codes.optimized_trace,
+        "combined": codes.optimized_trace,
+        "selective": codes.selective_trace,
+    }[version]
+    wants_assist = version in ("pure_hw", "combined", "selective")
+    telemetry = Telemetry(interval=interval, name=f"{name}/{version}")
+    result = simulate_trace(
+        trace,
+        machine,
+        mechanism if wants_assist else None,
+        initially_on=version != "selective",
+        telemetry=telemetry,
+    )
+    return BenchmarkProfile(
+        benchmark=name,
+        version=version if not wants_assist else f"{version}/{mechanism}",
+        config_name=config_name,
+        result=result,
+        telemetry=telemetry,
+        regions=_regions_from_boundaries(telemetry),
+    )

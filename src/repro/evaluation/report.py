@@ -8,6 +8,7 @@ from repro.core.parallel import CellFailure
 from repro.core.runstore import StoredEntry
 from repro.evaluation.figures import FIGURE_VERSIONS, FigureSeries
 from repro.evaluation.locality import LocalityRow
+from repro.evaluation.profile import BenchmarkProfile
 from repro.evaluation.table2 import Table2Row
 from repro.evaluation.table3 import PAPER_TABLE3, TABLE3_COLUMNS, Table3Row
 
@@ -17,6 +18,7 @@ __all__ = [
     "render_figure",
     "render_locality",
     "render_failures",
+    "render_profile",
     "render_runs",
 ]
 
@@ -113,6 +115,47 @@ def render_failures(failures: Iterable[CellFailure]) -> str:
         "averages above cover the surviving benchmarks only.",
     ]
     lines += [f"  - {failure.describe()}" for failure in failures]
+    return "\n".join(lines)
+
+
+def render_profile(profile: BenchmarkProfile) -> str:
+    """``repro profile`` — per-region statistics of one simulated run."""
+    result = profile.result
+    telemetry = profile.telemetry
+    lines = [
+        f"Profile: {profile.benchmark} ({profile.version}) on "
+        f"{profile.config_name}",
+        f"  {result.cycles:,} cycles, {result.instructions:,} instructions "
+        f"(IPC {result.ipc:.2f}), L1D miss rate {result.l1d_miss_rate:.3f}",
+        f"  {len(telemetry.series)} samples @ {telemetry.interval} cycles, "
+        f"{len(telemetry.gate_spans())} hardware-ON span(s), "
+        f"{telemetry.counters.get('gate_activations', 0)} ON / "
+        f"{telemetry.counters.get('gate_deactivations', 0)} OFF markers",
+        "",
+        f"{'region':<8} {'gate':<5} {'cycles':>10} {'%run':>6} "
+        f"{'instrs':>10} {'L1D miss%':>10} {'mem refs':>9} "
+        f"{'assist hits':>12}",
+    ]
+    for region in profile.regions:
+        share = (
+            100.0 * region.cycles / result.cycles if result.cycles else 0.0
+        )
+        lines.append(
+            f"{region.index:<8} {'ON' if region.gate_on else 'off':<5} "
+            f"{region.cycles:>10,} {share:>6.1f} "
+            f"{region.instructions:>10,} "
+            f"{100.0 * region.l1d_miss_rate:>10.2f} "
+            f"{region.mem_traffic:>9,} "
+            f"{region.memory.assist_hits:>12,}"
+        )
+    lines.append(
+        "  region deltas "
+        + (
+            "sum to the run totals (exact)"
+            if profile.consistent()
+            else "DO NOT sum to the run totals"
+        )
+    )
     return "\n".join(lines)
 
 

@@ -11,9 +11,10 @@ is an explicit characterization target.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.experiment import simulate_trace
 from repro.core.parallel import resolve_jobs
@@ -22,6 +23,9 @@ from repro.core.versions import prepare_codes
 from repro.params import MachineParams, base_config
 from repro.workloads.base import SMALL, Scale
 from repro.workloads.registry import all_specs, get_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.sweeptrace import SweepTimeline
 
 __all__ = ["Table2Row", "table2_rows"]
 
@@ -57,12 +61,24 @@ def _characterize(name: str, scale: Scale, machine: MachineParams) -> Table2Row:
     )
 
 
+def _characterize_timed(name: str, scale: Scale, machine: MachineParams):
+    """Like :func:`_characterize` but bracketed with monotonic stamps.
+
+    ``CLOCK_MONOTONIC`` is system-wide on Linux, so worker-side stamps
+    land directly on the parent's :class:`SweepTimeline` clock.
+    """
+    start = time.monotonic()
+    row = _characterize(name, scale, machine)
+    return row, start, time.monotonic()
+
+
 def table2_rows(
     scale: Scale = SMALL,
     machine: MachineParams | None = None,
     jobs: Optional[int] = 1,
     store: Optional[RunStore] = None,
     resume: bool = True,
+    timeline: Optional["SweepTimeline"] = None,
 ) -> list[Table2Row]:
     """Simulate every benchmark's base code; return Table 2 rows.
 
@@ -75,6 +91,10 @@ def table2_rows(
     skipped.  Rows are keyed over scale + machine only (no trace
     digests: preparation happens inside the worker, and workloads are
     deterministic functions of benchmark × scale).
+
+    ``timeline`` optionally collects one wall-clock span per simulated
+    row (worker-side stamps in the parallel path) plus restore events,
+    for Chrome-trace export via :mod:`repro.telemetry`.
     """
     if machine is None:
         machine = base_config().scaled(scale.machine_divisor)
@@ -96,6 +116,8 @@ def table2_rows(
             cached = store.get(keys[name])
             if isinstance(cached, Table2Row) and cached.benchmark == name:
                 rows[name] = cached
+                if timeline is not None:
+                    timeline.restored(name, machine.name)
     missing = [name for name in names if name not in rows]
 
     def record(name: str, row: Table2Row) -> None:
@@ -112,16 +134,31 @@ def table2_rows(
                 },
             )
 
+    def span(name: str, start: float, end: float) -> None:
+        if timeline is not None:
+            timeline.record(
+                name,
+                name,
+                machine.name,
+                start=start - timeline.origin,
+                end=end - timeline.origin,
+                status="ok",
+            )
+
     workers = resolve_jobs(jobs)
     if workers > 1 and missing:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                (name, pool.submit(_characterize, name, scale, machine))
+                (name, pool.submit(_characterize_timed, name, scale, machine))
                 for name in missing
             ]
             for name, future in futures:
-                record(name, future.result())
+                row, start, end = future.result()
+                span(name, start, end)
+                record(name, row)
     else:
         for name in missing:
-            record(name, _characterize(name, scale, machine))
+            row, start, end = _characterize_timed(name, scale, machine)
+            span(name, start, end)
+            record(name, row)
     return [rows[name] for name in names]

@@ -151,6 +151,11 @@ class CacheBypassAssist(AssistInterface):
     def prefetched_blocks(self) -> int:
         return self._prefetched
 
+    @property
+    def occupancy(self) -> int:
+        """Double words currently held in the bypass buffer."""
+        return len(self.buffer)
+
 
 class VictimCacheAssist(AssistInterface):
     """Jouppi victim caches behind L1 (64 lines) and L2 (512 lines).
@@ -226,3 +231,8 @@ class VictimCacheAssist(AssistInterface):
     @property
     def prefetched_blocks(self) -> int:
         return 0
+
+    @property
+    def occupancy(self) -> int:
+        """Lines currently held across both victim caches."""
+        return len(self.l1_victim) + len(self.l2_victim)

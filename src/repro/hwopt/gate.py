@@ -11,15 +11,25 @@ account").
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.memory.assist import AssistInterface
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["HardwareGate"]
 
 
 class HardwareGate:
-    """Controls an assist's enabled flag and counts transitions."""
+    """Controls an assist's enabled flag and counts transitions.
+
+    With a :class:`~repro.telemetry.hub.Telemetry` hub attached (the
+    CPU simulator wires one through when profiling), every transition
+    is also reported as a span boundary at the current simulated cycle;
+    ``telemetry`` stays ``None`` on ordinary runs, so the toggle path
+    pays a single ``is None`` check.
+    """
 
     def __init__(
         self,
@@ -29,6 +39,7 @@ class HardwareGate:
         self.assist = assist
         self.activations = 0
         self.deactivations = 0
+        self.telemetry: Optional["Telemetry"] = None
         if assist is not None:
             assist.enabled = initially_on
 
@@ -41,12 +52,16 @@ class HardwareGate:
         self.activations += 1
         if self.assist is not None:
             self.assist.enabled = True
+        if self.telemetry is not None:
+            self.telemetry.gate_changed(True)
 
     def deactivate(self) -> None:
         """Handle an OFF instruction."""
         self.deactivations += 1
         if self.assist is not None:
             self.assist.enabled = False
+        if self.telemetry is not None:
+            self.telemetry.gate_changed(False)
 
     @property
     def toggles(self) -> int:

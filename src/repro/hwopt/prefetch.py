@@ -135,3 +135,8 @@ class StreamBufferAssist(AssistInterface):
     @property
     def prefetched_blocks(self) -> int:
         return self._prefetched
+
+    @property
+    def occupancy(self) -> int:
+        """Lines currently queued across the stream buffers."""
+        return sum(len(buffer.lines) for buffer in self._buffers)

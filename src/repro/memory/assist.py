@@ -132,3 +132,12 @@ class AssistInterface(abc.ABC):
     @abc.abstractmethod
     def prefetched_blocks(self) -> int:
         """Extra lines fetched by variable-size fetches."""
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently held in assist storage (telemetry gauge).
+
+        Concrete mechanisms override this with their buffer / victim
+        cache fill level; the default suits assists with no storage.
+        """
+        return 0

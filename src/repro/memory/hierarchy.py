@@ -216,6 +216,29 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # statistics
 
+    def sample_counters(self) -> tuple[int, ...]:
+        """Cheap cumulative-counter row for telemetry interval sampling.
+
+        Field order matches :data:`repro.telemetry.series.SAMPLE_FIELDS`
+        after its ``(cycle, instructions)`` prefix and before the
+        trailing gate flag.  Reads counters only — calling this cannot
+        perturb simulation state.
+        """
+        l1d = self.l1d.stats
+        l2 = self.l2.stats
+        assist = self.assist
+        return (
+            l1d.accesses,
+            l1d.misses,
+            l2.accesses,
+            l2.misses,
+            self.l1d.occupancy(),
+            assist.occupancy if assist else 0,
+            self.memory.reads + self.memory.writes,
+            assist.assist_hits if assist else 0,
+            assist.bypassed_fills if assist else 0,
+        )
+
     def snapshot(self) -> HierarchySnapshot:
         """Copy all counters into an immutable record."""
         assist = self.assist

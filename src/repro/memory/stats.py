@@ -46,17 +46,52 @@ class CacheStats:
         return self.conflict_misses / self.misses
 
     def reset(self) -> None:
-        for f in (
-            "accesses",
-            "hits",
-            "misses",
-            "evictions",
-            "writebacks",
-            "compulsory_misses",
-            "capacity_misses",
-            "conflict_misses",
-        ):
+        for f in _CACHE_FIELDS:
             setattr(self, f, 0)
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Field-wise sum — merge counters from two runs or intervals."""
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            *(
+                getattr(self, f) + getattr(other, f)
+                for f in _CACHE_FIELDS
+            )
+        )
+
+    def __radd__(self, other) -> "CacheStats":
+        if other == 0:  # so sum(stats_list) works without a start value
+            return clone_stats(self)
+        return self.__add__(other)
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        """Field-wise difference — the delta between two snapshots.
+
+        Subtracting an earlier snapshot of the same cache from a later
+        one yields the counters accrued *in between*; this is how
+        telemetry turns boundary snapshots into per-region statistics.
+        """
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            *(
+                getattr(self, f) - getattr(other, f)
+                for f in _CACHE_FIELDS
+            )
+        )
+
+
+_CACHE_FIELDS = (
+    "accesses",
+    "hits",
+    "misses",
+    "evictions",
+    "writebacks",
+    "compulsory_misses",
+    "capacity_misses",
+    "conflict_misses",
+)
 
 
 @dataclass(frozen=True)
@@ -86,6 +121,50 @@ class HierarchySnapshot:
     @property
     def l2_miss_rate(self) -> float:
         return self.l2.miss_rate
+
+    def __add__(self, other: "HierarchySnapshot") -> "HierarchySnapshot":
+        """Field-wise merge — aggregate hierarchy counters.
+
+        Used wherever per-interval or per-cell statistics are combined
+        (telemetry region totals, suite-level aggregation) instead of
+        hand-rolled per-field arithmetic.
+        """
+        if not isinstance(other, HierarchySnapshot):
+            return NotImplemented
+        return HierarchySnapshot(
+            l1d=self.l1d + other.l1d,
+            l1i=self.l1i + other.l1i,
+            l2=self.l2 + other.l2,
+            dtlb_misses=self.dtlb_misses + other.dtlb_misses,
+            itlb_misses=self.itlb_misses + other.itlb_misses,
+            mem_reads=self.mem_reads + other.mem_reads,
+            mem_writes=self.mem_writes + other.mem_writes,
+            assist_hits=self.assist_hits + other.assist_hits,
+            bypassed_fills=self.bypassed_fills + other.bypassed_fills,
+            prefetched_blocks=self.prefetched_blocks + other.prefetched_blocks,
+        )
+
+    def __radd__(self, other) -> "HierarchySnapshot":
+        if other == 0:  # so sum(snapshot_list) works without a start value
+            return self
+        return self.__add__(other)
+
+    def __sub__(self, other: "HierarchySnapshot") -> "HierarchySnapshot":
+        """Counter delta between a later and an earlier snapshot."""
+        if not isinstance(other, HierarchySnapshot):
+            return NotImplemented
+        return HierarchySnapshot(
+            l1d=self.l1d - other.l1d,
+            l1i=self.l1i - other.l1i,
+            l2=self.l2 - other.l2,
+            dtlb_misses=self.dtlb_misses - other.dtlb_misses,
+            itlb_misses=self.itlb_misses - other.itlb_misses,
+            mem_reads=self.mem_reads - other.mem_reads,
+            mem_writes=self.mem_writes - other.mem_writes,
+            assist_hits=self.assist_hits - other.assist_hits,
+            bypassed_fills=self.bypassed_fills - other.bypassed_fills,
+            prefetched_blocks=self.prefetched_blocks - other.prefetched_blocks,
+        )
 
 
 def clone_stats(stats: CacheStats) -> CacheStats:

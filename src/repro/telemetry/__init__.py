@@ -1,0 +1,53 @@
+"""Observability subsystem: cycle-level telemetry and trace export.
+
+The simulator stack can now explain *when* things happen instead of
+only reporting end-of-run aggregates:
+
+* :class:`~repro.telemetry.hub.Telemetry` — the instrumentation hub a
+  :class:`~repro.cpu.pipeline.CPUSimulator` (and the hardware gate)
+  report into: named counters, gauges, a simulated-cycle span stack,
+  and interval sampling of the memory hierarchy's counters into
+  columnar buffers.  When no hub is attached the hot loops pay a single
+  local ``is None`` check per instruction — results are bit-identical
+  with and without one (pinned by ``tests/telemetry``).
+* :class:`~repro.telemetry.series.TimeSeries` — ``array``-backed
+  columnar storage for the interval samples (miss ratios, occupancy,
+  bypass rate, gate state over simulated cycles).
+* :mod:`~repro.telemetry.chrometrace` — export to the Chrome
+  trace-event JSON format; the files load directly in Perfetto or
+  ``chrome://tracing`` and show HW_ON/HW_OFF region spans at
+  simulated-cycle granularity alongside counter tracks.
+* :class:`~repro.telemetry.sweeptrace.SweepTimeline` — wall-clock
+  spans of sweep cells (one per attempt, with retry / timeout / resume
+  annotations) recorded by :mod:`repro.core.parallel` and
+  :mod:`repro.core.runner`, exported to the same trace format.
+
+Entry points: ``repro profile <benchmark>`` renders a per-region
+summary and writes the cycle timeline; ``--trace-out`` on
+``run``/``table2``/``table3``/``figure`` writes the sweep timeline.
+"""
+
+from repro.telemetry.chrometrace import (
+    sweep_trace_events,
+    telemetry_trace_events,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+from repro.telemetry.hub import CycleSpan, Telemetry
+from repro.telemetry.series import SAMPLE_FIELDS, TimeSeries
+from repro.telemetry.sweeptrace import SweepTimeline, WallSpan
+
+__all__ = [
+    "CycleSpan",
+    "SAMPLE_FIELDS",
+    "SweepTimeline",
+    "Telemetry",
+    "TimeSeries",
+    "WallSpan",
+    "sweep_trace_events",
+    "telemetry_trace_events",
+    "validate_trace",
+    "validate_trace_file",
+    "write_trace",
+]

@@ -1,0 +1,335 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+Two producers share the format:
+
+* :func:`telemetry_trace_events` — a simulation's cycle-domain spans
+  (HW_ON/HW_OFF regions nested inside one run-spanning interval, as
+  ``B``/``E`` events) plus counter tracks (``C`` events) from the
+  interval samples.  One simulated cycle maps to one microsecond of
+  trace time.
+* :func:`sweep_trace_events` — a sweep's wall-clock cell attempts as
+  complete (``X``) events, one timeline row per machine configuration,
+  with retry/timeout/resume annotations in the event args.
+
+:func:`validate_trace` re-parses an exported file and enforces the
+invariants the viewers rely on (well-formed events, per-thread
+``B``/``E`` stack discipline, non-negative timestamps); the CI smoke
+step and the test suite both run it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
+    from repro.telemetry.sweeptrace import SweepTimeline
+
+__all__ = [
+    "sweep_trace_events",
+    "telemetry_trace_events",
+    "validate_trace",
+    "validate_trace_file",
+    "write_trace",
+]
+
+_VALID_PHASES = {"B", "E", "X", "C", "M", "i", "I"}
+
+
+def _meta(pid: int, tid: int, name: str, which: str) -> dict:
+    return {
+        "name": which,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def telemetry_trace_events(
+    telemetry: "Telemetry",
+    pid: int = 1,
+    tid: int = 1,
+    label: Optional[str] = None,
+) -> list[dict]:
+    """Render one simulation's telemetry as trace events.
+
+    Spans become ``B``/``E`` pairs (zero-length spans become instant
+    ``i`` events); interval samples become ``C`` counter events for the
+    L1D/L2 interval miss ratios, occupancy, bypass activity, and gate
+    state.  ``ts`` is the simulated cycle.
+    """
+    run_name = label or telemetry.name or "simulation"
+    events: list[dict] = [
+        _meta(pid, 0, f"repro sim: {run_name}", "process_name"),
+        _meta(pid, tid, "regions", "thread_name"),
+    ]
+
+    #: rank 0 = the enclosing run span (must stay outermost even when a
+    #: gate span covers the identical [0, total) interval), 1 = hub spans.
+    spans = [(1, span) for span in telemetry.spans]
+    total = telemetry.total_cycles
+    if total is not None:
+        spans.append((0, _run_span(run_name, total)))
+    timed: list[tuple[tuple, dict]] = []
+    for rank, span in spans:
+        args = {k: _jsonable(v) for k, v in span.args.items()}
+        if span.end == span.begin:
+            timed.append(
+                (
+                    (span.begin, 2, 0, rank),
+                    {
+                        "name": span.name,
+                        "ph": "i",
+                        "ts": span.begin,
+                        "pid": pid,
+                        "tid": tid,
+                        "s": "t",
+                        "args": args,
+                    },
+                )
+            )
+            continue
+        # Sort so stack discipline holds at shared timestamps: ends
+        # before begins, inner ends (later begin) before outer ends,
+        # outer begins (later end) before inner begins; rank breaks
+        # exact [begin, end) ties so the run span stays outermost.
+        timed.append(
+            (
+                (span.end, 0, -span.begin, -rank),
+                {
+                    "name": span.name,
+                    "ph": "E",
+                    "ts": span.end,
+                    "pid": pid,
+                    "tid": tid,
+                },
+            )
+        )
+        timed.append(
+            (
+                (span.begin, 1, -span.end, rank),
+                {
+                    "name": span.name,
+                    "ph": "B",
+                    "ts": span.begin,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                },
+            )
+        )
+    events.extend(event for _, event in sorted(timed, key=lambda pair: pair[0]))
+
+    series = telemetry.series
+    if len(series):
+        l1d = series.interval_rates("l1d_misses", "l1d_accesses")
+        l2 = series.interval_rates("l2_misses", "l2_accesses")
+        bypass = series.interval_rates("bypassed_fills", "l1d_accesses")
+        cycles = series.column("cycle")
+        l1d_occ = series.column("l1d_occupancy")
+        assist_occ = series.column("assist_occupancy")
+        gate = series.column("gate_on")
+        for index, cycle in enumerate(cycles):
+            events.append(
+                {
+                    "name": "miss ratio (interval)",
+                    "ph": "C",
+                    "ts": cycle,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "l1d": round(l1d[index][1], 6),
+                        "l2": round(l2[index][1], 6),
+                    },
+                }
+            )
+            events.append(
+                {
+                    "name": "occupancy (lines)",
+                    "ph": "C",
+                    "ts": cycle,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "l1d": l1d_occ[index],
+                        "assist": assist_occ[index],
+                    },
+                }
+            )
+            events.append(
+                {
+                    "name": "bypass rate (interval)",
+                    "ph": "C",
+                    "ts": cycle,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"bypassed": round(bypass[index][1], 6)},
+                }
+            )
+            events.append(
+                {
+                    "name": "hw gate",
+                    "ph": "C",
+                    "ts": cycle,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"on": gate[index]},
+                }
+            )
+    return events
+
+
+def _run_span(name: str, total: int):
+    from repro.telemetry.hub import CycleSpan
+
+    return CycleSpan("run", 0, total, {"name": name})
+
+
+def sweep_trace_events(timeline: "SweepTimeline", pid: int = 2) -> list[dict]:
+    """Render a sweep timeline: one thread row per configuration.
+
+    Cell attempts are complete (``X``) events in microseconds of wall
+    clock; restored cells are instant events; annotations ride in
+    ``args``.
+    """
+    events: list[dict] = [_meta(pid, 0, "repro sweep", "process_name")]
+    tids: dict[str, int] = {}
+    for span in timeline.spans:
+        tid = tids.get(span.config)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[span.config] = tid
+            events.append(_meta(pid, tid, span.config, "thread_name"))
+        args = {
+            "benchmark": span.benchmark,
+            "status": span.status,
+            "attempt": span.attempt,
+            "seconds": round(span.duration, 4),
+        }
+        args.update({k: _jsonable(v) for k, v in span.annotations.items()})
+        start_us = round(span.start * 1e6)
+        if span.status == "restored":
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "ts": start_us,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+            continue
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": start_us,
+                "dur": max(round(span.duration * 1e6), 1),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_trace(
+    path: Union[str, Path],
+    events: Iterable[dict],
+    meta: Optional[dict] = None,
+) -> Path:
+    """Write a trace-event JSON file; returns the path written."""
+    path = Path(path)
+    payload = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.telemetry",
+            "time_unit": "1 ts = 1 simulated cycle (spans) / 1 us wall (sweep)",
+            **(meta or {}),
+        },
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def validate_trace(data: Union[dict, list]) -> dict:
+    """Check trace-event invariants; return a summary or raise ValueError.
+
+    Enforced: the JSON object shape, known phase codes, required fields
+    per phase, non-negative timestamps, and per-``(pid, tid)``
+    ``B``/``E`` stack discipline (every ``E`` closes the most recent
+    open ``B`` of the same name; nothing left open at the end).
+    """
+    events = data.get("traceEvents") if isinstance(data, dict) else data
+    if not isinstance(events, list):
+        raise ValueError("trace must be a list or contain 'traceEvents'")
+    stacks: dict[tuple, list[dict]] = {}
+    counts = {"events": 0, "spans": 0, "counters": 0, "instants": 0}
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError(f"non-object event: {event!r}")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ValueError(f"unknown phase {phase!r} in {event!r}")
+        counts["events"] += 1
+        if phase == "M":
+            continue
+        if "name" not in event or "ts" not in event:
+            raise ValueError(f"event missing name/ts: {event!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"bad timestamp in {event!r}")
+        key = (event.get("pid"), event.get("tid"))
+        if phase == "B":
+            stacks.setdefault(key, []).append(event)
+        elif phase == "E":
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(f"E without open B on {key}: {event!r}")
+            opener = stack.pop()
+            if opener["name"] != event["name"]:
+                raise ValueError(
+                    f"E {event['name']!r} does not close B "
+                    f"{opener['name']!r} on {key}"
+                )
+            if ts < opener["ts"]:
+                raise ValueError(
+                    f"span {event['name']!r} ends at {ts} before its "
+                    f"begin {opener['ts']}"
+                )
+            counts["spans"] += 1
+        elif phase == "X":
+            if "dur" not in event or event["dur"] < 0:
+                raise ValueError(f"X event missing/negative dur: {event!r}")
+            counts["spans"] += 1
+        elif phase == "C":
+            counts["counters"] += 1
+        else:  # instant
+            counts["instants"] += 1
+    open_spans = {key: stack for key, stack in stacks.items() if stack}
+    if open_spans:
+        leftovers = {
+            key: [event["name"] for event in stack]
+            for key, stack in open_spans.items()
+        }
+        raise ValueError(f"unclosed B spans at end of trace: {leftovers}")
+    return counts
+
+
+def validate_trace_file(path: Union[str, Path]) -> dict:
+    """Load a trace file, validate it, and return the summary counts."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return validate_trace(data)

@@ -19,6 +19,7 @@ from repro.workloads.mixed import (
 from repro.workloads.regular import (
     build_adi,
     build_mgrid,
+    build_mxm,
     build_swim,
     build_vpenta,
 )
@@ -55,7 +56,16 @@ _SPECS = [
                  "TPC-D Q6: predicate scan + index probes"),
 ]
 
-_BY_NAME = {spec.name: spec for spec in _SPECS}
+#: Extra workloads resolvable by name but *not* part of the paper's
+#: 13-benchmark suite (``all_specs``): demo kernels for the profiling
+#: CLI and tutorials.
+_EXTRA_SPECS = [
+    WorkloadSpec("mxm", MIXED, build_mxm,
+                 "Dense IJK matrix multiply + irregular binning "
+                 "(profiling demo kernel)"),
+]
+
+_BY_NAME = {spec.name: spec for spec in _SPECS + _EXTRA_SPECS}
 
 
 def all_specs() -> list[WorkloadSpec]:

@@ -17,7 +17,13 @@ from repro.compiler.ir.expr import var
 from repro.compiler.ir.program import Program
 from repro.workloads.base import Scale
 
-__all__ = ["build_swim", "build_mgrid", "build_vpenta", "build_adi"]
+__all__ = [
+    "build_swim",
+    "build_mgrid",
+    "build_vpenta",
+    "build_adi",
+    "build_mxm",
+]
 
 
 def build_swim(scale: Scale) -> Program:
@@ -179,4 +185,52 @@ def build_adi(scale: Scale) -> Program:
         ]),
     ])
     b.append(loop("t", 0, scale.steps, [row_sweep, col_sweep]))
+    return b.build()
+
+
+def build_mxm(scale: Scale) -> Program:
+    """Dense matrix multiply plus an irregular binning pass.
+
+    Not one of the paper's 13 benchmarks — registered as a profiling
+    demo.  The textbook IJK nest walks ``B`` down its columns
+    (stride-N on a row-major layout), so the compiler path optimizes
+    it; the histogram pass scatters through a data-dependent index
+    array, so region detection marks it hardware-preferred and the
+    selective trace carries real ON/OFF markers — every telemetry
+    signal (miss-ratio series, gate spans, bypass counters) has
+    something to show on a short run.
+    """
+    from repro.compiler.ir.refs import IndexedRef
+    from repro.tracegen.irregular import uniform_indices
+
+    n = scale.n2d
+    b = ProgramBuilder("mxm")
+    a = b.array("A", (n, n))
+    bb = b.array("B", (n, n))
+    c = b.array("C", (n, n))
+    i, j, k = var("i"), var("j"), var("k")
+
+    mult = loop("i", 0, n, [
+        loop("j", 0, n, [
+            loop("k", 0, n, [
+                stmt(writes=[c[i, j]],
+                     reads=[c[i, j], a[i, k], bb[k, j]],
+                     work=2, label="mxm"),
+            ]),
+        ]),
+    ])
+
+    bins = max(n * 8, 256)
+    points = n * n
+    hist = b.array("HIST", (bins,))
+    scat = b.index_array(
+        "SCAT", uniform_indices(points, bins, seed=7)
+    )
+    s = var("s")
+    binpass = loop("s", 0, points, [
+        stmt(reads=[IndexedRef(hist, scat[s])],
+             writes=[IndexedRef(hist, scat[s])],
+             work=1, label="bin"),
+    ])
+    b.append(loop("t", 0, scale.steps, [mult, binpass]))
     return b.build()

@@ -105,3 +105,64 @@ class TestResolveJobs:
 
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert resolve_jobs(None) == max(os.cpu_count() or 1, 1)
+
+
+class TestSweepTimeline:
+    """The optional wall-clock timeline observes sweeps without changing them."""
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_records_prepare_and_cell_spans(self, serial_suite, jobs):
+        from repro.telemetry import SweepTimeline
+
+        timeline = SweepTimeline()
+        suite = run_suite(
+            TINY,
+            benchmarks=BENCHMARKS,
+            configs=CONFIGS,
+            jobs=jobs,
+            timeline=timeline,
+        )
+        # Observation is passive: results identical to the untimed run.
+        for config_name in serial_suite.sweeps:
+            assert (
+                suite.sweep(config_name).runs.keys()
+                == serial_suite.sweep(config_name).runs.keys()
+            )
+        prepares = timeline.by_status("prepare")
+        oks = timeline.by_status("ok")
+        assert len(prepares) == len(BENCHMARKS)
+        assert len(oks) == len(BENCHMARKS) * len(CONFIGS)
+        assert all(span.end >= span.start >= 0.0 for span in timeline.spans)
+        assert {span.benchmark for span in oks} == set(BENCHMARKS)
+        assert timeline.total_busy_seconds() > 0.0
+
+    def test_exports_as_valid_chrome_trace(self):
+        from repro.telemetry import SweepTimeline, sweep_trace_events, validate_trace
+
+        timeline = SweepTimeline()
+        run_suite(
+            TINY,
+            benchmarks=["vpenta"],
+            configs=CONFIGS,
+            jobs=2,
+            timeline=timeline,
+        )
+        counts = validate_trace(sweep_trace_events(timeline))
+        assert counts["spans"] == len(timeline)
+
+
+class TestSweepAggregation:
+    def test_total_memory_merges_all_benchmarks(self, serial_suite):
+        from repro.core.sweep import SweepResult
+
+        sweep = serial_suite.sweep("Base Confg.")
+        total = sweep.total_memory("base")
+        assert total.l1d.accesses == sum(
+            run.results["base"].memory.l1d.accesses
+            for run in sweep.runs.values()
+        )
+        assert total.mem_reads == sum(
+            run.results["base"].memory.mem_reads
+            for run in sweep.runs.values()
+        )
+        assert SweepResult("empty").total_memory("base") is None

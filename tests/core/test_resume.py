@@ -218,6 +218,10 @@ class TestGracefulDegradation:
         assert failure.kind == "timeout"
         assert failure.attempts == 1
         assert "timeout" in failure.message
+        # The timed-out cell ran for at least the timeout; its report
+        # carries what the dead cell actually cost.
+        assert failure.duration >= 2.0
+        assert f"in {failure.duration:.1f}s" in failure.describe()
 
     def test_broken_pool_falls_back_in_process(
         self, monkeypatch, reference_suite

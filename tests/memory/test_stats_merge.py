@@ -1,0 +1,97 @@
+"""CacheStats / HierarchySnapshot arithmetic (merge and delta)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.stats import CacheStats, HierarchySnapshot, clone_stats
+
+
+def _stats(**overrides) -> CacheStats:
+    values = dict(
+        accesses=100,
+        hits=80,
+        misses=20,
+        evictions=5,
+        writebacks=2,
+        compulsory_misses=10,
+        capacity_misses=6,
+        conflict_misses=4,
+    )
+    values.update(overrides)
+    return CacheStats(**values)
+
+
+def _snapshot(scale: int = 1) -> HierarchySnapshot:
+    return HierarchySnapshot(
+        l1d=_stats(accesses=100 * scale, misses=20 * scale),
+        l1i=_stats(accesses=50 * scale),
+        l2=_stats(accesses=20 * scale),
+        dtlb_misses=3 * scale,
+        itlb_misses=1 * scale,
+        mem_reads=7 * scale,
+        mem_writes=2 * scale,
+        assist_hits=4 * scale,
+        bypassed_fills=6 * scale,
+        prefetched_blocks=0,
+    )
+
+
+class TestCacheStatsArithmetic:
+    def test_add_is_fieldwise(self):
+        merged = _stats() + _stats(accesses=10, misses=1)
+        assert merged.accesses == 110
+        assert merged.misses == 21
+        assert merged.hits == 160
+
+    def test_sum_over_list(self):
+        total = sum([_stats(), _stats(), _stats()])
+        assert isinstance(total, CacheStats)
+        assert total.accesses == 300
+
+    def test_sub_recovers_interval_delta(self):
+        later = _stats(accesses=150, misses=33)
+        earlier = _stats()
+        delta = later - earlier
+        assert delta.accesses == 50
+        assert delta.misses == 13
+        assert earlier + delta == later
+
+    def test_add_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            _stats() + 1
+
+    def test_radd_zero_returns_clone(self):
+        stats = _stats()
+        total = sum([stats])
+        assert total == stats
+        assert total is not stats
+
+    def test_reset_zeroes_every_field(self):
+        stats = _stats()
+        stats.reset()
+        assert stats == CacheStats()
+
+    def test_clone_is_independent(self):
+        original = _stats()
+        copy = clone_stats(original)
+        copy.accesses += 1
+        assert original.accesses == 100
+
+
+class TestHierarchySnapshotArithmetic:
+    def test_add_and_sum(self):
+        total = sum([_snapshot(), _snapshot(2)])
+        assert total.l1d.accesses == 300
+        assert total.mem_reads == 21
+        assert total.bypassed_fills == 18
+
+    def test_sub_then_add_round_trips(self):
+        earlier, later = _snapshot(1), _snapshot(3)
+        delta = later - earlier
+        assert delta.l1d.misses == 40
+        assert earlier + delta == later
+
+    def test_add_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            _snapshot() + 5

@@ -1,0 +1,171 @@
+"""Chrome trace export: valid JSON, nested B/E spans, marker agreement."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import simulate_trace
+from repro.core.versions import prepare_codes
+from repro.params import base_config
+from repro.telemetry import (
+    SweepTimeline,
+    Telemetry,
+    sweep_trace_events,
+    telemetry_trace_events,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return base_config().scaled(TINY.machine_divisor)
+
+
+@pytest.fixture(scope="module")
+def gated_hub(machine):
+    """A hub that observed a real gated run (tpcd_q3 has 6 toggles)."""
+    codes = prepare_codes(get_spec("tpcd_q3"), TINY, machine)
+    hub = Telemetry(interval=500, name="tpcd_q3/selective")
+    result = simulate_trace(
+        codes.selective_trace,
+        machine,
+        "bypass",
+        initially_on=False,
+        telemetry=hub,
+    )
+    return hub, result
+
+
+class TestTelemetryTraceEvents:
+    def test_file_round_trip_is_valid_json(self, gated_hub, tmp_path):
+        hub, _ = gated_hub
+        path = tmp_path / "trace.json"
+        write_trace(path, telemetry_trace_events(hub), meta={"x": 1})
+        data = json.loads(path.read_text())
+        assert data["otherData"]["x"] == 1
+        counts = validate_trace_file(path)
+        assert counts["spans"] > 0
+        assert counts["counters"] > 0
+
+    def test_spans_are_properly_nested(self, gated_hub):
+        hub, _ = gated_hub
+        events = telemetry_trace_events(hub)
+        stack = []
+        for event in events:
+            if event["ph"] == "B":
+                stack.append(event)
+            elif event["ph"] == "E":
+                opener = stack.pop()
+                assert opener["name"] == event["name"]
+                assert event["ts"] >= opener["ts"]
+        assert stack == []
+
+    def test_on_off_spans_agree_with_marker_stream(self, gated_hub):
+        """Every hw_region span pairs one executed ON with one OFF."""
+        hub, result = gated_hub
+        spans = hub.gate_spans()
+        # tpcd_q3's selective trace executes hw_toggles markers; each
+        # completed region consumed one ON and one OFF.
+        assert result.hw_toggles == 2 * len(spans)
+        assert hub.counters["gate_activations"] == len(spans)
+        assert hub.counters["gate_deactivations"] == len(spans)
+        # Spans are disjoint, ordered, and inside the run.
+        previous_end = 0
+        for span in spans:
+            assert 0 <= span.begin < span.end <= result.cycles
+            assert span.begin >= previous_end
+            previous_end = span.end
+        # The exported events carry exactly those spans.
+        events = telemetry_trace_events(hub)
+        begins = [
+            event["ts"]
+            for event in events
+            if event["ph"] == "B" and event["name"] == "hw_region"
+        ]
+        assert sorted(begins) == [span.begin for span in spans]
+
+    def test_initially_on_run_nests_under_run_span(self, machine):
+        """A pure_hw run's gate span shares [0, total) with the run span."""
+        codes = prepare_codes(get_spec("tpcd_q3"), TINY, machine)
+        hub = Telemetry(interval=0)
+        simulate_trace(
+            codes.base_trace,
+            machine,
+            "bypass",
+            initially_on=True,
+            telemetry=hub,
+        )
+        counts = validate_trace({"traceEvents": telemetry_trace_events(hub)})
+        assert counts["spans"] >= 2  # run + the initial hw_region
+
+    def test_counter_tracks_cover_every_sample(self, gated_hub):
+        hub, _ = gated_hub
+        events = telemetry_trace_events(hub)
+        misses = [e for e in events if e["name"] == "miss ratio (interval)"]
+        assert len(misses) == len(hub.series)
+        assert all(0.0 <= e["args"]["l1d"] <= 1.0 for e in misses)
+
+
+class TestSweepTraceEvents:
+    def test_sweep_rows_and_validation(self):
+        timeline = SweepTimeline()
+        timeline.record(
+            "vpenta", "vpenta", "Base Confg.", start=0.0, end=1.5,
+            status="ok",
+        )
+        timeline.record(
+            "vpenta", "vpenta", "2x L1", start=0.2, end=0.9,
+            status="error", attempt=2, message="boom",
+        )
+        timeline.restored("compress", "Base Confg.")
+        events = sweep_trace_events(timeline)
+        counts = validate_trace(events)
+        assert counts["spans"] == 2
+        assert counts["instants"] == 1
+        # One thread row per config, named.
+        names = {
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert names == {"Base Confg.", "2x L1"}
+        x = [event for event in events if event["ph"] == "X"]
+        assert all(event["dur"] >= 1 for event in x)
+        assert x[1]["args"]["message"] == "boom"
+
+
+class TestValidateTrace:
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_trace([{"ph": "Z", "name": "x", "ts": 0}])
+
+    def test_rejects_unbalanced_begin(self):
+        events = [{"ph": "B", "name": "x", "ts": 0, "pid": 1, "tid": 1}]
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_trace(events)
+
+    def test_rejects_mismatched_end(self):
+        events = [
+            {"ph": "B", "name": "x", "ts": 0, "pid": 1, "tid": 1},
+            {"ph": "E", "name": "y", "ts": 5, "pid": 1, "tid": 1},
+        ]
+        with pytest.raises(ValueError, match="does not close"):
+            validate_trace(events)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError, match="bad timestamp"):
+            validate_trace([{"ph": "i", "name": "x", "ts": -1}])
+
+    def test_rejects_end_before_begin(self):
+        events = [
+            {"ph": "B", "name": "x", "ts": 10, "pid": 1, "tid": 1},
+            {"ph": "E", "name": "x", "ts": 5, "pid": 1, "tid": 1},
+        ]
+        with pytest.raises(ValueError, match="before its"):
+            validate_trace(events)

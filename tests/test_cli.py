@@ -24,6 +24,59 @@ class TestCLI:
         assert "selective/bypass" in out
         assert "cycles" in out
 
+    def test_profile_emits_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.telemetry import validate_trace_file
+
+        out_file = tmp_path / "profile.json"
+        assert main(
+            [
+                "--scale", "tiny",
+                "profile", "mxm", "--trace-out", str(out_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Profile: mxm" in out
+        assert "region deltas sum to the run totals (exact)" in out
+        counts = validate_trace_file(out_file)
+        assert counts["spans"] > 0
+
+    def test_profile_of_unmarked_version(self, capsys):
+        assert main(
+            ["--scale", "tiny", "profile", "tpcd_q3", "--version", "base"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 ON / 0 OFF markers" in out
+
+    def test_run_telemetry_trace_out(self, tmp_path, capsys):
+        from repro.telemetry import validate_trace_file
+
+        out_file = tmp_path / "run.json"
+        assert main(
+            [
+                "--scale", "tiny", "--trace-out", str(out_file),
+                "run", "tpcd_q3", "--telemetry",
+            ]
+        ) == 0
+        assert "selective/bypass" in capsys.readouterr().out
+        assert validate_trace_file(out_file)["spans"] > 0
+
+    def test_table2_trace_out_writes_sweep_timeline(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_trace
+
+        out_file = tmp_path / "sweep.json"
+        assert main(
+            ["--scale", "tiny", "table2", "--trace-out", str(out_file)]
+        ) == 0
+        data = json.loads(out_file.read_text())
+        counts = validate_trace(data)
+        assert counts["spans"] == 13  # one X span per benchmark row
+
+    def test_negative_interval_is_a_clean_error(self, capsys):
+        assert main(["--interval", "-5", "profile", "mxm"]) == 2
+        assert "--interval" in capsys.readouterr().err
+
     def test_trace_round_trips(self, tmp_path, capsys):
         output = tmp_path / "t.trace"
         assert main(

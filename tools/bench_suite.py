@@ -37,6 +37,7 @@ from repro.core.runner import run_suite  # noqa: E402
 from repro.core.runstore import RunStore  # noqa: E402
 from repro.locality.mrc import distance_histogram  # noqa: E402
 from repro.params import SENSITIVITY_CONFIGS  # noqa: E402
+from repro.telemetry import Telemetry  # noqa: E402
 from repro.tracegen.interpreter import TraceGenerator  # noqa: E402
 from repro.workloads.base import SMALL, TINY  # noqa: E402
 from repro.workloads.registry import get_spec  # noqa: E402
@@ -205,6 +206,58 @@ def bench_mrc(scale, benchmark):
     }
 
 
+def bench_telemetry(scale, benchmark, repeats=3):
+    """Cost of the telemetry hub on the packed simulation hot loop.
+
+    Three legs over the same packed trace: no hub (the production
+    default), a hub with ``interval=0`` (span/counter bookkeeping but
+    no time-series sampling), and a hub sampling every 1000 cycles.
+    Each leg takes the best of ``repeats`` runs so the disabled-path
+    acceptance budget (<2% vs no hub) is not drowned by scheduler
+    noise.  All three legs must produce identical simulation results.
+    """
+    spec = get_spec(benchmark)
+    packed_trace = TraceGenerator(
+        spec.instantiate(scale), trace_name="t"
+    ).generate_packed()
+    machine_builder = SENSITIVITY_CONFIGS["Base Confg."]
+
+    def leg(make_hub):
+        best_s, result, samples = None, None, 0
+        for _ in range(repeats):
+            machine = machine_builder().scaled(scale.machine_divisor)
+            hub = make_hub()
+            run, wall_s = _time(
+                lambda: simulate_trace(packed_trace, machine, telemetry=hub)
+            )
+            if best_s is None or wall_s < best_s:
+                best_s, result = wall_s, run
+            if hub is not None:
+                samples = len(hub.series)
+        return result, best_s, samples
+
+    off_result, off_s, _ = leg(lambda: None)
+    idle_result, idle_s, _ = leg(lambda: Telemetry(interval=0))
+    sampling_result, sampling_s, samples = leg(
+        lambda: Telemetry(interval=1000)
+    )
+
+    def overhead(with_s):
+        return round(100.0 * (with_s - off_s) / off_s, 2) if off_s else None
+
+    return {
+        "benchmark": benchmark,
+        "records": len(packed_trace),
+        "samples": samples,
+        "off_seconds": round(off_s, 3),
+        "idle_hub_seconds": round(idle_s, 3),
+        "sampling_seconds": round(sampling_s, 3),
+        "idle_hub_overhead_pct": overhead(idle_s),
+        "sampling_overhead_pct": overhead(sampling_s),
+        "results_identical": off_result == idle_result == sampling_result,
+    }
+
+
 def bench_verify(scale):
     """Wall-clock of the full static lint (``python -m repro lint``):
     all four analyses over every benchmark's base and optimized
@@ -283,6 +336,16 @@ def main(argv=None) -> int:
         f"-> {mrc['packed_speedup']}x, identical={mrc['results_identical']}"
     )
 
+    telemetry = bench_telemetry(scale, benchmarks[0])
+    print(
+        f"telemetry on {telemetry['benchmark']} "
+        f"({telemetry['records']} records): off {telemetry['off_seconds']}s, "
+        f"idle hub {telemetry['idle_hub_overhead_pct']}%, "
+        f"sampling ({telemetry['samples']} samples) "
+        f"{telemetry['sampling_overhead_pct']}%, "
+        f"identical={telemetry['results_identical']}"
+    )
+
     verify = bench_verify(scale)
     print(
         f"static lint: {verify['variants']} program variants in "
@@ -300,6 +363,7 @@ def main(argv=None) -> int:
         "sweep_resume": resume,
         "packed_vs_objects": packed,
         "mrc_engine": mrc,
+        "telemetry_overhead": telemetry,
         "verify": verify,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -310,10 +374,12 @@ def main(argv=None) -> int:
         and resume["results_identical"]
         and packed["results_identical"]
         and mrc["results_identical"]
+        and telemetry["results_identical"]
         and verify["clean"]
     ):
         print(
-            "ERROR: parallel, resume, packed, MRC, or lint results diverged",
+            "ERROR: parallel, resume, packed, MRC, telemetry, or lint "
+            "results diverged",
             file=sys.stderr,
         )
         return 1
