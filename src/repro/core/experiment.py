@@ -47,6 +47,7 @@ def simulate_trace(
     initially_on: bool = True,
     classify_misses: bool = False,
     telemetry=None,
+    vectorize: Optional[bool] = None,
 ) -> SimulationResult:
     """Time one trace on a fresh machine instance.
 
@@ -58,11 +59,18 @@ def simulate_trace(
     ``telemetry`` optionally attaches a
     :class:`repro.telemetry.hub.Telemetry` hub; observation is passive,
     so the returned result is bit-identical either way.
+
+    ``vectorize`` forwards to :class:`CPUSimulator`: None picks the
+    fastest eligible path automatically, False pins the scalar loops,
+    True forces the numpy kernels (benchmarks and equivalence tests).
+    All three produce bit-identical results.
     """
     assist = make_assist(mechanism, machine) if mechanism else None
     hierarchy = MemoryHierarchy(machine, assist, classify_misses)
     gate = HardwareGate(assist, initially_on=initially_on)
-    simulator = CPUSimulator(machine, hierarchy, gate, telemetry=telemetry)
+    simulator = CPUSimulator(
+        machine, hierarchy, gate, telemetry=telemetry, vectorize=vectorize
+    )
     return simulator.run(trace)
 
 

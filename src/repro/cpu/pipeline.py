@@ -28,6 +28,36 @@ Model (one pass over the trace, O(N)):
   gate, so the paper's "overhead of ON/OFF instructions" is counted.
 
 Final cycle count is the completion time of the last instruction.
+
+Three implementations produce bit-identical results (pinned by
+``tests/cpu/test_packed_equivalence.py`` and the hypothesis suite in
+``tests/cpu/test_vector_property.py``):
+
+* ``_run_objects`` — the per-record reference loop over
+  :class:`Instruction` tuples;
+* ``_run_packed`` — the same loop over packed columns, restructured as
+  ``_run_packed_range`` so it can process any half-open record range
+  against a shared :class:`_PackedState`;
+* :func:`repro.cpu.vector.run_vectorized` — block-batched numpy
+  kernels, dispatched automatically for :class:`PackedTrace` inputs.
+
+**How the batched kernels preserve bit-identity.**  Nothing in the
+memory system depends on simulated *time* — caches, TLBs and the
+branch predictor are deterministic state machines driven purely by the
+access *sequence*, and the timing recurrence reads their outcomes but
+never feeds cycles back into them (interval-sampling telemetry, which
+does observe counters at cycle boundaries, forces the scalar path).
+The vector path therefore splits each HW_ON/HW_OFF-delimited segment
+into two phases: a replay phase that resolves every cache/TLB/branch
+outcome in bulk (grouping accesses by set, where LRU evolution is
+independent, and replaying each set's short sequence against the live
+``SetAssociativeCache`` state), and a timing phase that folds the
+resulting per-access latency/provenance columns through the identical
+issue/LSQ/port/refill/MSHR recurrence.  Segments where the hardware
+assist is enabled fall back to ``_run_packed_range`` on the same
+shared state, so mechanisms whose decisions interleave with the access
+stream (MAT bypass, victim swaps) keep the reference semantics and the
+vector kernels resume mid-trace afterwards.
 """
 
 from __future__ import annotations
@@ -57,6 +87,57 @@ _HW_ON = int(Opcode.HW_ON)
 _HW_OFF = int(Opcode.HW_OFF)
 
 
+class _PackedState:
+    """Mutable timing-loop state threaded through packed record ranges.
+
+    One instance lives for a whole simulation; ``_run_packed_range``
+    and the vector kernels both read it at entry and write it back at
+    exit, which is what lets scalar fallback segments and vectorized
+    segments alternate mid-trace without any loss of fidelity.
+
+    ``port_free`` is kept as a plain per-port list of free times.  Only
+    the *multiset* of values is observable (arbitration always picks a
+    port with the minimum free time, and which physical port wins a tie
+    affects nothing downstream), so the vector path may rotate it
+    through a sorted ring and write back any permutation.
+    """
+
+    __slots__ = (
+        "issue_cycle",
+        "slot",
+        "last_done",
+        "lsq_done",
+        "lsq_index",
+        "port_free",
+        "refill_bus_free",
+        "mshr_done",
+        "mshr_index",
+        "instructions",
+        "loads",
+        "stores",
+        "branches",
+        "current_ifetch_line",
+        "next_sample",
+    )
+
+    def __init__(self, machine: MachineParams, sample_step: int = 0):
+        self.issue_cycle = 0  # cycle currently being filled with issues
+        self.slot = 0  # issue slots used in issue_cycle
+        self.last_done = 0  # completion time of the latest-finishing op
+        self.lsq_done = [0] * machine.lsq_entries  # completion ring
+        self.lsq_index = 0
+        self.port_free = [0] * machine.mem_ports
+        self.refill_bus_free = 0
+        self.mshr_done = [0] * machine.max_outstanding_misses
+        self.mshr_index = 0
+        self.instructions = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.current_ifetch_line = -1
+        self.next_sample = sample_step if sample_step > 0 else None
+
+
 class CPUSimulator:
     """Times a trace (object or packed form) against a memory hierarchy."""
 
@@ -67,6 +148,7 @@ class CPUSimulator:
         gate: Optional[HardwareGate] = None,
         model_ifetch: bool = True,
         telemetry: Optional["Telemetry"] = None,
+        vectorize: Optional[bool] = None,
     ):
         self.machine = machine
         self.hierarchy = hierarchy
@@ -74,14 +156,19 @@ class CPUSimulator:
         self.predictor = BimodalPredictor(machine.bimodal_entries)
         self.model_ifetch = model_ifetch
         self.telemetry = telemetry
+        #: None = use the vector kernels when numpy is importable and
+        #: the run is eligible; True/False force the choice (True raises
+        #: if numpy is unavailable — used by the equivalence tests).
+        self.vectorize = vectorize
 
     def run(self, trace: AnyTrace) -> SimulationResult:
         """Simulate the whole trace; return cycles and statistics.
 
-        Packed traces take the columnar fast path; object traces take
-        the reference loop.  Both produce bit-identical results (pinned
-        by ``tests/cpu/test_packed_equivalence.py``) — any change to
-        the timing model must be made to *both* loops.
+        Packed traces take the block-batched vector path when eligible
+        (falling back to the columnar scalar loop otherwise); object
+        traces take the reference loop.  All paths produce bit-identical
+        results (pinned by ``tests/cpu/test_packed_equivalence.py``) —
+        any change to the timing model must be made to every loop.
 
         An attached telemetry hub only *reads* simulator and hierarchy
         counters, so results are bit-identical with or without one
@@ -95,8 +182,35 @@ class CPUSimulator:
             )
             self.gate.telemetry = self.telemetry
         if isinstance(trace, PackedTrace):
+            if self._vector_eligible():
+                from repro.cpu.vector import run_vectorized
+
+                return run_vectorized(self, trace)
             return self._run_packed(trace)
         return self._run_objects(trace)
+
+    def _vector_eligible(self) -> bool:
+        """Whether this run may use the block-batched numpy kernels.
+
+        Interval-sampling telemetry reads hierarchy counters at cycle
+        thresholds *interleaved* with the access stream, which the
+        phase-split kernels cannot honour — those runs use the scalar
+        loop.  (An ``interval=0`` hub only observes segment boundaries
+        and final totals, which the vector driver reports identically.)
+        """
+        if self.vectorize is False:
+            return False
+        from repro.cpu import vector
+
+        if not vector.available():
+            if self.vectorize:
+                raise RuntimeError(
+                    "vectorize=True requested but numpy is not importable"
+                )
+            return False
+        if self.telemetry is not None and self.telemetry.interval > 0:
+            return False
+        return True
 
     def _run_objects(self, trace) -> SimulationResult:
         """Reference implementation over per-instruction records."""
@@ -114,6 +228,12 @@ class CPUSimulator:
         lsq_done = [0] * lsq_size  # completion time per LSQ slot (ring)
         lsq_index = 0
         num_ports = machine.mem_ports
+        # Port arbitration picks the earliest-free port; the 1- and
+        # 2-port cases (every Table 1 machine) are hoisted out of the
+        # general scan into plain int locals.
+        single_port = num_ports == 1
+        dual_port = num_ports == 2
+        port0 = port1 = 0
         port_free = [0] * num_ports
         # Shared refill bus: beats to move one L1 line from L2.  DRAM
         # fills occupy the same L1-side bus slot; their own (much
@@ -193,14 +313,27 @@ class CPUSimulator:
                     issue_cycle = pending
                     slot = 0
                 # Port arbitration: earliest free port.
-                port = 0
-                earliest = port_free[0]
-                for p in range(1, num_ports):
-                    if port_free[p] < earliest:
-                        earliest = port_free[p]
-                        port = p
-                start = issue_cycle if issue_cycle > earliest else earliest
-                port_free[port] = start + 1
+                if single_port:
+                    start = issue_cycle if issue_cycle > port0 else port0
+                    port0 = start + 1
+                elif dual_port:
+                    if port0 <= port1:
+                        start = issue_cycle if issue_cycle > port0 else port0
+                        port0 = start + 1
+                    else:
+                        start = issue_cycle if issue_cycle > port1 else port1
+                        port1 = start + 1
+                else:
+                    port = 0
+                    earliest = port_free[0]
+                    for p in range(1, num_ports):
+                        if port_free[p] < earliest:
+                            earliest = port_free[p]
+                            port = p
+                    start = (
+                        issue_cycle if issue_cycle > earliest else earliest
+                    )
+                    port_free[port] = start + 1
                 access = data_access(arg, is_write)
                 if access.l1_hit or access.served_by == "assist":
                     done = start + access.latency
@@ -253,17 +386,51 @@ class CPUSimulator:
         )
 
     def _run_packed(self, trace: PackedTrace) -> SimulationResult:
-        """Columnar fast path over the three packed columns.
+        """Columnar scalar path over the three packed columns.
 
-        Semantically identical to :meth:`_run_objects`; opcodes are
-        compared as plain ints, and iterating the machine-word columns
-        in lockstep replaces per-record NamedTuple traversal (measured
-        ~2.5× cheaper per record than indexed column access).
+        Semantically identical to :meth:`_run_objects`; the loop body
+        lives in :meth:`_run_packed_range` so the vector driver can run
+        the same code over fallback segments mid-trace.
+        """
+        telemetry = self.telemetry
+        sample_step = telemetry.interval if telemetry is not None else 0
+        state = _PackedState(self.machine, sample_step)
+        ops, args, pcs = trace.columns()
+        self._run_packed_range(state, ops, args, pcs, 0, len(ops))
+        return self._finalize_packed(trace.name, state)
+
+    def _finalize_packed(
+        self, trace_name: str, state: _PackedState
+    ) -> SimulationResult:
+        total_cycles = max(
+            state.issue_cycle + (1 if state.slot else 0), state.last_done
+        )
+        if self.telemetry is not None:
+            self.telemetry.finish(total_cycles, state.instructions)
+        return self._result(
+            trace_name,
+            total_cycles,
+            state.instructions,
+            state.loads,
+            state.stores,
+            state.branches,
+        )
+
+    def _run_packed_range(
+        self, state: _PackedState, ops, args, pcs, lo: int, hi: int
+    ) -> None:
+        """Scalar reference loop over packed records ``lo..hi-1``.
+
+        Reads ``state`` into locals, runs the per-record loop (opcodes
+        compared as plain ints; iterating the machine-word columns in
+        lockstep replaces per-record NamedTuple traversal, measured
+        ~2.5× cheaper per record than indexed column access), and
+        writes the updated timing state back, so vectorized and scalar
+        segments can alternate over one simulation.
         """
         machine = self.machine
         hierarchy = self.hierarchy
         gate = self.gate
-        predictor = self.predictor
         issue_width = machine.issue_width
         mispredict_penalty = machine.branch_mispredict_penalty
         l1i_hit = machine.l1i.latency
@@ -271,30 +438,39 @@ class CPUSimulator:
         model_ifetch = self.model_ifetch
 
         lsq_size = machine.lsq_entries
-        lsq_done = [0] * lsq_size  # completion time per LSQ slot (ring)
-        lsq_index = 0
+        lsq_done = state.lsq_done
+        lsq_index = state.lsq_index
         num_ports = machine.mem_ports
-        port_free = [0] * num_ports
+        # Port arbitration: the 1- and 2-port cases (every Table 1
+        # machine) are hoisted out of the general scan into int locals.
+        port_free = state.port_free
+        single_port = num_ports == 1
+        dual_port = num_ports == 2
+        port0 = port_free[0]
+        port1 = port_free[1] if dual_port else 0
         # Shared refill bus / MSHR ring: same model as the object loop
         # (see the block comments there).
         l2_refill_beats = max(
             machine.l1d.block_size // machine.mem_bus_width, 1
         )
-        refill_bus_free = 0
+        refill_bus_free = state.refill_bus_free
         mshr_count = machine.max_outstanding_misses
-        mshr_done = [0] * mshr_count
-        mshr_index = 0
+        mshr_done = state.mshr_done
+        mshr_index = state.mshr_index
 
-        issue_cycle = 0  # cycle currently being filled with issues
-        slot = 0  # issue slots used in issue_cycle
-        last_done = 0  # completion time of the latest-finishing op
+        issue_cycle = state.issue_cycle
+        slot = state.slot
+        last_done = state.last_done
 
-        instructions = loads = stores = branches = 0
-        current_ifetch_line = -1
+        instructions = state.instructions
+        loads = state.loads
+        stores = state.stores
+        branches = state.branches
+        current_ifetch_line = state.current_ifetch_line
 
         data_access = hierarchy.data_access
         inst_fetch = hierarchy.inst_fetch
-        predict_and_update = predictor.predict_and_update
+        predict_and_update = self.predictor.predict_and_update
         activate = gate.activate
         deactivate = gate.deactivate
 
@@ -302,9 +478,12 @@ class CPUSimulator:
         # ``is None`` check per record when disabled.
         telemetry = self.telemetry
         sample_step = telemetry.interval if telemetry is not None else 0
-        next_sample = sample_step if sample_step > 0 else None
+        next_sample = state.next_sample
 
-        ops, args, pcs = trace.columns()
+        if lo != 0 or hi != len(ops):
+            ops = ops[lo:hi]
+            args = args[lo:hi]
+            pcs = pcs[lo:hi]
 
         for op, arg, pc in zip(ops, args, pcs):
             if next_sample is not None and issue_cycle >= next_sample:
@@ -351,14 +530,27 @@ class CPUSimulator:
                     issue_cycle = pending
                     slot = 0
                 # Port arbitration: earliest free port.
-                port = 0
-                earliest = port_free[0]
-                for p in range(1, num_ports):
-                    if port_free[p] < earliest:
-                        earliest = port_free[p]
-                        port = p
-                start = issue_cycle if issue_cycle > earliest else earliest
-                port_free[port] = start + 1
+                if single_port:
+                    start = issue_cycle if issue_cycle > port0 else port0
+                    port0 = start + 1
+                elif dual_port:
+                    if port0 <= port1:
+                        start = issue_cycle if issue_cycle > port0 else port0
+                        port0 = start + 1
+                    else:
+                        start = issue_cycle if issue_cycle > port1 else port1
+                        port1 = start + 1
+                else:
+                    port = 0
+                    earliest = port_free[0]
+                    for p in range(1, num_ports):
+                        if port_free[p] < earliest:
+                            earliest = port_free[p]
+                            port = p
+                    start = (
+                        issue_cycle if issue_cycle > earliest else earliest
+                    )
+                    port_free[port] = start + 1
                 access = data_access(arg, is_write)
                 if access.l1_hit or access.served_by == "assist":
                     done = start + access.latency
@@ -403,12 +595,23 @@ class CPUSimulator:
             else:  # pragma: no cover - exhaustive over Opcode
                 raise ValueError(f"unknown opcode {op!r}")
 
-        total_cycles = max(issue_cycle + (1 if slot else 0), last_done)
-        if telemetry is not None:
-            telemetry.finish(total_cycles, instructions)
-        return self._result(
-            trace.name, total_cycles, instructions, loads, stores, branches
-        )
+        state.issue_cycle = issue_cycle
+        state.slot = slot
+        state.last_done = last_done
+        state.lsq_index = lsq_index
+        if single_port:
+            port_free[0] = port0
+        elif dual_port:
+            port_free[0] = port0
+            port_free[1] = port1
+        state.refill_bus_free = refill_bus_free
+        state.mshr_index = mshr_index
+        state.instructions = instructions
+        state.loads = loads
+        state.stores = stores
+        state.branches = branches
+        state.current_ifetch_line = current_ifetch_line
+        state.next_sample = next_sample
 
     def _result(
         self,

@@ -1,0 +1,321 @@
+"""Block-batched numpy execution of packed traces.
+
+This is the fast path behind :meth:`CPUSimulator.run` for
+:class:`PackedTrace` inputs.  It produces results bit-identical to the
+scalar loops (see the bit-identity note in :mod:`repro.cpu.pipeline`)
+by splitting the trace at HW_ON/HW_OFF markers and, for each span
+where the hardware assist is off, running two phases:
+
+1. **Replay phase** — all cache/TLB/branch-predictor outcomes for the
+   span are resolved in bulk by the kernels in
+   :mod:`repro.memory.bulk` (via ``MemoryHierarchy.bulk_classify``)
+   and ``BimodalPredictor.bulk_predict_and_update``, operating on the
+   same live structures the scalar loop uses.
+
+2. **Timing phase** — per-access latency/refill columns are folded
+   through the issue/LSQ/port/refill-bus/MSHR recurrence.  Between
+   *timing events* (an instruction-fetch stall, a memory operation, a
+   mispredicted branch) the issue clock advances by a fixed number of
+   issue slots, so it is represented in closed form as
+   ``cycle(c) = base + (off + c) // issue_width`` over the cumulative
+   slot count ``c`` (an ``np.cumsum`` of per-record slot costs); only
+   the events themselves run in a tight Python loop, and each event
+   that zeroes the slot counter just rebases ``(base, off)``.
+
+Marker records and assist-enabled spans execute through the scalar
+``_run_packed_range`` against the same shared ``_PackedState``, so the
+two execution styles alternate freely mid-trace.
+
+Port arbitration note: the scalar loops pick the earliest-free port
+with a linear scan.  Here the ports are a sorted ring rotated FIFO —
+because access start times are non-decreasing within a span, the port
+freed longest ago is always an earliest-free port, so the resulting
+multiset of port-free times (the only observable) is identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is baked into the env
+    np = None
+
+from repro.isa.instructions import Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.pipeline import CPUSimulator, _PackedState
+    from repro.isa.packed import PackedTrace
+
+__all__ = ["available", "run_vectorized"]
+
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
+_ALU = int(Opcode.ALU)
+_BRANCH = int(Opcode.BRANCH)
+
+#: Spans shorter than this run through the scalar loop: the fixed cost
+#: of ~20 numpy kernel launches outweighs per-record interpretation on
+#: tiny spans (frequent in selective traces with many gated regions).
+#: ``vectorize=True`` overrides the floor so tests can force the
+#: kernels onto arbitrarily small traces.
+MIN_VECTOR_SPAN = 512
+
+
+def available() -> bool:
+    """Whether the vector kernels can run (numpy importable)."""
+    return np is not None
+
+
+def run_vectorized(sim: "CPUSimulator", trace: "PackedTrace"):
+    """Simulate a packed trace with the block-batched kernels.
+
+    Dispatched from :meth:`CPUSimulator.run`; bit-identical to
+    ``_run_packed`` / ``_run_objects``.
+    """
+    from repro.cpu.pipeline import _PackedState
+
+    state = _PackedState(sim.machine)
+    ops, args, pcs = trace.numpy_columns()
+    raw_cols = trace.columns()
+    n = ops.size
+    markers = trace.marker_positions()
+    force = sim.vectorize is True
+
+    lo = 0
+    for m in markers.tolist():
+        _run_span(sim, state, ops, args, pcs, raw_cols, lo, m, force)
+        # The marker record itself: one scalar step (issue slot,
+        # telemetry boundary, gate toggle).
+        sim._run_packed_range(state, *raw_cols, m, m + 1)
+        lo = m + 1
+    _run_span(sim, state, ops, args, pcs, raw_cols, lo, n, force)
+    return sim._finalize_packed(trace.name, state)
+
+
+def _run_span(sim, state, ops, args, pcs, raw_cols, lo, hi, force):
+    """Run records ``lo..hi-1`` (no markers inside) the fastest legal way."""
+    if hi <= lo:
+        return
+    assist = sim.hierarchy.assist
+    if (assist is not None and assist.enabled) or (
+        hi - lo < MIN_VECTOR_SPAN and not force
+    ):
+        # Assist decisions (MAT bypass, victim swaps) interleave with
+        # the access stream — keep the reference semantics.
+        sim._run_packed_range(state, *raw_cols, lo, hi)
+        return
+    _simulate_span(sim, state, ops[lo:hi], args[lo:hi], pcs[lo:hi])
+
+
+def _simulate_span(sim, state: "_PackedState", ops, args, pcs) -> None:
+    """Two-phase (replay, then timing) execution of one gate-off span."""
+    machine = sim.machine
+    n = ops.size
+
+    # ---- issue-slot costs per record ------------------------------------
+    is_alu = ops == _ALU
+    slots = np.where(is_alu, np.maximum(args, 1), 1)
+    cum_slots = np.cumsum(slots)
+
+    # ---- instruction fetch: records whose I-cache line changes ----------
+    if sim.model_ifetch:
+        line_mask = ~(machine.l1i.block_size - 1)
+        lines = pcs & line_mask
+        changed = np.empty(n, dtype=bool)
+        changed[0] = lines[0] != state.current_ifetch_line
+        np.not_equal(lines[1:], lines[:-1], out=changed[1:])
+        fetch_rel = np.nonzero(changed)[0]
+        fetch_pcs = pcs[fetch_rel]
+    else:
+        fetch_rel = np.empty(0, dtype=np.int64)
+        fetch_pcs = fetch_rel
+
+    # ---- replay phase: memory system and branch predictor ---------------
+    is_mem = (ops == _LOAD) | (ops == _STORE)
+    mem_rel = np.nonzero(is_mem)[0]
+    writes = ops[mem_rel] == _STORE
+    latency, refill, stall = sim.hierarchy.bulk_classify(
+        args[mem_rel], writes, mem_rel, fetch_pcs, fetch_rel
+    )
+
+    br_rel = np.nonzero(ops == _BRANCH)[0]
+    correct = sim.predictor.bulk_predict_and_update(
+        pcs[br_rel], args[br_rel] != 0
+    )
+    miss_rel = br_rel[~correct]
+
+    stalled = stall > 0
+    stall_rel = fetch_rel[stalled]
+    stall_vals = stall[stalled]
+
+    # ---- merge timing events in (record, phase) order -------------------
+    # Within one record the scalar loop handles the front-end stall
+    # first (its clock reads the *pre*-slot cumulative count), then the
+    # record's own action (memory op or branch, post-slot).  A record
+    # is never both a memory op and a branch, so the phase order falls
+    # out of inserting the sparse rebase events (stalls, mispredicts —
+    # typically a few hundred) into the dense, already-sorted memory
+    # stream at their searchsorted positions; ``side='left'`` puts a
+    # record's stall ahead of its own memory op.  This replaces a
+    # full-width stable argsort plus three gathers with O(events) work
+    # on the sparse side and one linear merge copy.
+    #
+    # ``ev_code`` packs the event kind: 0/1/2 = memory op with that
+    # refill class, 3 = issue-clock rebase (stall or mispredict, with
+    # the added cycles carried in ``ev_lat``).
+    width = machine.issue_width
+    mispredict_penalty = machine.branch_mispredict_penalty
+    n_stall, n_mem, n_miss = stall_rel.size, mem_rel.size, miss_rel.size
+    if n_stall or n_miss:
+        rebase_rel = np.concatenate((stall_rel, miss_rel))
+        rebase_lat = np.concatenate(
+            (stall_vals, np.full(n_miss, mispredict_penalty, np.int64))
+        )
+        rebase_cum = cum_slots[rebase_rel]
+        if n_stall:
+            rebase_cum[:n_stall] -= slots[stall_rel]
+        # Stable sort of the sparse side only: at a shared record index
+        # the stall (listed first) precedes the mispredict rebase.
+        ro = np.argsort(rebase_rel, kind="stable")
+        at = np.searchsorted(mem_rel, rebase_rel[ro], side="left")
+        total = n_mem + at.size
+        new_pos = at + np.arange(at.size)
+        old_mask = np.ones(total, dtype=bool)
+        old_mask[new_pos] = False
+        ev_lat = np.empty(total, dtype=np.int64)
+        ev_lat[new_pos] = rebase_lat[ro]
+        ev_lat[old_mask] = latency
+        ev_code = np.full(total, 3, dtype=np.int64)
+        ev_code[old_mask] = refill
+        ev_cum = np.empty(total, dtype=np.int64)
+        ev_cum[new_pos] = rebase_cum[ro]
+        ev_cum[old_mask] = cum_slots[mem_rel]
+    else:
+        ev_lat = latency
+        ev_code = refill
+        ev_cum = cum_slots[mem_rel]
+
+    # ---- timing phase ----------------------------------------------------
+    l2_refill_beats = max(machine.l1d.block_size // machine.mem_bus_width, 1)
+
+    # Issue clock in closed form: cycle(c) = base + (off + c) // width,
+    # folded into one scaled term ``clk = base * width + off`` so each
+    # event computes it with a single add and floor divide; a rebase to
+    # absolute cycle ``t`` at slot count ``c`` sets
+    # ``clk = t * width - c``.
+    clk = state.issue_cycle * width + state.slot
+    lsq_done = state.lsq_done
+    lsq_size = len(lsq_done)
+    lsq_index = state.lsq_index
+    ring = sorted(state.port_free)
+    num_ports = len(ring)
+    port_index = 0
+    refill_bus_free = state.refill_bus_free
+    mshr_done = state.mshr_done
+    mshr_count = len(mshr_done)
+    mshr_index = state.mshr_index
+    last_done = state.last_done
+
+    # Two specialisations of the same event loop: issue widths are
+    # powers of two on every machine in Table 1, where ``// width``
+    # becomes a shift (measurably cheaper in this, the hottest loop of
+    # the vector path); the floor-divide body is the general fallback.
+    shift = width.bit_length() - 1 if width & (width - 1) == 0 else -1
+    ev_iter = zip(ev_code.tolist(), ev_lat.tolist(), ev_cum.tolist())
+    if shift >= 0:
+        for code, lat, cum in ev_iter:
+            if code < 3:  # memory operation; code is the refill class
+                issue = (clk + cum) >> shift
+                pending = lsq_done[lsq_index]
+                if pending > issue:
+                    issue = pending
+                    clk = (issue << shift) - cum
+                free = ring[port_index]
+                start = issue if issue > free else free
+                ring[port_index] = start + 1
+                port_index += 1
+                if port_index == num_ports:
+                    port_index = 0
+                if code:
+                    if refill_bus_free > start:
+                        start = refill_bus_free
+                    refill_bus_free = start + l2_refill_beats
+                    if code == 2:
+                        pending_miss = mshr_done[mshr_index]
+                        if pending_miss > start:
+                            start = pending_miss
+                        done = start + lat
+                        mshr_done[mshr_index] = done
+                        mshr_index += 1
+                        if mshr_index == mshr_count:
+                            mshr_index = 0
+                    else:
+                        done = start + lat
+                else:
+                    done = start + lat
+                lsq_done[lsq_index] = done
+                lsq_index += 1
+                if lsq_index == lsq_size:
+                    lsq_index = 0
+                if done > last_done:
+                    last_done = done
+            else:  # issue-clock rebase: front-end stall or mispredict
+                clk = ((((clk + cum) >> shift) + lat) << shift) - cum
+    else:
+        for code, lat, cum in ev_iter:
+            if code < 3:  # memory operation; code is the refill class
+                issue = (clk + cum) // width
+                pending = lsq_done[lsq_index]
+                if pending > issue:
+                    issue = pending
+                    clk = issue * width - cum
+                free = ring[port_index]
+                start = issue if issue > free else free
+                ring[port_index] = start + 1
+                port_index += 1
+                if port_index == num_ports:
+                    port_index = 0
+                if code:
+                    if refill_bus_free > start:
+                        start = refill_bus_free
+                    refill_bus_free = start + l2_refill_beats
+                    if code == 2:
+                        pending_miss = mshr_done[mshr_index]
+                        if pending_miss > start:
+                            start = pending_miss
+                        done = start + lat
+                        mshr_done[mshr_index] = done
+                        mshr_index += 1
+                        if mshr_index == mshr_count:
+                            mshr_index = 0
+                    else:
+                        done = start + lat
+                else:
+                    done = start + lat
+                lsq_done[lsq_index] = done
+                lsq_index += 1
+                if lsq_index == lsq_size:
+                    lsq_index = 0
+                if done > last_done:
+                    last_done = done
+            else:  # issue-clock rebase: front-end stall or mispredict
+                clk = ((clk + cum) // width + lat) * width - cum
+
+    # ---- write the span's end state back --------------------------------
+    end = int(cum_slots[-1])
+    state.issue_cycle = (clk + end) // width
+    state.slot = (clk + end) % width
+    state.last_done = last_done
+    state.lsq_index = lsq_index
+    state.port_free[:] = ring
+    state.refill_bus_free = refill_bus_free
+    state.mshr_index = mshr_index
+    state.instructions += end
+    n_stores = int(np.count_nonzero(writes))
+    state.stores += n_stores
+    state.loads += n_mem - n_stores
+    state.branches += br_rel.size
+    if sim.model_ifetch:
+        state.current_ifetch_line = int(lines[-1])

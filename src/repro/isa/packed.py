@@ -96,6 +96,34 @@ class PackedTrace:
         """The (op, arg, pc) columns, by reference — do not mutate."""
         return self._ops, self._args, self._pcs
 
+    def numpy_columns(self):
+        """Zero-copy numpy ``int64`` views of the (op, arg, pc) columns.
+
+        The views alias the live ``array('q')`` buffers — treat them as
+        read-only.  Requires numpy (the vectorized simulator path is
+        the only caller).
+        """
+        import numpy as np
+
+        return (
+            np.frombuffer(self._ops, dtype=np.int64),
+            np.frombuffer(self._args, dtype=np.int64),
+            np.frombuffer(self._pcs, dtype=np.int64),
+        )
+
+    def marker_positions(self):
+        """Record indices of HW_ON/HW_OFF markers as a numpy array.
+
+        These are the segment boundaries of the vectorized simulator
+        path: between consecutive markers the hardware-gate state is
+        constant, so a whole span can be replayed in bulk.  Requires
+        numpy.
+        """
+        ops, _, _ = self.numpy_columns()
+        import numpy as np
+
+        return np.nonzero((ops == _HW_ON) | (ops == _HW_OFF))[0]
+
     @property
     def instructions(self) -> list[Instruction]:
         """Materialize the records as :class:`Instruction` objects.

@@ -1,0 +1,684 @@
+"""Block-batched replay kernels for caches and TLBs.
+
+These are the memory-side half of the vectorized simulator path
+(:mod:`repro.cpu.vector`).  Each kernel replays a whole span's access
+stream against the *live* structures the scalar loop uses — the same
+``OrderedDict`` sets, statistics counters and shadow state — so scalar
+fallback segments can resume mid-trace with nothing lost.
+
+The key decompositions, each exact rather than approximate:
+
+* **Per-set independence.**  A set-associative LRU cache's behaviour
+  factorises over sets: the outcome of every access depends only on
+  the sub-sequence of accesses to its own set.  Kernels stable-sort
+  the access stream by set index (a 1-byte radix sort — set counts are
+  tiny) and replay each set's sub-sequence in one tight loop over a
+  plain dict keyed by line, whose insertion order is the LRU order:
+  ``pop`` + reinsert is a move-to-MRU, ``pop(next(iter(d)))`` is an
+  LRU eviction, so every replay step is one or two C-level dict
+  operations.
+
+* **Run collapsing.**  Within one set's sub-sequence, consecutive
+  accesses to the same line after the first are guaranteed hits that
+  leave the LRU order unchanged (the line is already most recent), so
+  only the first access of each run is replayed; the rest are counted
+  as hits in bulk.  Dirty bits fold the run's writes with a single OR.
+
+* **Resident-working-set fast path.**  If the distinct lines of a
+  set's sub-sequence plus the lines already resident all fit in the
+  set (``<= assoc`` total), nothing is ever evicted, so the LRU order
+  is irrelevant to the outcome: the misses are exactly the first
+  occurrences of not-yet-resident lines, dirty bits fold per line,
+  and the final LRU order is the lines sorted by last access — all
+  computable with ``np.unique``/``np.bincount`` and no per-access
+  loop.  This removes the replay loop entirely for instruction-side
+  streams and quiet TLB sets, whose working sets are tiny.
+
+* **Order-tagged L2 events.**  L1 misses and dirty writebacks from
+  different L1 sets interleave at L2 in trace order, so each kernel
+  emits its L2 traffic as ``(record position, sequence)``-tagged event
+  columns; the caller sorts the merged stream once and
+  :func:`replay_l2` applies the same per-set replay to it.
+
+Latency never feeds back into any of these structures, which is what
+makes the phase split legal — see the bit-identity note in
+:mod:`repro.cpu.pipeline`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.block import CacheBlock
+
+__all__ = [
+    "replay_tlb",
+    "replay_cache",
+    "replay_l2",
+    "replay_shadow",
+]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
+
+#: Sentinel distinguishing "absent" from any stored dirty flag.
+_MISS = object()
+
+#: Segments shorter than this skip the fast-path probe: the fixed cost
+#: of the ``np.unique`` calls exceeds a short dict loop.
+_FAST_PATH_MIN = 64
+
+#: Accesses of a segment's head scanned to cheaply rule the fast path
+#: out: a working set larger than any real associativity shows up
+#: within a few distinct lines.
+_FAST_PROBE = 96
+
+
+def _set_order(sets: np.ndarray, num_sets: int):
+    """Stable sort permutation of a set-index column plus its segments.
+
+    Returns ``(order, seg_starts, set_ids)`` — the stable argsort of
+    ``sets``, the start offset of each non-empty set's segment in the
+    sorted stream, and the corresponding set indices.  Set indices are
+    tiny, so narrowing the dtype first turns numpy's stable radix sort
+    into a one- or two-pass counting sort, and a ``bincount`` yields
+    the segment layout without gathering or comparing the sorted
+    column.
+    """
+    if num_sets <= 256:
+        sets = sets.astype(np.uint8)
+    elif num_sets <= 65536:
+        sets = sets.astype(np.uint16)
+    order = np.argsort(sets, kind="stable")
+    counts = np.bincount(sets, minlength=num_sets)
+    set_ids = np.nonzero(counts)[0]
+    seg_starts = (np.cumsum(counts) - counts)[set_ids]
+    return order, seg_starts, set_ids
+
+
+def _fast_path_lines(seg: np.ndarray, resident, assoc: int):
+    """Resolve a set segment whose working set fits without evictions.
+
+    ``resident`` is the set's live mapping (line -> value).  Returns
+    None when the union of resident and streamed lines exceeds
+    ``assoc`` (the caller must run the sequential replay), else
+    ``(new_lines, first_idx, u, last_order)``:
+
+    * ``new_lines``/``first_idx`` — not-yet-resident lines and the
+      segment offsets of their first occurrences (the misses);
+    * ``u`` — the distinct streamed lines (sorted);
+    * ``last_order`` — indices into ``u`` ordering the streamed lines
+      by last access (the tail of the final LRU order).
+
+    Probes a short head of the segment first so streams with large
+    working sets (data caches) bail out after a few distinct lines
+    instead of paying two full ``np.unique`` sorts.
+    """
+    head = set(seg[:_FAST_PROBE].tolist())
+    head.update(resident)
+    if len(head) > assoc:
+        return None
+    u, first_idx = np.unique(seg, return_index=True)
+    if u.size > assoc or len(set(u.tolist()) | set(resident)) > assoc:
+        return None
+    rev_first = np.unique(seg[::-1], return_index=True)[1]
+    last_order = np.argsort(seg.size - 1 - rev_first, kind="stable")
+    new = np.array(
+        [ln not in resident for ln in u.tolist()], dtype=bool
+    )
+    return u[new], first_idx[new], u, last_order
+
+
+def replay_tlb(tlb, pages: np.ndarray) -> np.ndarray:
+    """Replay a page-number stream against a live TLB.
+
+    Exactly equivalent to calling ``tlb.lookup`` per access; returns
+    the per-access miss flags (in input order) and leaves the TLB's
+    sets, access and miss counters as the scalar loop would.
+    """
+    n = pages.size
+    tlb.accesses += n
+    if n == 0:
+        return _EMPTY_BOOL
+
+    # Pre-collapse consecutive same-page accesses before any sorting:
+    # they are guaranteed hits that leave the (already-MRU) page in
+    # place, and page streams are dominated by such runs, so this
+    # shrinks the sort and replay to the page-change points.
+    chg = np.empty(n, dtype=bool)
+    chg[0] = True
+    np.not_equal(pages[1:], pages[:-1], out=chg[1:])
+    chg_idx = np.nonzero(chg)[0]
+    pre = chg_idx.size < n
+    if pre:
+        pages = pages[chg_idx]
+
+    num_sets = tlb._num_sets
+    if num_sets & (num_sets - 1) == 0:
+        sets = pages & (num_sets - 1)
+    else:
+        sets = pages % num_sets
+    order, seg_starts, set_id_arr = _set_order(sets, num_sets)
+    spages = pages[order]
+    nc = spages.size
+    new_rep = np.empty(nc, dtype=bool)
+    new_rep[0] = True
+    np.not_equal(spages[1:], spages[:-1], out=new_rep[1:])
+    new_rep[seg_starts] = True
+    rep_idx = np.nonzero(new_rep)[0]
+    m = rep_idx.size
+    collapsed = m < nc
+    rep_pages_arr = spages[rep_idx] if collapsed else spages
+    if collapsed:
+        starts = np.searchsorted(rep_idx, seg_starts).tolist()
+    else:
+        starts = seg_starts.tolist()
+    set_ids = set_id_arr.tolist()
+    starts.append(m)
+
+    assoc = tlb._assoc
+    tlb_sets = tlb._sets
+    miss_rep: list = []
+    miss_append = miss_rep.append
+    for k, set_id in enumerate(set_ids):
+        a, b = starts[k], starts[k + 1]
+        tlb_set = tlb_sets[set_id]
+        if b - a >= _FAST_PATH_MIN:
+            fast = _fast_path_lines(rep_pages_arr[a:b], tlb_set, assoc)
+            if fast is not None:
+                new_pages, first_idx, u, last_order = fast
+                miss_rep.extend((a + first_idx).tolist())
+                accessed = set(u.tolist())
+                kept = [p for p in tlb_set if p not in accessed]
+                tlb_set.clear()
+                for p in kept:
+                    tlb_set[p] = None
+                for j in last_order.tolist():
+                    tlb_set[int(u[j])] = None
+                continue
+        if assoc == 4:
+            # Unrolled four-way LRU over bare page numbers (see
+            # replay_cache); evicted pages need no bookkeeping.
+            l0, l1, l2, l3 = [-1] * (4 - len(tlb_set)) + list(tlb_set)
+            i = a
+            for page in rep_pages_arr[a:b].tolist():
+                if page == l3:
+                    pass
+                elif page == l2:
+                    l2, l3 = l3, page
+                elif page == l1:
+                    l1, l2, l3 = l2, l3, page
+                elif page == l0:
+                    l0, l1, l2, l3 = l1, l2, l3, page
+                else:
+                    l0, l1, l2, l3 = l1, l2, l3, page
+                    miss_append(i)
+                i += 1
+            tlb_set.clear()
+            for page in (l0, l1, l2, l3):
+                if page != -1:
+                    tlb_set[page] = None
+            continue
+        lru = dict(tlb_set)
+        pop = lru.pop
+        size = len(lru)
+        i = a
+        for page in rep_pages_arr[a:b].tolist():
+            if pop(page, _MISS) is _MISS:
+                if size >= assoc:
+                    pop(next(iter(lru)))
+                else:
+                    size += 1
+                miss_append(i)
+            lru[page] = None
+            i += 1
+        tlb_set.clear()
+        tlb_set.update(lru)
+
+    tlb.misses += len(miss_rep)
+    miss_sorted = np.zeros(spages.size, dtype=bool)
+    if miss_rep:
+        miss_rep_arr = np.array(miss_rep, dtype=np.int64)
+        miss_sorted[rep_idx[miss_rep_arr] if collapsed else miss_rep_arr] = (
+            True
+        )
+    miss_chg = np.empty(spages.size, dtype=bool)
+    miss_chg[order] = miss_sorted
+    if not pre:
+        return miss_chg
+    miss = np.zeros(n, dtype=bool)
+    miss[chg_idx] = miss_chg
+    return miss
+
+
+def replay_cache(cache, lines: np.ndarray, writes, need_hits: bool = True):
+    """Replay a line-number stream against a live set-associative cache.
+
+    Equivalent to ``lookup(addr, w)`` per access followed by
+    ``fill(addr, dirty=w)`` after each miss (the no-assist demand
+    path).  ``writes`` is a bool column, or None for a read-only
+    stream (instruction fetch).
+
+    Returns ``(hit, miss_pos, miss_lines, wb_pos, wb_lines)``:
+
+    * ``hit`` — per-access hit flags, input order (``None`` unless
+      ``need_hits``; only the shadow classifier consumes them);
+    * ``miss_pos``/``miss_lines`` — stream positions and line numbers
+      of the demand misses (each needs a next-level access and fill);
+    * ``wb_pos``/``wb_lines`` — stream positions that evicted a dirty
+      victim, and the victim line numbers (each needs a writeback).
+
+    Event columns are NOT chronologically ordered across sets; callers
+    order the merged next-level stream by the original record
+    positions.  Shadow-based miss classification is not applied here —
+    call :func:`replay_shadow` afterwards (it needs global order).
+    """
+    n = lines.size
+    stats = cache.stats
+    stats.accesses += n
+    if n == 0:
+        hit = _EMPTY_BOOL if need_hits else None
+        return hit, _EMPTY_I64, _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
+    mask = cache._set_mask
+    num_sets = cache._num_sets
+    sets = lines & mask if mask >= 0 else lines % num_sets
+    order, seg_starts, set_id_arr = _set_order(sets, num_sets)
+    slines = lines[order]
+    new_rep = np.empty(n, dtype=bool)
+    new_rep[0] = True
+    np.not_equal(slines[1:], slines[:-1], out=new_rep[1:])
+    new_rep[seg_starts] = True
+    rep_idx = np.nonzero(new_rep)[0]
+    m = rep_idx.size
+    collapsed = m < n
+
+    if collapsed:
+        rep_lines_arr = slines[rep_idx]
+        if writes is None:
+            rep_write_arr = None
+        else:
+            rep_write_arr = np.logical_or.reduceat(writes[order], rep_idx)
+        starts = np.searchsorted(rep_idx, seg_starts).tolist()
+    else:
+        # No collapsed runs (common for strided data streams): the rep
+        # stream IS the sorted stream, so skip every gather.
+        rep_lines_arr = slines
+        rep_write_arr = None if writes is None else writes[order]
+        starts = seg_starts.tolist()
+    set_ids = set_id_arr.tolist()
+    starts.append(m)
+
+    assoc = cache._assoc
+    cache_sets = cache._sets
+    miss_rep: list = []
+    miss_append = miss_rep.append
+    wb_rep: list = []
+    wb_rep_append = wb_rep.append
+    wb_lines_list: list = []
+    wb_lines_append = wb_lines_list.append
+    evictions = writebacks = 0
+    for k, set_id in enumerate(set_ids):
+        a, b = starts[k], starts[k + 1]
+        od = cache_sets[set_id]
+        if b - a >= _FAST_PATH_MIN:
+            fast = _fast_path_lines(rep_lines_arr[a:b], od, assoc)
+            if fast is not None:
+                new_lines, first_idx, u, last_order = fast
+                miss_rep.extend((a + first_idx).tolist())
+                if rep_write_arr is None:
+                    dirty_u = np.zeros(u.size, dtype=bool)
+                else:
+                    inv = np.searchsorted(u, rep_lines_arr[a:b])
+                    dirty_u = (
+                        np.bincount(
+                            inv,
+                            weights=rep_write_arr[a:b],
+                            minlength=u.size,
+                        )
+                        > 0
+                    )
+                accessed = set(u.tolist())
+                kept = [
+                    (ln, blk.dirty)
+                    for ln, blk in od.items()
+                    if ln not in accessed
+                ]
+                prior = {
+                    ln: blk.dirty
+                    for ln, blk in od.items()
+                    if ln in accessed
+                }
+                od.clear()
+                for ln, dirty in kept:
+                    od[ln] = CacheBlock(ln, dirty)
+                for j in last_order.tolist():
+                    ln = int(u[j])
+                    dirty = bool(dirty_u[j]) or prior.get(ln, False)
+                    od[ln] = CacheBlock(ln, dirty)
+                continue
+        if assoc == 4:
+            # Four-way sets (every cache in Table 1) unroll the LRU
+            # into four local (line, dirty) slot pairs, l0 = LRU …
+            # l3 = MRU, with -1 marking an empty way (line numbers are
+            # non-negative).  Hits are 1-4 int compares plus a tuple
+            # rotation; a miss shifts the victim out of l0 — no
+            # hashing, no iterator allocation.
+            (l0, d0), (l1, d1), (l2, d2), (l3, d3) = [(-1, False)] * (
+                4 - len(od)
+            ) + [(ln, blk.dirty) for ln, blk in od.items()]
+            i = a
+            if rep_write_arr is None:
+                for ln in rep_lines_arr[a:b].tolist():
+                    if ln == l3:
+                        pass
+                    elif ln == l2:
+                        l2, l3, d2, d3 = l3, ln, d3, d2
+                    elif ln == l1:
+                        l1, l2, l3 = l2, l3, ln
+                        d1, d2, d3 = d2, d3, d1
+                    elif ln == l0:
+                        l0, l1, l2, l3 = l1, l2, l3, ln
+                        d0, d1, d2, d3 = d1, d2, d3, d0
+                    else:
+                        if l0 != -1:
+                            evictions += 1
+                            if d0:
+                                writebacks += 1
+                                wb_rep_append(i)
+                                wb_lines_append(l0)
+                        l0, l1, l2, l3 = l1, l2, l3, ln
+                        d0, d1, d2, d3 = d1, d2, d3, False
+                        miss_append(i)
+                    i += 1
+            else:
+                for ln, w in zip(
+                    rep_lines_arr[a:b].tolist(),
+                    rep_write_arr[a:b].tolist(),
+                ):
+                    if ln == l3:
+                        d3 = d3 or w
+                    elif ln == l2:
+                        l2, l3, d2, d3 = l3, ln, d3, d2 or w
+                    elif ln == l1:
+                        l1, l2, l3 = l2, l3, ln
+                        d1, d2, d3 = d2, d3, d1 or w
+                    elif ln == l0:
+                        l0, l1, l2, l3 = l1, l2, l3, ln
+                        d0, d1, d2, d3 = d1, d2, d3, d0 or w
+                    else:
+                        if l0 != -1:
+                            evictions += 1
+                            if d0:
+                                writebacks += 1
+                                wb_rep_append(i)
+                                wb_lines_append(l0)
+                        l0, l1, l2, l3 = l1, l2, l3, ln
+                        d0, d1, d2, d3 = d1, d2, d3, w
+                        miss_append(i)
+                    i += 1
+            od.clear()
+            for line, dirty in (
+                (l0, d0), (l1, d1), (l2, d2), (l3, d3)
+            ):
+                if line != -1:
+                    od[line] = CacheBlock(line, dirty)
+            continue
+        # Working LRU: line -> dirty flag, insertion order = LRU order.
+        lru = {line: block.dirty for line, block in od.items()}
+        pop = lru.pop
+        size = len(lru)
+        i = a
+        if rep_write_arr is None:
+            for ln in rep_lines_arr[a:b].tolist():
+                prev = pop(ln, _MISS)
+                if prev is _MISS:
+                    if size >= assoc:
+                        evictions += 1
+                        victim = next(iter(lru))
+                        if pop(victim):
+                            writebacks += 1
+                            wb_rep_append(i)
+                            wb_lines_append(victim)
+                    else:
+                        size += 1
+                    lru[ln] = False
+                    miss_append(i)
+                else:
+                    lru[ln] = prev
+                i += 1
+        else:
+            for ln, w in zip(
+                rep_lines_arr[a:b].tolist(), rep_write_arr[a:b].tolist()
+            ):
+                prev = pop(ln, _MISS)
+                if prev is _MISS:
+                    if size >= assoc:
+                        evictions += 1
+                        victim = next(iter(lru))
+                        if pop(victim):
+                            writebacks += 1
+                            wb_rep_append(i)
+                            wb_lines_append(victim)
+                    else:
+                        size += 1
+                    lru[ln] = w
+                    miss_append(i)
+                else:
+                    lru[ln] = prev or w
+                i += 1
+        od.clear()
+        for line, dirty in lru.items():
+            od[line] = CacheBlock(line, dirty)
+
+    misses = len(miss_rep)
+    stats.hits += n - misses
+    stats.misses += misses
+    stats.evictions += evictions
+    stats.writebacks += writebacks
+
+    miss_rep_arr = np.array(miss_rep, dtype=np.int64)
+    if misses:
+        miss_sorted_pos = (
+            rep_idx[miss_rep_arr] if collapsed else miss_rep_arr
+        )
+        miss_pos = order[miss_sorted_pos]
+        miss_lines = rep_lines_arr[miss_rep_arr]
+    else:
+        miss_sorted_pos = miss_rep_arr
+        miss_pos = _EMPTY_I64
+        miss_lines = _EMPTY_I64
+    if wb_rep:
+        wb_rep_arr = np.array(wb_rep, dtype=np.int64)
+        wb_pos = order[rep_idx[wb_rep_arr] if collapsed else wb_rep_arr]
+        wb_lines = np.array(wb_lines_list, dtype=np.int64)
+    else:
+        wb_pos = _EMPTY_I64
+        wb_lines = _EMPTY_I64
+
+    if need_hits:
+        hit_sorted = np.ones(n, dtype=bool)
+        if misses:
+            hit_sorted[miss_sorted_pos] = False
+        hit = np.empty(n, dtype=bool)
+        hit[order] = hit_sorted
+    else:
+        hit = None
+    return hit, miss_pos, miss_lines, wb_pos, wb_lines
+
+
+def replay_l2(cache, memory, lines: np.ndarray, kinds: np.ndarray):
+    """Replay a chronological L2 event stream against the live L2.
+
+    ``lines``/``kinds`` must already be in global ``(record position,
+    sequence)`` order.  Kind 0 is a demand access (lookup; on a miss,
+    a DRAM read plus a clean fill with LRU eviction); kind 1 is an L1
+    dirty writeback (probe; present → dirty refresh + move to MRU,
+    absent → DRAM write, no fill), exactly mirroring
+    ``MemoryHierarchy._access_l2`` / ``_writeback_to_l2`` with no
+    assist attached.
+
+    Returns per-event hit flags in input order (meaningful for demand
+    events; writeback entries are padding).  Updates L2 statistics and
+    the DRAM read/write counters.  Shadow classification is left to
+    :func:`replay_shadow` on the demand sub-stream.
+    """
+    n = lines.size
+    if n == 0:
+        return _EMPTY_BOOL
+    mask = cache._set_mask
+    num_sets = cache._num_sets
+    sets = lines & mask if mask >= 0 else lines % num_sets
+    order, seg_starts, set_id_arr = _set_order(sets, num_sets)
+    slines = lines[order]
+    skinds = kinds[order]
+    starts = seg_starts.tolist()
+    set_ids = set_id_arr.tolist()
+    starts.append(n)
+
+    assoc = cache._assoc
+    cache_sets = cache._sets
+    hits = evictions = writebacks = mem_reads = mem_writes = 0
+    miss_rep: list = []
+    miss_append = miss_rep.append
+    for k, set_id in enumerate(set_ids):
+        a, b = starts[k], starts[k + 1]
+        od = cache_sets[set_id]
+        if assoc == 4:
+            # Unrolled four-way LRU (see replay_cache); the extra
+            # branch per event distinguishes demand accesses from L1
+            # dirty writebacks, which probe without filling.
+            (l0, d0), (l1, d1), (l2, d2), (l3, d3) = [(-1, False)] * (
+                4 - len(od)
+            ) + [(ln, blk.dirty) for ln, blk in od.items()]
+            i = a
+            for ln, wb in zip(
+                slines[a:b].tolist(), skinds[a:b].tolist()
+            ):
+                if ln == l3:
+                    if wb:
+                        d3 = True
+                    else:
+                        hits += 1
+                elif ln == l2:
+                    l2, l3, d2, d3 = l3, ln, d3, d2 or wb
+                    if not wb:
+                        hits += 1
+                elif ln == l1:
+                    l1, l2, l3 = l2, l3, ln
+                    d1, d2, d3 = d2, d3, d1 or wb
+                    if not wb:
+                        hits += 1
+                elif ln == l0:
+                    l0, l1, l2, l3 = l1, l2, l3, ln
+                    d0, d1, d2, d3 = d1, d2, d3, d0 or wb
+                    if not wb:
+                        hits += 1
+                elif wb:
+                    # Absent writeback bypasses the cache entirely.
+                    mem_writes += 1
+                else:
+                    mem_reads += 1
+                    if l0 != -1:
+                        evictions += 1
+                        if d0:
+                            writebacks += 1
+                            mem_writes += 1
+                    l0, l1, l2, l3 = l1, l2, l3, ln
+                    d0, d1, d2, d3 = d1, d2, d3, False
+                    miss_append(i)
+                i += 1
+            od.clear()
+            for line, dirty in (
+                (l0, d0), (l1, d1), (l2, d2), (l3, d3)
+            ):
+                if line != -1:
+                    od[line] = CacheBlock(line, dirty)
+            continue
+        lru = {line: block.dirty for line, block in od.items()}
+        pop = lru.pop
+        size = len(lru)
+        i = a
+        for ln, wb in zip(
+            slines[a:b].tolist(), skinds[a:b].tolist()
+        ):
+            prev = pop(ln, _MISS)
+            if prev is _MISS:
+                if wb:
+                    # Absent writeback bypasses the cache entirely.
+                    mem_writes += 1
+                else:
+                    mem_reads += 1
+                    if size >= assoc:
+                        evictions += 1
+                        victim = next(iter(lru))
+                        if pop(victim):
+                            writebacks += 1
+                            mem_writes += 1
+                    else:
+                        size += 1
+                    lru[ln] = False
+                    miss_append(i)
+            elif wb:
+                lru[ln] = True
+            else:
+                lru[ln] = prev
+                hits += 1
+            i += 1
+        od.clear()
+        for line, dirty in lru.items():
+            od[line] = CacheBlock(line, dirty)
+
+    stats = cache.stats
+    total_demand = n - int(np.count_nonzero(kinds))
+    stats.accesses += total_demand
+    stats.hits += hits
+    stats.misses += total_demand - hits
+    stats.evictions += evictions
+    stats.writebacks += writebacks
+    memory.reads += mem_reads
+    memory.writes += mem_writes
+
+    hit_sorted = np.ones(n, dtype=bool)
+    if miss_rep:
+        hit_sorted[np.array(miss_rep, dtype=np.int64)] = False
+    hit = np.empty(n, dtype=bool)
+    hit[order] = hit_sorted
+    return hit
+
+
+def replay_shadow(cache, lines: np.ndarray, hit: np.ndarray) -> None:
+    """Three-C classification post-pass over one cache's access stream.
+
+    The fully-associative shadow and the seen-lines set are global to
+    the cache (not per-set), so classification replays in original
+    access order, after the per-set kernels have resolved hits and
+    misses.  Mutates the same shadow state the scalar path uses.
+    """
+    if not cache._classify:
+        return
+    seen = cache._seen_lines
+    seen_add = seen.add
+    shadow = cache._shadow
+    move_to_end = shadow.move_to_end
+    popitem = shadow.popitem
+    capacity = cache._shadow_capacity
+    compulsory = capacity_m = conflict = 0
+    for ln, h in zip(lines.tolist(), hit.tolist()):
+        if not h:
+            if ln not in seen:
+                seen_add(ln)
+                compulsory += 1
+            elif ln in shadow:
+                conflict += 1
+            else:
+                capacity_m += 1
+        if ln in shadow:
+            move_to_end(ln)
+        else:
+            shadow[ln] = None
+            if len(shadow) > capacity:
+                popitem(last=False)
+    stats = cache.stats
+    stats.compulsory_misses += compulsory
+    stats.capacity_misses += capacity_m
+    stats.conflict_misses += conflict

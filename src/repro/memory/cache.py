@@ -164,6 +164,40 @@ class SetAssociativeCache:
         return dirty
 
     # ------------------------------------------------------------------
+    # bulk replay (vectorized simulator path)
+
+    def bulk_replay(self, lines, writes=None, need_hits=True):
+        """Replay a whole line-number access stream at once.
+
+        Numpy-kernel equivalent of per-access ``lookup`` + miss
+        ``fill`` against the live sets, so scalar code can resume on
+        the same state afterwards.  See
+        :func:`repro.memory.bulk.replay_cache` for the contract.
+        """
+        from repro.memory import bulk
+
+        return bulk.replay_cache(self, lines, writes, need_hits)
+
+    def bulk_replay_events(self, memory, lines, kinds):
+        """Replay a chronological demand/writeback event stream (L2).
+
+        See :func:`repro.memory.bulk.replay_l2`.
+        """
+        from repro.memory import bulk
+
+        return bulk.replay_l2(self, memory, lines, kinds)
+
+    def bulk_classify_shadow(self, lines, hit) -> None:
+        """Three-C classification post-pass over a replayed stream.
+
+        See :func:`repro.memory.bulk.replay_shadow`; no-op unless the
+        cache was built with ``classify_misses=True``.
+        """
+        from repro.memory import bulk
+
+        bulk.replay_shadow(self, lines, hit)
+
+    # ------------------------------------------------------------------
     # introspection
 
     def resident_lines(self) -> set[int]:

@@ -108,6 +108,122 @@ class MemoryHierarchy:
         return latency
 
     # ------------------------------------------------------------------
+    # bulk classification (vectorized simulator path)
+
+    def bulk_classify(
+        self, addrs, writes, positions, fetch_pcs, fetch_positions
+    ):
+        """Resolve a no-assist span of accesses and fetches in bulk.
+
+        Numpy-kernel equivalent of calling :meth:`data_access` for each
+        ``(addrs[i], writes[i])`` and :meth:`inst_fetch` for each
+        ``fetch_pcs[j]``, interleaved in trace order.  ``positions`` and
+        ``fetch_positions`` carry each access's trace record index,
+        which is what serialises the two streams' shared L2 traffic:
+        within one record the scalar loop performs the instruction
+        fetch, then the data demand access, then any L1D dirty
+        writeback, so L2 events are replayed sorted by ``(record,
+        phase)`` with exactly that phase order.
+
+        Callers must ensure the hardware assist is disabled for the
+        whole span (gated-on segments take the scalar path).  All live
+        structures — caches, TLBs, shadow classifiers, DRAM counters,
+        ``_last_source`` — end in the same state the scalar calls would
+        leave, so scalar code can resume mid-trace afterwards.
+
+        Returns ``(latency, refill, stall)``:
+
+        * ``latency`` — per-data-access latency in cycles (int64);
+        * ``refill`` — per-data-access refill class: 0 = L1 hit (no
+          refill bus use), 1 = L2 refill, 2 = DRAM refill (occupies an
+          MSHR);
+        * ``stall`` — per-fetch front-end stall cycles beyond an L1I
+          hit (int64).
+        """
+        import numpy as np
+
+        machine = self.machine
+        l1d, l1i, l2 = self.l1d, self.l1i, self.l2
+
+        dtlb_miss = self.dtlb.bulk_lookup(addrs >> self.dtlb._page_shift)
+        d_lines = addrs >> l1d._offset_bits
+        d_hit, dm_pos, dm_lines, wb_pos, wb_lines = l1d.bulk_replay(
+            d_lines, writes, need_hits=l1d._classify
+        )
+        itlb_miss = self.itlb.bulk_lookup(
+            fetch_pcs >> self.itlb._page_shift
+        )
+        i_lines = fetch_pcs >> l1i._offset_bits
+        _, im_pos, im_lines, _, _ = l1i.bulk_replay(
+            i_lines, None, need_hits=False
+        )
+
+        # Merged L2 event stream in (record, phase) order; L1I evictions
+        # are never dirty, so only the data side contributes writebacks.
+        shift_d = l2._offset_bits - l1d._offset_bits
+        shift_i = l2._offset_bits - l1i._offset_bits
+        n_im, n_dm = im_pos.size, dm_pos.size
+        ev_pos = np.concatenate(
+            (fetch_positions[im_pos], positions[dm_pos], positions[wb_pos])
+        )
+        ev_seq = np.concatenate(
+            (
+                np.zeros(n_im, dtype=np.int8),
+                np.ones(n_dm, dtype=np.int8),
+                np.full(wb_pos.size, 2, dtype=np.int8),
+            )
+        )
+        ev_lines = np.concatenate(
+            (im_lines >> shift_i, dm_lines >> shift_d, wb_lines >> shift_d)
+        )
+        # Stable (record, phase) order via one radix argsort of a
+        # combined integer key — phase occupies the low two bits.
+        # Faster than np.lexsort's two keyed passes on these sizes.
+        ev_key = (ev_pos << 2) | ev_seq
+        if ev_key.size and int(ev_pos.max()) < 1 << 30:
+            ev_key = ev_key.astype(np.int32)
+        order = np.argsort(ev_key, kind="stable")
+        ev_kind_sorted = ev_seq[order] == 2
+        ev_hit_sorted = l2.bulk_replay_events(
+            self.memory, ev_lines[order], ev_kind_sorted
+        )
+        ev_hit = np.empty(ev_pos.size, dtype=bool)
+        ev_hit[order] = ev_hit_sorted
+
+        if l1d._classify:
+            l1d.bulk_classify_shadow(d_lines, d_hit)
+        if l2._classify:
+            demand_sorted = ~ev_kind_sorted
+            l2.bulk_classify_shadow(
+                ev_lines[order][demand_sorted], ev_hit_sorted[demand_sorted]
+            )
+
+        l2_lat = machine.l2.latency
+        mem_lat = machine.mem_latency + machine.block_transfer_cycles(
+            machine.l2.block_size
+        )
+
+        latency = np.full(addrs.size, self._l1d_latency, dtype=np.int64)
+        latency += dtlb_miss * self._dtlb_penalty
+        refill = np.zeros(addrs.size, dtype=np.int64)
+        if n_dm:
+            dm_l2_hit = ev_hit[n_im : n_im + n_dm]
+            latency[dm_pos] += l2_lat + np.where(dm_l2_hit, 0, mem_lat)
+            refill[dm_pos] = np.where(dm_l2_hit, 1, 2)
+
+        stall = itlb_miss * self._itlb_penalty
+        if n_im:
+            im_l2_hit = ev_hit[:n_im]
+            stall[im_pos] += l2_lat + np.where(im_l2_hit, 0, mem_lat)
+
+        demand_idx = np.nonzero(~ev_kind_sorted)[0]
+        if demand_idx.size:
+            self._last_source = (
+                "l2" if ev_hit_sorted[demand_idx[-1]] else "mem"
+            )
+        return latency, refill, stall
+
+    # ------------------------------------------------------------------
     # internals
 
     def _fetch_into_l1(

@@ -45,6 +45,16 @@ class TLB:
         tlb_set[page] = None
         return False
 
+    def bulk_lookup(self, pages):
+        """Replay a page-number stream at once; return per-access miss flags.
+
+        Numpy-kernel equivalent of per-access :meth:`lookup` against
+        the live sets (see :func:`repro.memory.bulk.replay_tlb`).
+        """
+        from repro.memory import bulk
+
+        return bulk.replay_tlb(self, pages)
+
     @property
     def miss_rate(self) -> float:
         if self.accesses == 0:

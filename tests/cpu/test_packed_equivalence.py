@@ -1,11 +1,17 @@
-"""The packed hot loop must be bit-identical to the object reference loop.
+"""The packed and vectorized hot loops must be bit-identical to the
+object reference loop.
 
-``CPUSimulator.run`` keeps two implementations: the original
-per-instruction reference loop and the columnar fast path.  These tests
-run both on real benchmark traces — every code version, with and
-without hardware mechanisms — and assert the *entire*
-:class:`SimulationResult` (cycles, instruction counts, memory
+``CPUSimulator.run`` keeps three implementations: the original
+per-instruction reference loop, the columnar scalar fast path, and the
+block-batched numpy kernels (:mod:`repro.cpu.vector`).  These tests run
+all three on real benchmark traces — every benchmark, base and
+selective versions, both machine configurations — and assert the
+*entire* :class:`SimulationResult` (cycles, instruction counts, memory
 snapshot) matches.  Any timing-model change must keep them in lockstep.
+
+``vectorize=True`` forces the numpy kernels even on spans below the
+``MIN_VECTOR_SPAN`` heuristic floor, so the TINY-scale traces here
+genuinely exercise the vector path rather than falling back to scalar.
 """
 
 from __future__ import annotations
@@ -16,7 +22,14 @@ from repro.core.experiment import simulate_trace
 from repro.core.versions import prepare_codes
 from repro.params import base_config, higher_mem_latency
 from repro.workloads.base import TINY
-from repro.workloads.registry import get_spec
+from repro.workloads.registry import all_specs, get_spec
+
+ALL_BENCHMARKS = [spec.name for spec in all_specs()]
+
+CONFIGS = {
+    "base_machine": base_config,
+    "higher_mem_latency": higher_mem_latency,
+}
 
 
 @pytest.fixture(scope="module")
@@ -24,46 +37,61 @@ def codes_by_name():
     machine = base_config().scaled(TINY.machine_divisor)
     return {
         name: prepare_codes(get_spec(name), TINY, machine)
-        for name in ("vpenta", "compress")
+        for name in ALL_BENCHMARKS
     }
 
 
-def _assert_equivalent(packed_trace, machine, **kwargs):
-    packed = simulate_trace(packed_trace, machine, **kwargs)
-    objects = simulate_trace(packed_trace.to_trace(), machine, **kwargs)
-    assert packed == objects
+def _assert_equivalent(packed_trace, config, **kwargs):
+    """Object loop == scalar packed loop == vectorized kernels."""
+    divisor = TINY.machine_divisor
+    objects = simulate_trace(
+        packed_trace.to_trace(), config().scaled(divisor), **kwargs
+    )
+    scalar = simulate_trace(
+        packed_trace, config().scaled(divisor), vectorize=False, **kwargs
+    )
+    vector = simulate_trace(
+        packed_trace, config().scaled(divisor), vectorize=True, **kwargs
+    )
+    assert scalar == objects
+    assert vector == objects
 
 
 class TestPackedEquivalence:
-    @pytest.mark.parametrize("name", ["vpenta", "compress"])
-    def test_base_trace_no_assist(self, codes_by_name, name):
-        machine = base_config().scaled(TINY.machine_divisor)
-        _assert_equivalent(codes_by_name[name].base_trace, machine)
+    """Three-way matrix: 13 benchmarks x base/selective x both configs."""
 
-    @pytest.mark.parametrize("mechanism", ["bypass", "victim"])
-    def test_optimized_trace_with_mechanism(self, codes_by_name, mechanism):
-        machine = base_config().scaled(TINY.machine_divisor)
+    @pytest.mark.parametrize("config", CONFIGS.values(), ids=CONFIGS.keys())
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_base_trace_no_assist(self, codes_by_name, name, config):
         _assert_equivalent(
-            codes_by_name["vpenta"].optimized_trace,
-            machine,
-            mechanism=mechanism,
+            codes_by_name[name].base_trace, config, classify_misses=True
         )
 
-    @pytest.mark.parametrize("mechanism", ["bypass", "victim"])
-    def test_selective_trace_gated(self, codes_by_name, mechanism):
-        """ON/OFF markers must toggle the gate identically in both loops."""
-        machine = base_config().scaled(TINY.machine_divisor)
+    @pytest.mark.parametrize("config", CONFIGS.values(), ids=CONFIGS.keys())
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_selective_trace_gated(self, codes_by_name, name, config):
+        """ON/OFF markers must toggle the gate identically in all loops."""
         _assert_equivalent(
-            codes_by_name["compress"].selective_trace,
-            machine,
-            mechanism=mechanism,
+            codes_by_name[name].selective_trace,
+            config,
+            mechanism="bypass",
             initially_on=False,
         )
 
-    def test_alternate_machine_config(self, codes_by_name):
-        machine = higher_mem_latency().scaled(TINY.machine_divisor)
+    @pytest.mark.parametrize("mechanism", ["bypass", "victim"])
+    def test_optimized_trace_with_mechanism(self, codes_by_name, mechanism):
+        """Assist always on: the vector driver must fall back everywhere."""
         _assert_equivalent(
-            codes_by_name["vpenta"].base_trace,
-            machine,
-            classify_misses=True,
+            codes_by_name["vpenta"].optimized_trace,
+            base_config,
+            mechanism=mechanism,
+        )
+
+    @pytest.mark.parametrize("mechanism", ["bypass", "victim"])
+    def test_selective_victim_mechanism(self, codes_by_name, mechanism):
+        _assert_equivalent(
+            codes_by_name["compress"].selective_trace,
+            base_config,
+            mechanism=mechanism,
+            initially_on=False,
         )

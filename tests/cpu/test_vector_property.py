@@ -1,0 +1,154 @@
+"""Property-based lockstep check for the vectorized simulator path.
+
+Random packed traces — mixed opcodes, compressed ALU bursts, gate
+toggles mid-trace, and miss storms sized to saturate the MSHR file and
+the load/store queue — must produce bit-identical results through all
+three execution paths (object reference loop, scalar packed loop,
+block-batched numpy kernels).  Hypothesis shrinks any divergence down
+to a minimal instruction sequence, which makes timing-model regressions
+far easier to localise than a benchmark-level mismatch.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.experiment import simulate_trace
+from repro.cpu.vector import MIN_VECTOR_SPAN
+from repro.isa.instructions import Opcode
+from repro.isa.packed import PackedTrace
+from repro.params import base_config
+from repro.workloads.base import TINY
+
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
+_ALU = int(Opcode.ALU)
+_BRANCH = int(Opcode.BRANCH)
+_HW_ON = int(Opcode.HW_ON)
+_HW_OFF = int(Opcode.HW_OFF)
+
+#: A small address pool re-hits the same sets (LRU churn, conflict
+#: misses); the storm stride walks distinct L2 lines so every access
+#: goes to DRAM, queueing on the 8 MSHRs and wrapping the 32-entry LSQ.
+_POOL = [0x1000 + 32 * i for i in range(24)]
+_STORM_STRIDE = 4096
+
+
+@st.composite
+def packed_traces(draw):
+    """A random packed trace built from opcode-mix chunks."""
+    records = []
+    pc = 0x400000
+
+    def emit(op, arg, jump=0):
+        nonlocal pc
+        pc += 4 + jump
+        records.append((op, arg, pc))
+
+    n_chunks = draw(st.integers(min_value=3, max_value=12))
+    gate_on = False
+    for _ in range(n_chunks):
+        kind = draw(
+            st.sampled_from(
+                ["mem_pool", "miss_storm", "alu_burst", "branches", "toggle"]
+            )
+        )
+        if kind == "mem_pool":
+            for _ in range(draw(st.integers(min_value=1, max_value=40))):
+                addr = draw(st.sampled_from(_POOL))
+                op = _STORE if draw(st.booleans()) else _LOAD
+                emit(op, addr)
+        elif kind == "miss_storm":
+            start = draw(st.integers(min_value=0, max_value=1 << 20))
+            for i in range(draw(st.integers(min_value=40, max_value=96))):
+                emit(_LOAD, start + i * _STORM_STRIDE)
+        elif kind == "alu_burst":
+            for _ in range(draw(st.integers(min_value=1, max_value=10))):
+                emit(_ALU, draw(st.integers(min_value=1, max_value=9)))
+        elif kind == "branches":
+            for _ in range(draw(st.integers(min_value=1, max_value=12))):
+                taken = draw(st.booleans())
+                jump = 64 if draw(st.booleans()) else 0
+                emit(_BRANCH, int(taken), jump)
+        else:  # toggle: keep ON/OFF alternating like real marker placement
+            emit(_HW_OFF if gate_on else _HW_ON, 0)
+            gate_on = not gate_on
+    ops, args, pcs = zip(*records)
+    return PackedTrace("prop", ops, args, pcs)
+
+
+def _assert_three_way(trace, **kwargs):
+    machine = base_config().scaled(TINY.machine_divisor)
+    objects = simulate_trace(trace.to_trace(), machine, **kwargs)
+    scalar = simulate_trace(
+        trace,
+        base_config().scaled(TINY.machine_divisor),
+        vectorize=False,
+        **kwargs,
+    )
+    vector = simulate_trace(
+        trace,
+        base_config().scaled(TINY.machine_divisor),
+        vectorize=True,
+        **kwargs,
+    )
+    assert scalar == objects
+    assert vector == objects
+
+
+class TestVectorProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=packed_traces())
+    def test_no_assist(self, trace):
+        _assert_three_way(trace, classify_misses=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=packed_traces())
+    def test_gated_assist(self, trace):
+        """Toggles enable the assist: vector spans must interleave with
+        scalar-fallback spans on shared timing state."""
+        _assert_three_way(trace, mechanism="bypass", initially_on=False)
+
+
+class TestMidSegmentFallbackResume:
+    def test_vector_resumes_after_scalar_fallback_span(self):
+        """vector span -> assist-on scalar span -> vector span again.
+
+        Uses the automatic dispatch (``vectorize=None``): the gate-off
+        spans exceed ``MIN_VECTOR_SPAN`` so they take the kernels, while
+        the assist-enabled middle span runs the scalar fallback on the
+        same ``_PackedState``.  The result must still match the object
+        reference loop exactly.
+        """
+        records = []
+        pc = 0x400000
+
+        def emit(op, arg):
+            nonlocal pc
+            pc += 4
+            records.append((op, arg, pc))
+
+        span = MIN_VECTOR_SPAN + 64
+        for i in range(span):
+            emit(_LOAD, (i * 4096) % (1 << 20))
+        emit(_HW_ON, 0)
+        for i in range(200):
+            emit(_STORE if i % 3 else _LOAD, _POOL[i % len(_POOL)])
+        emit(_HW_OFF, 0)
+        for i in range(span):
+            emit(_ALU if i % 5 == 0 else _LOAD, (i * 32) % (1 << 16) or 1)
+        ops, args, pcs = zip(*records)
+        trace = PackedTrace("resume", ops, args, pcs)
+
+        machine = base_config().scaled(TINY.machine_divisor)
+        objects = simulate_trace(
+            trace.to_trace(), machine, mechanism="victim", initially_on=False
+        )
+        auto = simulate_trace(
+            trace,
+            base_config().scaled(TINY.machine_divisor),
+            mechanism="victim",
+            initially_on=False,
+        )
+        assert auto == objects

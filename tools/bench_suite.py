@@ -5,7 +5,8 @@ Times a fixed mini-sweep (4 benchmarks x 2 machine configurations by
 default) twice — once with ``jobs=1`` and once with ``--jobs`` worker
 processes — verifies that every cell of the two sweeps is identical,
 and measures the packed-columnar trace path against the legacy object
-path for single-thread generation, simulation, and the reuse-distance/
+path for single-thread generation, simulation (scalar loop and the
+block-batched numpy kernels), and the reuse-distance/
 miss-ratio-curve engine, plus the wall-clock of the static verifier
 (``python -m repro lint``) over the full suite.  Results are written
 to ``BENCH_sweep.json`` next to this script's repo root so future PRs
@@ -74,26 +75,57 @@ def _suites_identical(a, b) -> bool:
 def bench_sweep(scale, benchmarks, configs, jobs):
     """Time run_suite serially and with ``jobs`` workers; verify equality.
 
+    ``jobs`` is clamped to the machine's CPU count first: requesting
+    more workers than cores only adds scheduling overhead, and the
+    resulting "speedup" is a property of the oversubscription, not the
+    engine.  A clamped run is flagged with ``jobs_capped`` so readers
+    of BENCH_sweep.json don't compare numbers from different effective
+    worker counts.  On a single-core machine the parallel leg is
+    skipped outright — serial vs 1-worker-pool is pure overhead
+    measurement noise dressed up as a comparison.
+
     Returns the report dict plus the serial suite so the resume bench
     can reuse it as its bit-identical reference without a third run.
     """
+    cpu_count = os.cpu_count() or 1
+    effective_jobs = min(jobs, cpu_count)
+    jobs_capped = effective_jobs < jobs
+    if jobs_capped:
+        print(
+            f"  warning: --jobs {jobs} exceeds cpu_count={cpu_count}; "
+            f"clamping the parallel leg to {effective_jobs} workers",
+            file=sys.stderr,
+        )
+
     serial, serial_s = _time(
         lambda: run_suite(scale, benchmarks=benchmarks, configs=configs, jobs=1)
     )
-    parallel, parallel_s = _time(
-        lambda: run_suite(
-            scale, benchmarks=benchmarks, configs=configs, jobs=jobs
-        )
-    )
-    identical = _suites_identical(serial, parallel)
     report = {
         "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "jobs": jobs,
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "jobs_requested": jobs,
+        "jobs": effective_jobs,
+        "jobs_capped": jobs_capped,
         "cells": len(benchmarks) * len(configs),
-        "results_identical": identical,
     }
+    if effective_jobs < 2:
+        report.update(
+            parallel_seconds=None,
+            speedup=None,
+            parallel_skipped="single-core machine: no parallelism to measure",
+            results_identical=True,
+        )
+        return report, serial
+
+    parallel, parallel_s = _time(
+        lambda: run_suite(
+            scale, benchmarks=benchmarks, configs=configs, jobs=effective_jobs
+        )
+    )
+    report.update(
+        parallel_seconds=round(parallel_s, 3),
+        speedup=round(serial_s / parallel_s, 3) if parallel_s else None,
+        results_identical=_suites_identical(serial, parallel),
+    )
     return report, serial
 
 
@@ -143,7 +175,14 @@ def bench_sweep_resume(scale, benchmarks, configs, reference, serial_seconds):
 
 
 def bench_packed(scale, benchmark):
-    """Single-thread packed vs object trace: generation and simulation."""
+    """Single-thread object vs scalar-packed vs vectorized simulation.
+
+    Returns two report dicts: the legacy packed-vs-objects comparison
+    (``vectorize=False`` pins the scalar columnar loop so the numbers
+    stay comparable across PRs) and the ``simulate_vectorized`` entry
+    for the block-batched numpy kernels, measured on the same trace and
+    checked bit-identical against both scalar paths.
+    """
     spec = get_spec(benchmark)
 
     obj_trace, obj_gen_s = _time(
@@ -156,14 +195,36 @@ def bench_packed(scale, benchmark):
     )
 
     machine_builder = SENSITIVITY_CONFIGS["Base Confg."]
-    machine = machine_builder().scaled(scale.machine_divisor)
-    obj_result, obj_sim_s = _time(lambda: simulate_trace(obj_trace, machine))
-    machine = machine_builder().scaled(scale.machine_divisor)
-    packed_result, packed_sim_s = _time(
-        lambda: simulate_trace(packed_trace, machine)
-    )
 
-    return {
+    # Interleaved best-of-3 per leg: a fresh machine every repetition,
+    # minimum wall time per leg, so one background hiccup cannot skew
+    # the recorded speedup in either direction.
+    legs = {
+        "obj": lambda: simulate_trace(
+            obj_trace, machine_builder().scaled(scale.machine_divisor)
+        ),
+        "scalar": lambda: simulate_trace(
+            packed_trace,
+            machine_builder().scaled(scale.machine_divisor),
+            vectorize=False,
+        ),
+        "vector": lambda: simulate_trace(
+            packed_trace,
+            machine_builder().scaled(scale.machine_divisor),
+            vectorize=True,
+        ),
+    }
+    times = {name: float("inf") for name in legs}
+    results = {}
+    for _ in range(3):
+        for name, leg in legs.items():
+            results[name], seconds = _time(leg)
+            times[name] = min(times[name], seconds)
+    obj_result, obj_sim_s = results["obj"], times["obj"]
+    packed_result, packed_sim_s = results["scalar"], times["scalar"]
+    vector_result, vector_sim_s = results["vector"], times["vector"]
+
+    packed_report = {
         "benchmark": benchmark,
         "records": len(packed_trace),
         "object_generate_seconds": round(obj_gen_s, 3),
@@ -178,6 +239,20 @@ def bench_packed(scale, benchmark):
         else None,
         "results_identical": obj_result == packed_result,
     }
+    vector_report = {
+        "benchmark": benchmark,
+        "records": len(packed_trace),
+        "scalar_simulate_seconds": round(packed_sim_s, 3),
+        "vectorized_simulate_seconds": round(vector_sim_s, 3),
+        "speedup_vs_objects": round(obj_sim_s / vector_sim_s, 3)
+        if vector_sim_s
+        else None,
+        "speedup_vs_scalar": round(packed_sim_s / vector_sim_s, 3)
+        if vector_sim_s
+        else None,
+        "results_identical": obj_result == packed_result == vector_result,
+    }
+    return packed_report, vector_report
 
 
 def bench_mrc(scale, benchmark):
@@ -302,11 +377,20 @@ def main(argv=None) -> int:
         f"(cpu_count={os.cpu_count()})"
     )
     sweep, reference = bench_sweep(scale, benchmarks, configs, args.jobs)
-    print(
-        f"  serial {sweep['serial_seconds']}s, "
-        f"parallel {sweep['parallel_seconds']}s "
-        f"-> {sweep['speedup']}x, identical={sweep['results_identical']}"
-    )
+    if sweep.get("parallel_skipped"):
+        print(
+            f"  serial {sweep['serial_seconds']}s; "
+            f"parallel leg skipped ({sweep['parallel_skipped']})"
+        )
+    else:
+        print(
+            f"  serial {sweep['serial_seconds']}s, "
+            f"parallel {sweep['parallel_seconds']}s "
+            f"(jobs={sweep['jobs']}"
+            + (", capped" if sweep["jobs_capped"] else "")
+            + f") -> {sweep['speedup']}x, "
+            f"identical={sweep['results_identical']}"
+        )
 
     resume = bench_sweep_resume(
         scale, benchmarks, configs, reference, sweep["serial_seconds"]
@@ -319,13 +403,21 @@ def main(argv=None) -> int:
         f"identical={resume['results_identical']}"
     )
 
-    packed = bench_packed(scale, benchmarks[0])
+    packed, vectorized = bench_packed(scale, benchmarks[0])
     print(
         f"packed vs objects on {packed['benchmark']} "
         f"({packed['records']} records): "
         f"generate {packed['generate_speedup']}x, "
         f"simulate {packed['simulate_speedup']}x, "
         f"identical={packed['results_identical']}"
+    )
+    print(
+        f"vectorized kernels on {vectorized['benchmark']}: "
+        f"scalar {vectorized['scalar_simulate_seconds']}s, "
+        f"vectorized {vectorized['vectorized_simulate_seconds']}s "
+        f"-> {vectorized['speedup_vs_objects']}x vs objects "
+        f"({vectorized['speedup_vs_scalar']}x vs scalar packed), "
+        f"identical={vectorized['results_identical']}"
     )
 
     mrc = bench_mrc(scale, benchmarks[0])
@@ -362,6 +454,7 @@ def main(argv=None) -> int:
         "sweep": sweep,
         "sweep_resume": resume,
         "packed_vs_objects": packed,
+        "simulate_vectorized": vectorized,
         "mrc_engine": mrc,
         "telemetry_overhead": telemetry,
         "verify": verify,
@@ -373,13 +466,14 @@ def main(argv=None) -> int:
         sweep["results_identical"]
         and resume["results_identical"]
         and packed["results_identical"]
+        and vectorized["results_identical"]
         and mrc["results_identical"]
         and telemetry["results_identical"]
         and verify["clean"]
     ):
         print(
-            "ERROR: parallel, resume, packed, MRC, telemetry, or lint "
-            "results diverged",
+            "ERROR: parallel, resume, packed, vectorized, MRC, telemetry, "
+            "or lint results diverged",
             file=sys.stderr,
         )
         return 1
