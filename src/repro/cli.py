@@ -18,7 +18,11 @@ Commands mirror the paper's evaluation artifacts:
   (``--trace-out``, opens in Perfetto / chrome://tracing);
 * ``runs``       — list and validate the cells of a ``--store`` run
   store (checkpointed sweep results);
-* ``trace``      — dump a benchmark's trace to a file (binary format).
+* ``trace``      — dump a benchmark's trace to a file (binary format);
+* ``serve``      — run the sweep service: an asyncio HTTP server that
+  answers simulation/sweep/locality/profile jobs from the ``--store``
+  run store (warm cells, microseconds) or the fault-tolerant scheduler
+  (cold cells), with single-flight coalescing of duplicate requests.
 
 ``--trace-out FILE`` also works on the sweep commands (``table2``,
 ``table3``, ``figure``), where it exports a wall-clock timeline of
@@ -327,6 +331,27 @@ def _parser() -> argparse.ArgumentParser:
         choices=["base", "optimized", "selective"],
         default="base",
     )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help=(
+            "run the sweep service: an HTTP server that answers "
+            "simulate/sweep/table2/locality/profile jobs from the "
+            "--store run store (warm cells) or the fault-tolerant "
+            "scheduler (cold cells)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8023,
+        help="TCP port; 0 picks an ephemeral port (default: 8023)",
+    )
     return parser
 
 
@@ -616,6 +641,34 @@ def _cmd_trace(name: str, output: str, version: str, scale: Scale) -> int:
     return 0
 
 
+def _cmd_serve(
+    host: str,
+    port: int,
+    store: Optional[RunStore],
+    jobs: int,
+    scale: Scale,
+    resilience: dict,
+) -> int:
+    from repro.service.server import ServiceConfig, serve_forever
+
+    if store is None:
+        print("error: 'serve' requires --store DIR", file=sys.stderr)
+        return 2
+    serve_forever(
+        ServiceConfig(
+            host=host,
+            port=port,
+            store=store,
+            jobs=jobs,
+            scale=scale,
+            timeout=resilience["timeout"],
+            retries=resilience["retries"],
+            faults=resilience["faults"],
+        )
+    )
+    return 0
+
+
 def _progress(message: str) -> None:
     print(f"  [{message}]", file=sys.stderr)
 
@@ -688,6 +741,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_runs(store, args.purge_bad)
     if args.command == "trace":
         return _cmd_trace(args.benchmark, args.output, args.version, scale)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host, args.port, store, jobs, scale, resilience
+        )
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -65,9 +65,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "DEFAULT_BACKOFF",
     "DEFAULT_RETRIES",
+    "CellAttempt",
     "CellFailure",
     "GridValue",
     "SweepInterrupted",
+    "execute_cell",
     "resolve_jobs",
     "run_benchmark_parallel",
     "run_grid",
@@ -82,14 +84,20 @@ _BACKOFF_CAP = 5.0
 _POLL_SECONDS = 0.5
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
+def resolve_jobs(jobs: Optional[int], default: Optional[int] = None) -> int:
     """Number of worker processes to use.
 
     ``None`` consults the ``REPRO_JOBS`` environment variable, falling
-    back to ``os.cpu_count()``.  Non-integer and non-positive values
-    (from either source) raise ``ValueError`` — silently clamping
-    ``REPRO_JOBS=0`` to one worker used to hide misconfigured CI
-    environments.
+    back to ``default`` (when given) and then ``os.cpu_count()``.
+    Non-integer and non-positive values (from any source) raise
+    ``ValueError`` — silently clamping ``REPRO_JOBS=0`` to one worker
+    used to hide misconfigured CI environments.
+
+    ``default`` exists for long-lived callers (the sweep service) that
+    resolve a baseline worker count once at startup and then thread an
+    explicit per-request override as a *parameter*; mutating
+    ``REPRO_JOBS`` process-globally to influence nested calls is never
+    required.
     """
     source = "jobs"
     if jobs is None:
@@ -102,6 +110,9 @@ def resolve_jobs(jobs: Optional[int]) -> int:
                 raise ValueError(
                     f"REPRO_JOBS must be an integer, got {env!r}"
                 ) from None
+        elif default is not None:
+            source = "default"
+            jobs = default
         else:
             jobs = os.cpu_count() or 1
     jobs = int(jobs)
@@ -152,6 +163,144 @@ class SweepInterrupted(RuntimeError):
 
 #: What one grid slot holds once the sweep finishes.
 GridValue = Union[BenchmarkRun, CellFailure]
+
+
+@dataclass(frozen=True)
+class CellAttempt:
+    """Outcome of one execution attempt of a single cell.
+
+    ``status`` is ``ok``, ``error``, ``crash``, or ``timeout``;
+    ``fallback`` marks an attempt that ran in-process because no worker
+    could be spawned.  Attempts are numbered from 1.
+    """
+
+    attempt: int
+    status: str
+    seconds: float
+    message: str = ""
+    fallback: bool = False
+
+
+def execute_cell(
+    fn: Callable,
+    make_task: Callable[[int, Optional[FaultPlan]], tuple],
+    *,
+    benchmark: str,
+    config: str,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    plan: Optional[FaultPlan] = None,
+    on_attempt: Optional[Callable[[CellAttempt], None]] = None,
+):
+    """Run one cell in its own worker process with full resilience.
+
+    The single-cell counterpart of :class:`_Scheduler`: the cell runs in
+    a child process (killable at ``timeout``), crashed/raising/timed-out
+    attempts are retried up to ``retries`` times with exponential
+    backoff, an unspawnable worker falls back to in-process execution
+    (fault plan stripped, exactly like the grid scheduler), and a cell
+    that exhausts its budget returns a structured :class:`CellFailure`
+    instead of raising.
+
+    ``fn`` must be a picklable module-level worker entry;
+    ``make_task(attempt, plan)`` builds its (picklable) task tuple per
+    attempt so deterministic fault injection sees the attempt number.
+    ``on_attempt`` is invoked from the calling thread after every
+    attempt (including the successful one) — the sweep service streams
+    these as per-cell job events.
+
+    Returns ``(value_or_CellFailure, attempts)``.  Blocking: callers
+    that need concurrency run it from threads or worker pools.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    attempts: list[CellAttempt] = []
+
+    def note(record: CellAttempt) -> CellAttempt:
+        attempts.append(record)
+        if on_attempt is not None:
+            on_attempt(record)
+        return record
+
+    first_started = time.monotonic()
+    attempt = 0
+    while True:
+        started = time.monotonic()
+        try:
+            proc, conn = _start_worker(fn, make_task(attempt, plan))
+        except OSError:
+            # Broken pool: run in-process with faults stripped (an
+            # os._exit fired here would kill the whole server).
+            try:
+                value = fn(make_task(attempt, None))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                status: str = "error"
+                message = f"{type(exc).__name__}: {exc}"
+            else:
+                note(
+                    CellAttempt(
+                        attempt + 1,
+                        "ok",
+                        time.monotonic() - started,
+                        fallback=True,
+                    )
+                )
+                return value, attempts
+        else:
+            deadline = (
+                started + timeout if timeout is not None else None
+            )
+            while True:
+                wait_for = _POLL_SECONDS
+                if deadline is not None:
+                    wait_for = min(
+                        wait_for, max(0.0, deadline - time.monotonic())
+                    )
+                ready = _connection_wait([conn], timeout=wait_for)
+                if ready:
+                    try:
+                        status, value = conn.recv()
+                    except (EOFError, OSError):
+                        proc.join(1.0)
+                        status, value = (
+                            "crash",
+                            f"worker died without reporting "
+                            f"(exit code {proc.exitcode})",
+                        )
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    _stop_worker(proc)
+                    status, value = (
+                        "timeout",
+                        f"cell exceeded the {timeout:g}s per-cell timeout",
+                    )
+                    break
+            conn.close()
+            proc.join(1.0)
+            if status == "ok":
+                note(CellAttempt(attempt + 1, "ok", time.monotonic() - started))
+                return value, attempts
+            message = value
+        note(
+            CellAttempt(
+                attempt + 1, status, time.monotonic() - started, message
+            )
+        )
+        attempt += 1
+        if attempt > retries:
+            failure = CellFailure(
+                benchmark=benchmark,
+                config=config,
+                kind=status,
+                attempts=attempt,
+                message=message,
+                duration=time.monotonic() - first_started,
+            )
+            return failure, attempts
+        time.sleep(min(backoff * (2 ** (attempt - 1)), _BACKOFF_CAP))
 
 
 def _slim_codes(codes: BenchmarkCodes) -> BenchmarkCodes:

@@ -48,7 +48,13 @@ from repro.isa.packed import AnyTrace, PackedTrace
 from repro.params import MachineParams
 from repro.workloads.base import Scale
 
-__all__ = ["STORE_FORMAT", "RunStore", "StoredEntry", "trace_checksum"]
+__all__ = [
+    "STORE_FORMAT",
+    "RunStore",
+    "StoreStats",
+    "StoredEntry",
+    "trace_checksum",
+]
 
 #: Bump to invalidate every existing entry (keys embed this version).
 STORE_FORMAT = 1
@@ -90,6 +96,52 @@ class StoredEntry:
     @property
     def config(self) -> str:
         return (self.meta or {}).get("config", "?")
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate shape of a run store (``repro runs`` / ``/v1/status``).
+
+    ``by_kind`` maps payload kind (``cell``, ``table2``, ...) to
+    ``{"entries": n, "bytes": b}``; corrupt entries are counted under
+    their header's kind when the header survived, else under ``"?"``.
+    """
+
+    entries: int
+    bytes: int
+    ok: int
+    corrupt: int
+    by_kind: dict
+
+    def to_json(self) -> dict:
+        return {
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "ok": self.ok,
+            "corrupt": self.corrupt,
+            "by_kind": {
+                kind: dict(counts)
+                for kind, counts in sorted(self.by_kind.items())
+            },
+        }
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[StoredEntry]) -> "StoreStats":
+        entries = list(entries)
+        by_kind: dict[str, dict] = {}
+        for entry in entries:
+            bucket = by_kind.setdefault(
+                entry.kind, {"entries": 0, "bytes": 0}
+            )
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size
+        return cls(
+            entries=len(entries),
+            bytes=sum(entry.size for entry in entries),
+            ok=sum(1 for entry in entries if entry.ok),
+            corrupt=sum(1 for entry in entries if not entry.ok),
+            by_kind=by_kind,
+        )
 
 
 class RunStore:
@@ -238,6 +290,10 @@ class RunStore:
                 )
             )
         return out
+
+    def stats(self) -> StoreStats:
+        """Entry count, bytes on disk, and per-kind breakdown (verified)."""
+        return StoreStats.from_entries(self.entries())
 
     def purge_corrupt(self) -> list[str]:
         """Delete entries failing verification; returns their keys."""

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.parallel import CellFailure
-from repro.core.runstore import StoredEntry
+from repro.core.runstore import StoredEntry, StoreStats
 from repro.evaluation.figures import FIGURE_VERSIONS, FigureSeries
 from repro.evaluation.locality import LocalityRow
 from repro.evaluation.profile import BenchmarkProfile
@@ -168,17 +168,21 @@ def render_runs(entries: Iterable[StoredEntry]) -> str:
         f"{'kind':<8} {'benchmark':<10} {'config':<18} {'bytes':>9} "
         f"{'status'}",
     ]
-    corrupt = 0
     for entry in entries:
         status = "ok" if entry.ok else f"CORRUPT ({entry.error})"
-        if not entry.ok:
-            corrupt += 1
         lines.append(
             f"{entry.kind:<8} {entry.benchmark:<10} {entry.config:<18} "
             f"{entry.size:>9,} {status}"
         )
+    stats = StoreStats.from_entries(entries)
     lines.append(
-        f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
-        f"{corrupt} corrupt"
+        f"{stats.entries} entr{'y' if stats.entries == 1 else 'ies'}, "
+        f"{stats.corrupt} corrupt, {stats.bytes:,} bytes"
     )
+    for kind, bucket in sorted(stats.by_kind.items()):
+        lines.append(
+            f"  {kind}: {bucket['entries']} entr"
+            f"{'y' if bucket['entries'] == 1 else 'ies'}, "
+            f"{bucket['bytes']:,} bytes"
+        )
     return "\n".join(lines)

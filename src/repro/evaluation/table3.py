@@ -64,10 +64,16 @@ def sweep_to_row(name: str, sweep: SweepResult) -> Table3Row:
 def table3_rows(
     scale: Scale = SMALL,
     suite: SuiteResult | None = None,
+    jobs: int | None = 1,
 ) -> list[Table3Row]:
-    """Run (or reuse) the full sweep; return all six Table 3 rows."""
+    """Run (or reuse) the full sweep; return all six Table 3 rows.
+
+    ``jobs`` threads straight through to :func:`run_suite` (explicit
+    parameter, never the ``REPRO_JOBS`` environment) and is ignored
+    when a pre-computed ``suite`` is supplied.
+    """
     if suite is None:
-        suite = run_suite(scale, configs=dict(SENSITIVITY_CONFIGS))
+        suite = run_suite(scale, configs=dict(SENSITIVITY_CONFIGS), jobs=jobs)
     return [
         sweep_to_row(name, suite.sweeps[name]) for name in suite.sweeps
     ]

@@ -1,0 +1,37 @@
+"""Sweep-as-a-service: an asyncio HTTP front end for the run store.
+
+The run store already content-addresses every completed evaluation
+cell; this package puts a server in front of it.  ``repro serve``
+exposes JSON endpoints to submit simulation/sweep/locality/profile
+jobs, poll or stream their progress, and fetch results and Chrome-trace
+artifacts — with warm cells served straight from the store (no
+scheduler involvement), identical in-flight cells single-flight
+coalesced onto one computation, and cold cells executed on the
+hardened process-per-cell machinery of :mod:`repro.core.parallel`.
+
+Zero new dependencies: the server is asyncio streams + a minimal
+HTTP/1.1 layer, the client is ``http.client``.
+"""
+
+from repro.service.cells import CellSpec, canonical_json, decompose
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job
+from repro.service.server import (
+    BackgroundServer,
+    ServiceConfig,
+    SweepService,
+    serve_forever,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "CellSpec",
+    "Job",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepService",
+    "canonical_json",
+    "decompose",
+    "serve_forever",
+]

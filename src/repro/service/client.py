@@ -1,0 +1,154 @@
+"""Stdlib client for the sweep service (``http.client``, no deps).
+
+Used by the test suite, the CI smoke step, and the benchmark harness;
+also a reference for talking to the service from anything that can
+speak HTTP.  One connection per call — the server closes connections
+after each response anyway.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Thin convenience wrapper over the service's JSON endpoints."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode() if body is not None else None
+            )
+            headers = (
+                {"Content-Type": "application/json"} if payload else {}
+            )
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, body: Optional[dict] = None) -> Any:
+        status, raw = self.request(method, path, body)
+        if not 200 <= status < 300:
+            try:
+                message = json.loads(raw).get("error", raw.decode())
+            except ValueError:
+                message = raw.decode("utf-8", "replace")
+            raise ServiceError(status, message)
+        return json.loads(raw)
+
+    def get(self, path: str) -> Any:
+        return self._json("GET", path)
+
+    def post(self, path: str, body: dict) -> Any:
+        return self._json("POST", path, body)
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def status(self) -> dict:
+        return self.get("/v1/status")
+
+    def metrics(self) -> dict:
+        return self.get("/v1/metrics")
+
+    def cells(self) -> list[dict]:
+        return self.get("/v1/cells")["cells"]
+
+    def submit(self, body: dict) -> dict:
+        """POST /v1/jobs; returns the job document."""
+        return self.post("/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self.get(f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Stream the job's NDJSON events until it finishes."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    response.status, response.read().decode("utf-8", "replace")
+                )
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Follow the event stream until the job's terminal event.
+
+        Falls back to polling if the stream drops; returns the final
+        job document.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                for event in self.events(job_id):
+                    if event.get("event") == "job" and event.get("state") in (
+                        "done",
+                        "failed",
+                    ):
+                        return self.job(job_id)
+            except (ServiceError, OSError):
+                pass
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            time.sleep(0.2)
+        raise TimeoutError(f"job {job_id} did not finish within {timeout}s")
+
+    def run(self, body: dict, timeout: float = 300.0) -> dict:
+        """Submit a job and wait for its terminal state."""
+        job = self.submit(body)
+        return self.wait(job["id"], timeout=timeout)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The job's canonical result document (exact bytes)."""
+        status, raw = self.request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            raise ServiceError(status, raw.decode("utf-8", "replace"))
+        return raw
+
+    def result(self, job_id: str) -> dict:
+        return json.loads(self.result_bytes(job_id))
+
+    def trace(self, job_id: str) -> dict:
+        return self.get(f"/v1/jobs/{job_id}/trace")

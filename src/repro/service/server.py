@@ -1,0 +1,776 @@
+"""The sweep service: asyncio HTTP front end over the run store.
+
+Request lifecycle::
+
+    POST /v1/jobs ──▶ decompose() ──▶ one CellState per store cell
+                                           │
+                          ┌────────────────┼─────────────────┐
+                          ▼                ▼                 ▼
+                     warm (store)    in-flight (dup)    cold (miss)
+                     store.get()     await the same     execute_cell()
+                     microseconds    future — one       in a worker
+                     no scheduler    computation for    process, with
+                     involvement     N requests         timeout/retry
+
+    ──▶ aggregate_result() ──▶ canonical JSON, byte-identical to the
+        offline runner's payload for the same store keys.
+
+Single-flight coalescing leans on the event loop for atomicity: the
+in-flight check, the (synchronous) store probe, and the future
+registration happen with **no await in between**, so two concurrent
+requests for one cold cell can never both miss the registry.  Cold
+cells run on :func:`repro.core.parallel.execute_cell` in worker
+threads (one blocking call per cell), so a hung or killed worker
+process is the scheduler's problem — never the event loop's — and a
+``REPRO_FAULTS`` chaos spec degrades to a structured per-cell failure
+while the server keeps serving.
+
+Concurrency is capped twice: a global semaphore sized to the service's
+worker budget, and a per-job semaphore sized to the request's explicit
+``jobs`` override (threaded end to end as a parameter; the service
+never mutates ``REPRO_JOBS``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.parse
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.core.faults import FaultPlan, corrupt_stored_entry
+from repro.core.parallel import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    CellAttempt,
+    CellFailure,
+    _slim_codes,
+    execute_cell,
+    resolve_jobs,
+)
+from repro.core.runstore import RunStore, trace_checksum
+from repro.core.versions import prepare_codes
+from repro.params import base_config
+from repro.service.cells import (
+    SCALES,
+    CellSpec,
+    JobRequest,
+    aggregate_result,
+    canonical_json,
+    decompose,
+)
+from repro.service.jobs import CellState, Job
+from repro.telemetry import SweepTimeline, sweep_trace_events
+from repro.workloads.base import SMALL, Scale
+from repro.workloads.registry import get_spec
+
+__all__ = [
+    "BackgroundServer",
+    "JobOptions",
+    "ServiceConfig",
+    "SweepService",
+    "serve_forever",
+]
+
+#: Hard ceilings on what one HTTP request may carry.
+_MAX_BODY = 1 << 20
+_MAX_HEADERS = 100
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Startup parameters of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the bound port is reported)
+    store: Union[str, Path] = "runs"
+    #: Baseline worker budget; ``None`` resolves REPRO_JOBS/CPU count
+    #: once at startup.  Per-request ``jobs`` overrides never exceed it.
+    jobs: Optional[int] = None
+    scale: Scale = SMALL
+    timeout: Optional[float] = None
+    retries: int = DEFAULT_RETRIES
+    backoff: float = DEFAULT_BACKOFF
+    #: Service-wide chaos plan; ``None`` reads ``REPRO_FAULTS``.
+    faults: Optional[FaultPlan] = None
+
+
+@dataclass(frozen=True)
+class JobOptions:
+    """Per-request execution knobs (all optional in the body)."""
+
+    jobs: int
+    timeout: Optional[float]
+    retries: int
+    backoff: float
+    plan: FaultPlan
+    semaphore: asyncio.Semaphore = field(compare=False, repr=False, default=None)
+
+
+class _BadRequest(ValueError):
+    """Client error surfaced as an HTTP 400."""
+
+
+class SweepService:
+    """All service state; every method runs on the event loop."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.store = (
+            config.store
+            if isinstance(config.store, RunStore)
+            else RunStore(config.store)
+        )
+        self.workers = resolve_jobs(config.jobs)
+        self.faults = (
+            config.faults if config.faults is not None else FaultPlan.from_env()
+        )
+        self.jobs: dict[str, Job] = {}
+        self.metrics: dict[str, int] = {
+            "requests": 0,
+            "jobs_submitted": 0,
+            "cells_total": 0,
+            "warm_hits": 0,
+            "coalesced": 0,
+            "scheduler_executions": 0,
+            "cell_failures": 0,
+            "attempts": 0,
+            "prepares": 0,
+            "errors": 0,
+        }
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # +2 so benchmark preparation never starves behind a full grid
+        # of executing cells.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers + 2,
+            thread_name_prefix="repro-service",
+        )
+        self._sem = asyncio.Semaphore(self.workers)
+        #: Single-flight registry: store key → future of the in-flight
+        #: computation.  Entries exist only while a cell is executing.
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: (benchmark, scale.name) → (slimmed codes, trace digests).
+        self._prep_cache: dict[tuple[str, str], tuple] = {}
+        self._prep_inflight: dict[tuple[str, str], asyncio.Future] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def attach(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # job submission and execution
+
+    def parse_options(self, body: dict) -> JobOptions:
+        jobs = body.get("jobs")
+        if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+            raise _BadRequest(f"jobs must be a positive integer, got {jobs!r}")
+        jobs = min(resolve_jobs(jobs, default=self.workers), self.workers)
+        timeout = body.get("timeout", self.config.timeout)
+        if timeout is not None and (
+            not isinstance(timeout, (int, float)) or timeout <= 0
+        ):
+            raise _BadRequest(f"timeout must be positive, got {timeout!r}")
+        retries = body.get("retries", self.config.retries)
+        if not isinstance(retries, int) or retries < 0:
+            raise _BadRequest(f"retries must be an integer >= 0, got {retries!r}")
+        faults = body.get("faults")
+        if faults is not None and not isinstance(faults, str):
+            raise _BadRequest("faults must be a spec string")
+        try:
+            plan = (
+                FaultPlan.parse(faults) if faults is not None else self.faults
+            )
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        return JobOptions(
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            backoff=self.config.backoff,
+            plan=plan,
+            semaphore=asyncio.Semaphore(jobs),
+        )
+
+    def submit(self, body: dict) -> Job:
+        """Validate, decompose, and launch one job (returns immediately)."""
+        try:
+            request = decompose(body, self.config.scale)
+            options = self.parse_options(body)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        job = Job(
+            kind=request.kind,
+            params=request.params,
+            cells=[CellState(spec) for spec in request.specs],
+        )
+        self.jobs[job.id] = job
+        self.metrics["jobs_submitted"] += 1
+        self.metrics["cells_total"] += len(job.cells)
+        job.emit("job", state="queued", cells=len(job.cells))
+        self._loop.create_task(self._run_job(job, request, options))
+        return job
+
+    async def _run_job(
+        self, job: Job, request: JobRequest, options: JobOptions
+    ) -> None:
+        job.state = "running"
+        job.emit("job", state="running")
+        timeline = SweepTimeline()
+        values = await asyncio.gather(
+            *(
+                self._resolve_cell(job, cell, options, timeline)
+                for cell in job.cells
+            ),
+            return_exceptions=True,
+        )
+        values = [
+            value
+            if not isinstance(value, BaseException)
+            else CellFailure(
+                benchmark=cell.spec.benchmark,
+                config=cell.spec.config,
+                kind="error",
+                attempts=max(cell.attempts, 1),
+                message=f"{type(value).__name__}: {value}",
+            )
+            for cell, value in zip(job.cells, values)
+        ]
+        document = aggregate_result(
+            request.kind,
+            [cell.spec for cell in job.cells],
+            [cell.key for cell in job.cells],
+            values,
+        )
+        job.result_bytes = canonical_json(document)
+        job.trace_document = self._trace_document(job, timeline, values)
+        failed = any(isinstance(value, CellFailure) for value in values)
+        job.finish("failed" if failed else "done")
+
+    async def _resolve_cell(
+        self,
+        job: Job,
+        cell: CellState,
+        options: JobOptions,
+        timeline: SweepTimeline,
+    ) -> Any:
+        spec = cell.spec
+        digests: tuple = ()
+        codes = None
+        if spec.needs_codes:
+            job.cell_event(cell, "preparing")
+            try:
+                codes, digests = await self._prepared(spec.benchmark, spec.scale)
+            except Exception as exc:  # noqa: BLE001 - degrade per-cell
+                failure = CellFailure(
+                    benchmark=spec.benchmark,
+                    config=spec.config,
+                    kind="error",
+                    attempts=1,
+                    message=f"prepare failed: {type(exc).__name__}: {exc}",
+                )
+                self.metrics["cell_failures"] += 1
+                job.cell_event(cell, "failed", message=failure.message)
+                return failure
+        key = spec.store_key(self.store, digests)
+        cell.key = key
+
+        # --- single-flight critical section: the in-flight probe, the
+        # store probe, and the future registration must see a consistent
+        # world, so there is deliberately NO await between them.
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics["coalesced"] += 1
+            job.cell_event(cell, "running", source="coalesced")
+            value = await asyncio.shield(existing)
+        else:
+            cached = self.store.get(key)
+            if spec.payload_valid(cached):
+                self.metrics["warm_hits"] += 1
+                timeline.restored(spec.benchmark, spec.config)
+                job.cell_event(cell, "done", source="store")
+                return cached
+            future: asyncio.Future = self._loop.create_future()
+            self._inflight[key] = future
+            job.cell_event(cell, "running", source="scheduler")
+            try:
+                value = await self._execute(job, cell, options, timeline, codes)
+            except Exception as exc:  # noqa: BLE001 - degrade per-cell
+                value = CellFailure(
+                    benchmark=spec.benchmark,
+                    config=spec.config,
+                    kind="error",
+                    attempts=max(cell.attempts, 1),
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+            if not isinstance(value, CellFailure):
+                self.store.put(key, value, meta=spec.store_meta())
+                fault = options.plan.store_fault(
+                    spec.benchmark, spec.config, max(cell.attempts - 1, 0)
+                )
+                if fault is not None:
+                    corrupt_stored_entry(self.store, key)
+                    job.emit(
+                        "store-corruption",
+                        benchmark=spec.benchmark,
+                        config=spec.config,
+                        fault=fault.spec(),
+                    )
+            self._inflight.pop(key, None)
+            future.set_result(value)
+
+        if isinstance(value, CellFailure):
+            self.metrics["cell_failures"] += 1
+            job.cell_event(
+                cell,
+                "failed",
+                attempts=value.attempts,
+                message=f"{value.kind}: {value.message}",
+            )
+        else:
+            job.cell_event(cell, "done")
+        return value
+
+    async def _execute(
+        self,
+        job: Job,
+        cell: CellState,
+        options: JobOptions,
+        timeline: SweepTimeline,
+        codes,
+    ) -> Any:
+        """Run one cold cell on the scheduler, off the event loop."""
+        spec = cell.spec
+        fn, make_task = spec.worker(codes)
+
+        def on_attempt(record: CellAttempt) -> None:
+            self._loop.call_soon_threadsafe(
+                self._note_attempt, job, cell, record, timeline
+            )
+
+        def run() -> Any:
+            value, _attempts = execute_cell(
+                fn,
+                make_task,
+                benchmark=spec.benchmark,
+                config=spec.config,
+                timeout=options.timeout,
+                retries=options.retries,
+                backoff=options.backoff,
+                plan=options.plan or None,
+                on_attempt=on_attempt,
+            )
+            return value
+
+        async with options.semaphore, self._sem:
+            self.metrics["scheduler_executions"] += 1
+            return await self._loop.run_in_executor(self._executor, run)
+
+    def _note_attempt(
+        self,
+        job: Job,
+        cell: CellState,
+        record: CellAttempt,
+        timeline: SweepTimeline,
+    ) -> None:
+        cell.attempts = record.attempt
+        self.metrics["attempts"] += 1
+        timeline.record(
+            cell.spec.benchmark,
+            cell.spec.benchmark,
+            cell.spec.config,
+            start=max(timeline.clock() - record.seconds, 0.0),
+            status=record.status,
+            attempt=record.attempt,
+            **(
+                {"message": record.message} if record.message else {}
+            ),
+            **({"fallback": "in-process"} if record.fallback else {}),
+        )
+        job.emit(
+            "attempt",
+            benchmark=cell.spec.benchmark,
+            config=cell.spec.config,
+            attempt=record.attempt,
+            status=record.status,
+            seconds=round(record.seconds, 4),
+            fallback=record.fallback,
+            message=record.message,
+        )
+
+    # ------------------------------------------------------------------
+    # preparation (parent-side codes + digests for "cell" kind)
+
+    async def _prepared(self, benchmark: str, scale: Scale) -> tuple:
+        key = (benchmark, scale.name)
+        cached = self._prep_cache.get(key)
+        if cached is not None:
+            return cached
+        pending = self._prep_inflight.get(key)
+        if pending is not None:
+            status, value = await asyncio.shield(pending)
+            if status == "error":
+                raise RuntimeError(value)
+            return value
+
+        pending = self._loop.create_future()
+        self._prep_inflight[key] = pending
+
+        def build() -> tuple:
+            # Exactly the offline driver's preparation (run_suite):
+            # optimizer planned against the base machine, traces slimmed
+            # before digesting — so keys match cells written by
+            # ``repro table3 --store``.
+            spec = get_spec(benchmark)
+            reference = base_config().scaled(scale.machine_divisor)
+            codes = _slim_codes(prepare_codes(spec, scale, reference))
+            digests = (
+                trace_checksum(codes.base_trace),
+                trace_checksum(codes.optimized_trace),
+                trace_checksum(codes.selective_trace),
+            )
+            return codes, digests
+
+        try:
+            self.metrics["prepares"] += 1
+            value = await self._loop.run_in_executor(self._executor, build)
+        except Exception as exc:  # noqa: BLE001 - waiters fail too
+            self._prep_inflight.pop(key, None)
+            pending.set_result(("error", f"{type(exc).__name__}: {exc}"))
+            raise
+        self._prep_cache[key] = value
+        self._prep_inflight.pop(key, None)
+        pending.set_result(("ok", value))
+        return value
+
+    # ------------------------------------------------------------------
+    # artifacts and introspection documents
+
+    def _trace_document(
+        self, job: Job, timeline: SweepTimeline, values: list
+    ) -> dict:
+        if job.kind == "profile" and values and isinstance(values[0], dict):
+            events = values[0]["trace_events"]
+        else:
+            events = sweep_trace_events(timeline)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.service",
+                "job": job.id,
+                "kind": job.kind,
+            },
+        }
+
+    def status_json(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "service": {
+                "workers": self.workers,
+                "scale": self.config.scale.name,
+                "faults": self.faults.spec(),
+            },
+            "store": {
+                "root": str(self.store.root),
+                **self.store.stats().to_json(),
+            },
+            "jobs": {"total": len(self.jobs), "states": states},
+            "inflight_cells": len(self._inflight),
+        }
+
+    def cells_json(self) -> list[dict]:
+        return [
+            {
+                "key": entry.key,
+                "kind": entry.kind,
+                "benchmark": entry.benchmark,
+                "config": entry.config,
+                "bytes": entry.size,
+                "ok": entry.ok,
+                "error": entry.error,
+            }
+            for entry in self.store.entries()
+        ]
+
+
+# ----------------------------------------------------------------------
+# HTTP layer (asyncio streams; one request per connection)
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1", "replace").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _BadRequest(f"malformed request line {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1", "replace").partition(":")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > _MAX_HEADERS:
+            raise _BadRequest("too many headers")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest("bad Content-Length") from None
+    if not 0 <= length <= _MAX_BODY:
+        raise _BadRequest(f"body too large ({length} bytes)")
+    body = await reader.readexactly(length) if length else b""
+    path, _, query = target.partition("?")
+    return method, path, urllib.parse.parse_qs(query), headers, body
+
+
+def _response(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode() + body
+
+
+def _json_response(status: int, payload: Any) -> bytes:
+    return _response(status, canonical_json(payload))
+
+
+def _error(status: int, message: str) -> bytes:
+    return _json_response(status, {"error": message})
+
+
+async def _stream_events(
+    writer: asyncio.StreamWriter, job: Job, since: int
+) -> None:
+    """NDJSON event stream: replay from ``since``, then follow live."""
+    writer.write(
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/x-ndjson\r\n"
+        b"Connection: close\r\n"
+        b"\r\n"
+    )
+    seq = since
+    while True:
+        pending = job.events[seq:]
+        if pending:
+            for event in pending:
+                writer.write(canonical_json(event))
+            seq = pending[-1]["seq"] + 1
+            await writer.drain()
+        if job.done and len(job.events) <= seq:
+            return
+        if not pending:
+            await job.wait_events(seq)
+
+
+async def _handle_request(service: SweepService, method, path, query, body):
+    """Route one parsed request; returns response bytes or a coroutine
+    marker ``("stream", job, since)`` for NDJSON endpoints."""
+    service.metrics["requests"] += 1
+
+    if path == "/v1/status" and method == "GET":
+        return _json_response(200, service.status_json())
+    if path == "/v1/metrics" and method == "GET":
+        return _json_response(200, service.metrics)
+    if path == "/v1/cells" and method == "GET":
+        return _json_response(200, {"cells": service.cells_json()})
+    if path == "/v1/jobs" and method == "POST":
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except ValueError:
+            return _error(400, "request body is not valid JSON")
+        job = service.submit(payload)
+        return _json_response(201, job.to_json())
+    if path == "/v1/jobs" and method == "GET":
+        return _json_response(
+            200, {"jobs": [job.to_json() for job in service.jobs.values()]}
+        )
+
+    if path.startswith("/v1/jobs/"):
+        rest = path[len("/v1/jobs/"):]
+        job_id, _, sub = rest.partition("/")
+        job = service.jobs.get(job_id)
+        if job is None:
+            return _error(404, f"no such job {job_id!r}")
+        if method != "GET":
+            return _error(405, "job endpoints are read-only")
+        since = 0
+        if "since" in query:
+            try:
+                since = int(query["since"][0])
+            except ValueError:
+                return _error(400, "since must be an integer")
+        if sub == "" and "events" not in query:
+            return _json_response(200, job.to_json())
+        if sub == "events" or (sub == "" and "events" in query):
+            return ("stream", job, since)
+        if sub == "result":
+            if not job.done:
+                return _error(409, f"job {job.id} is {job.state}")
+            return _response(200, job.result_bytes)
+        if sub == "trace":
+            if not job.done:
+                return _error(409, f"job {job.id} is {job.state}")
+            return _json_response(200, job.trace_document)
+        return _error(404, f"unknown job endpoint {sub!r}")
+
+    return _error(404, f"no route for {method} {path}")
+
+
+async def _handle_connection(service, reader, writer) -> None:
+    try:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, query, headers, body = request
+            result = await _handle_request(service, method, path, query, body)
+        except _BadRequest as exc:
+            service.metrics["errors"] += 1
+            result = _error(400, str(exc))
+        except asyncio.IncompleteReadError:
+            return
+        except Exception as exc:  # noqa: BLE001 - keep serving
+            service.metrics["errors"] += 1
+            result = _error(500, f"{type(exc).__name__}: {exc}")
+        if isinstance(result, tuple):
+            _, job, since = result
+            await _stream_events(writer, job, since)
+        else:
+            writer.write(result)
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-response; nothing to salvage
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_server(
+    config: ServiceConfig,
+) -> tuple[asyncio.AbstractServer, SweepService, int]:
+    """Bind and start serving; returns (server, service, bound port)."""
+    service = SweepService(config)
+    service.attach(asyncio.get_running_loop())
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    server = await asyncio.start_server(handler, config.host, config.port)
+    port = server.sockets[0].getsockname()[1]
+    return server, service, port
+
+
+def serve_forever(config: ServiceConfig, notify=print) -> None:
+    """``repro serve``: run until interrupted."""
+
+    async def main() -> None:
+        server, service, port = await start_server(config)
+        notify(
+            f"repro service listening on http://{config.host}:{port} "
+            f"(store {service.store.root}, {service.workers} worker(s), "
+            f"scale {config.scale.name})"
+        )
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            service.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        notify("repro service stopped")
+
+
+class BackgroundServer:
+    """A service running on a daemon thread (tests, bench harness).
+
+    Usage::
+
+        with BackgroundServer(ServiceConfig(store=tmp)) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.port: Optional[int] = None
+        self.service: Optional[SweepService] = None
+        self._started = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-main", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                server, service, port = await start_server(self.config)
+            except BaseException as exc:
+                self._failure = exc
+                self._started.set()
+                raise
+            self.service = service
+            self.port = port
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._started.set()
+            try:
+                async with server:
+                    await self._stop.wait()
+            finally:
+                service.close()
+
+        try:
+            asyncio.run(main())
+        except BaseException:  # noqa: BLE001 - surfaced via _failure
+            pass
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._failure is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._failure}"
+            ) from self._failure
+        if self.port is None:
+            raise RuntimeError("service did not start within 30s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)

@@ -1,0 +1,148 @@
+"""Single-cell scheduler: retry/timeout/fallback semantics.
+
+:func:`repro.core.parallel.execute_cell` is the blocking building
+block the sweep service runs cold cells on; these tests pin its
+resilience contract without any HTTP involved.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import parallel
+from repro.core.faults import EXIT_STATUS, FaultPlan
+from repro.core.parallel import CellAttempt, CellFailure, execute_cell
+
+
+def _echo(task):
+    """Picklable worker: applies the fault plan, returns the payload."""
+    payload, attempt, plan = task
+    if plan is not None:
+        plan.apply_execution("bench", "cfg", attempt)
+    return payload
+
+
+def _boom(task):
+    raise RuntimeError("deliberate")
+
+
+def _make(payload):
+    return lambda attempt, plan: (payload, attempt, plan)
+
+
+class TestSuccess:
+    def test_returns_value_and_one_attempt(self):
+        value, attempts = execute_cell(
+            _echo, _make(41), benchmark="bench", config="cfg"
+        )
+        assert value == 41
+        assert [a.status for a in attempts] == ["ok"]
+        assert attempts[0].attempt == 1
+
+    def test_on_attempt_sees_every_attempt(self):
+        seen: list[CellAttempt] = []
+        value, _ = execute_cell(
+            _echo,
+            _make("x"),
+            benchmark="bench",
+            config="cfg",
+            plan=FaultPlan.parse("raise:*:*:1"),
+            backoff=0.01,
+            on_attempt=seen.append,
+        )
+        assert value == "x"
+        assert [a.status for a in seen] == ["error", "ok"]
+        assert [a.attempt for a in seen] == [1, 2]
+
+
+class TestFailureModes:
+    def test_error_exhausts_into_structured_failure(self):
+        value, attempts = execute_cell(
+            _boom,
+            _make(None),
+            benchmark="bench",
+            config="cfg",
+            retries=1,
+            backoff=0.01,
+        )
+        assert isinstance(value, CellFailure)
+        assert value.kind == "error"
+        assert value.attempts == 2
+        assert "deliberate" in value.message
+        assert len(attempts) == 2
+
+    def test_killed_worker_reports_crash_with_exit_code(self):
+        value, _ = execute_cell(
+            _echo,
+            _make(1),
+            benchmark="bench",
+            config="cfg",
+            plan=FaultPlan.parse("exit:*:*"),
+            retries=0,
+        )
+        assert isinstance(value, CellFailure)
+        assert value.kind == "crash"
+        assert str(EXIT_STATUS) in value.message
+
+    def test_hang_is_killed_at_the_deadline(self):
+        started = time.monotonic()
+        value, _ = execute_cell(
+            _echo,
+            _make(1),
+            benchmark="bench",
+            config="cfg",
+            plan=FaultPlan.parse("hang:*:*"),
+            timeout=0.5,
+            retries=0,
+        )
+        assert isinstance(value, CellFailure)
+        assert value.kind == "timeout"
+        assert time.monotonic() - started < 30.0
+
+    def test_fault_recovered_within_retry_budget(self):
+        value, attempts = execute_cell(
+            _echo,
+            _make("ok"),
+            benchmark="bench",
+            config="cfg",
+            plan=FaultPlan.parse("exit:*:*:1"),
+            retries=2,
+            backoff=0.01,
+        )
+        assert value == "ok"
+        assert [a.status for a in attempts] == ["crash", "ok"]
+
+
+class TestFallback:
+    def test_broken_pool_runs_in_process_with_faults_stripped(
+        self, monkeypatch
+    ):
+        def refuse(fn, task):
+            raise OSError("no processes")
+
+        monkeypatch.setattr(parallel, "_start_worker", refuse)
+        value, attempts = execute_cell(
+            _echo,
+            _make(7),
+            benchmark="bench",
+            config="cfg",
+            plan=FaultPlan.parse("exit:*:*"),  # would kill this process
+        )
+        assert value == 7
+        assert attempts[0].fallback
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            execute_cell(
+                _echo, _make(1), benchmark="b", config="c", retries=-1
+            )
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            execute_cell(
+                _echo, _make(1), benchmark="b", config="c", timeout=0
+            )

@@ -153,3 +153,60 @@ class TestEntries:
         tweaked = dataclasses.replace(machine, mem_latency=machine.mem_latency + 1)
         store = _store(tmp_path)
         assert _key(store, machine=tweaked) != _key(store, machine=machine)
+
+
+class TestStats:
+    def test_empty_store(self, tmp_path):
+        stats = _store(tmp_path).stats()
+        assert (stats.entries, stats.bytes, stats.ok, stats.corrupt) == (
+            0,
+            0,
+            0,
+            0,
+        )
+        assert stats.by_kind == {}
+
+    def test_counts_bytes_and_kinds(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(
+            _key(store), "a" * 100, meta={"kind": "cell", "benchmark": "v"}
+        )
+        store.put(
+            _key(store, benchmark="compress"),
+            "b",
+            meta={"kind": "cell", "benchmark": "compress"},
+        )
+        store.put(
+            _key(store, kind="table2"), "c", meta={"kind": "table2"}
+        )
+        stats = store.stats()
+        assert stats.entries == 3
+        assert stats.ok == 3 and stats.corrupt == 0
+        assert stats.by_kind["cell"]["entries"] == 2
+        assert stats.by_kind["table2"]["entries"] == 1
+        assert stats.bytes == sum(
+            entry.size for entry in store.entries()
+        )
+        assert (
+            stats.by_kind["cell"]["bytes"] + stats.by_kind["table2"]["bytes"]
+            == stats.bytes
+        )
+
+    def test_corrupt_entries_counted(self, tmp_path):
+        store = _store(tmp_path)
+        key = _key(store)
+        store.put(key, "x", meta={"kind": "cell"})
+        corrupt_stored_entry(store, key)
+        stats = store.stats()
+        assert stats.entries == 1 and stats.corrupt == 1 and stats.ok == 0
+        # the header survives byte-flips in the payload, so the kind does
+        assert stats.by_kind == {
+            "cell": {"entries": 1, "bytes": stats.bytes}
+        }
+
+    def test_to_json_is_canonical(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(_key(store), "x", meta={"kind": "cell"})
+        doc = store.stats().to_json()
+        assert doc["entries"] == 1
+        assert list(doc["by_kind"]) == sorted(doc["by_kind"])

@@ -1,0 +1,181 @@
+"""Request decomposition and canonical serialization (no HTTP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallel import CellFailure
+from repro.params import SENSITIVITY_CONFIGS
+from repro.service.cells import (
+    aggregate_result,
+    canonical_json,
+    decompose,
+    failure_to_json,
+)
+from repro.workloads.base import TINY
+from repro.workloads.registry import all_specs
+
+
+class TestDecompose:
+    def test_simulate_defaults_to_one_base_cell(self):
+        request = decompose(
+            {"kind": "simulate", "benchmark": "vpenta"}, TINY
+        )
+        (spec,) = request.specs
+        assert spec.kind == "cell"
+        assert spec.benchmark == "vpenta"
+        assert spec.config == "Base Confg."
+        assert spec.needs_codes
+        assert spec.scale is TINY
+
+    def test_sweep_defaults_to_full_grid(self):
+        request = decompose({"kind": "sweep"}, TINY)
+        assert len(request.specs) == len(all_specs()) * len(
+            SENSITIVITY_CONFIGS
+        )
+
+    def test_machines_are_scaled(self):
+        request = decompose(
+            {"kind": "simulate", "benchmark": "vpenta"}, TINY
+        )
+        expected = SENSITIVITY_CONFIGS["Base Confg."]().scaled(
+            TINY.machine_divisor
+        )
+        assert request.specs[0].machine == expected
+
+    def test_table2_and_locality_prepare_in_worker(self):
+        for kind in ("table2", "locality"):
+            request = decompose(
+                {"kind": kind, "benchmarks": ["vpenta", "adi"]}, TINY
+            )
+            assert [spec.benchmark for spec in request.specs] == [
+                "vpenta",
+                "adi",
+            ]
+            assert not any(spec.needs_codes for spec in request.specs)
+
+    def test_profile_identity_lands_in_extra_digests(self):
+        request = decompose(
+            {
+                "kind": "profile",
+                "benchmark": "vpenta",
+                "version": "combined",
+                "mechanism": "victim",
+                "interval": 500,
+            },
+            TINY,
+        )
+        (spec,) = request.specs
+        assert spec.extra_digests == (
+            "version=combined",
+            "mechanism=victim",
+            "interval=500",
+        )
+        assert spec._profile_identity() == ("combined", "victim", 500)
+
+    @pytest.mark.parametrize(
+        "body,fragment",
+        [
+            ({"kind": "nonesuch"}, "kind"),
+            ({"kind": "simulate"}, "requires a benchmark"),
+            ({"kind": "simulate", "benchmark": "nope"}, "unknown benchmark"),
+            (
+                {"kind": "simulate", "benchmark": "vpenta", "configs": ["?"]},
+                "unknown config",
+            ),
+            (
+                {
+                    "kind": "simulate",
+                    "benchmark": "vpenta",
+                    "mechanisms": ["warp"],
+                },
+                "unknown mechanism",
+            ),
+            (
+                {"kind": "simulate", "benchmark": "vpenta", "scale": "huge"},
+                "unknown scale",
+            ),
+            ({"kind": "profile"}, "requires a benchmark"),
+            (
+                {
+                    "kind": "profile",
+                    "benchmark": "vpenta",
+                    "version": "nope",
+                },
+                "unknown version",
+            ),
+            (
+                {
+                    "kind": "profile",
+                    "benchmark": "vpenta",
+                    "interval": -1,
+                },
+                "interval",
+            ),
+            ([], "JSON object"),
+        ],
+    )
+    def test_invalid_bodies_rejected(self, body, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            decompose(body, TINY)
+
+    def test_scale_override_changes_keys(self, tmp_path):
+        from repro.core.runstore import RunStore
+
+        store = RunStore(tmp_path)
+        tiny = decompose(
+            {"kind": "table2", "benchmarks": ["vpenta"]}, TINY
+        ).specs[0]
+        small = decompose(
+            {
+                "kind": "table2",
+                "benchmarks": ["vpenta"],
+                "scale": "small",
+            },
+            TINY,
+        ).specs[0]
+        assert tiny.store_key(store) != small.store_key(store)
+
+
+class TestCanonicalJson:
+    def test_sorted_compact_newline_terminated(self):
+        raw = canonical_json({"b": 1, "a": [1, 2]})
+        assert raw == b'{"a":[1,2],"b":1}\n'
+
+    def test_key_order_never_leaks(self):
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json(
+            {"y": 2, "x": 1}
+        )
+
+
+class TestAggregation:
+    def test_failures_carry_no_wall_clock(self):
+        failure = CellFailure(
+            benchmark="vpenta",
+            config="Base Confg.",
+            kind="crash",
+            attempts=3,
+            message="worker died",
+            duration=12.5,
+        )
+        doc = failure_to_json(failure)
+        assert "duration" not in doc
+        assert doc["attempts"] == 3
+
+    def test_all_failed_sweep_has_empty_summary(self):
+        request = decompose(
+            {"kind": "simulate", "benchmark": "vpenta"}, TINY
+        )
+        failure = CellFailure(
+            benchmark="vpenta",
+            config="Base Confg.",
+            kind="error",
+            attempts=1,
+            message="boom",
+        )
+        doc = aggregate_result(
+            "simulate", request.specs, ["key"], [failure]
+        )
+        assert doc["cells"] == []
+        assert doc["summary"] == {}
+        assert len(doc["failures"]) == 1

@@ -122,6 +122,10 @@ class TestResilienceFlags:
         assert main(["runs"]) == 2
         assert "--store" in capsys.readouterr().err
 
+    def test_serve_requires_store(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--store" in capsys.readouterr().err
+
     def test_runs_empty_store(self, tmp_path, capsys):
         assert main(["--store", str(tmp_path / "s"), "runs"]) == 0
         assert "store is empty" in capsys.readouterr().out

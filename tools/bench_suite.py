@@ -333,6 +333,45 @@ def bench_telemetry(scale, benchmark, repeats=3):
     }
 
 
+def bench_service(scale, benchmark):
+    """Warm vs cold latency of the sweep service over HTTP.
+
+    Boots the asyncio server in-process on an ephemeral port with an
+    empty run store, then submits the same one-cell simulate job
+    twice.  The first request is cold (trace prepared, worker process
+    simulates, result checkpointed); the second must be served from
+    the content-addressed store.  The acceptance budget is a warm/cold
+    ratio of at least 100x, and the two result documents must be
+    byte-identical.
+    """
+    from repro.service import BackgroundServer, ServiceClient, ServiceConfig
+
+    body = {
+        "kind": "simulate",
+        "benchmark": benchmark,
+        "mechanisms": ["bypass"],
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        config = ServiceConfig(store=tmp, jobs=1, scale=scale)
+        with BackgroundServer(config) as background:
+            client = ServiceClient("127.0.0.1", background.port, timeout=600)
+            cold, cold_s = _time(lambda: client.run(body, timeout=600))
+            cold_bytes = client.result_bytes(cold["id"])
+            warm, warm_s = _time(lambda: client.run(body, timeout=600))
+            warm_bytes = client.result_bytes(warm["id"])
+            metrics = client.metrics()
+    return {
+        "benchmark": benchmark,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
+        "scheduler_executions": metrics["scheduler_executions"],
+        "warm_hits": metrics["warm_hits"],
+        "results_identical": cold_bytes == warm_bytes
+        and metrics["scheduler_executions"] == 1,
+    }
+
+
 def bench_verify(scale):
     """Wall-clock of the full static lint (``python -m repro lint``):
     all four analyses over every benchmark's base and optimized
@@ -438,6 +477,14 @@ def main(argv=None) -> int:
         f"identical={telemetry['results_identical']}"
     )
 
+    service = bench_service(scale, benchmarks[0])
+    print(
+        f"service on {service['benchmark']}: "
+        f"cold {service['cold_seconds']}s, warm {service['warm_seconds']}s "
+        f"-> {service['warm_speedup']}x, "
+        f"identical={service['results_identical']}"
+    )
+
     verify = bench_verify(scale)
     print(
         f"static lint: {verify['variants']} program variants in "
@@ -457,6 +504,7 @@ def main(argv=None) -> int:
         "simulate_vectorized": vectorized,
         "mrc_engine": mrc,
         "telemetry_overhead": telemetry,
+        "service": service,
         "verify": verify,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -469,11 +517,12 @@ def main(argv=None) -> int:
         and vectorized["results_identical"]
         and mrc["results_identical"]
         and telemetry["results_identical"]
+        and service["results_identical"]
         and verify["clean"]
     ):
         print(
             "ERROR: parallel, resume, packed, vectorized, MRC, telemetry, "
-            "or lint results diverged",
+            "service, or lint results diverged",
             file=sys.stderr,
         )
         return 1
