@@ -280,6 +280,15 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat warnings (e.g. removable markers) as failures",
     )
+    lint_cmd.add_argument(
+        "--deps",
+        action="store_true",
+        help=(
+            "also print per-nest dependence-relation summaries: counts, "
+            "flow/anti/output mix, '*' directions, unanalyzable "
+            "references, and the transforms each nest received"
+        ),
+    )
 
     profile_cmd = sub.add_parser(
         "profile",
@@ -615,11 +624,18 @@ def _cmd_locality(
     return 0
 
 
-def _cmd_lint(benchmarks: list[str], scale: Scale, strict: bool) -> int:
+def _cmd_lint(
+    benchmarks: list[str], scale: Scale, strict: bool, deps: bool = False
+) -> int:
     from repro.compiler.verify.lint import lint_registry, render_lint
 
     result = lint_registry(scale, benchmarks or None)
     print(render_lint(result, strict))
+    if deps:
+        from repro.compiler.verify.deps import deps_summaries, render_deps
+
+        print()
+        print(render_deps(deps_summaries(scale, benchmarks or None)))
     return 0 if result.ok(strict) else 1
 
 
@@ -736,7 +752,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "locality":
         return _cmd_locality(args.benchmarks, scale, jobs)
     if args.command == "lint":
-        return _cmd_lint(args.benchmarks, scale, args.strict)
+        return _cmd_lint(args.benchmarks, scale, args.strict, args.deps)
     if args.command == "runs":
         return _cmd_runs(store, args.purge_bad)
     if args.command == "trace":

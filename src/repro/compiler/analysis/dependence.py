@@ -15,6 +15,14 @@ paper's compiler path handles:
 
 A loop permutation is legal iff every distance vector remains
 lexicographically non-negative after permutation (Wolf & Lam).
+
+The general-purpose engine lives in
+:mod:`repro.compiler.analysis.deps`; this module remains the narrow
+exact-distance fast path.  Emitted vectors are deduplicated
+:class:`DistanceVector` tuples that also carry the dependence ``kind``
+(flow/anti/output) in canonical execution order — normalization flips
+a lexicographically-negative vector's *orientation*, so the kind flips
+with it instead of a flow being silently reported as its mirror.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.compiler.ir.stmts import Statement
 
 __all__ = [
     "INDEPENDENT",
+    "DistanceVector",
     "distance_vectors",
     "permutation_legal",
     "pair_distance",
@@ -33,6 +42,21 @@ __all__ = [
 
 #: Sentinel: the pair provably never touches the same element.
 INDEPENDENT = "independent"
+
+
+class DistanceVector(tuple):
+    """A distance vector that remembers its dependence kind.
+
+    Equality/hashing are inherited from tuple, so existing callers and
+    tests that compare against plain tuples keep working.
+    """
+
+    kind: str
+
+    def __new__(cls, values: Iterable[int], kind: str = "flow"):
+        self = super().__new__(cls, values)
+        self.kind = kind
+        return self
 
 
 def pair_distance(
@@ -53,6 +77,11 @@ def pair_distance(
         raise ValueError(
             "distance requested for references to different arrays"
         )
+    if len(source.subscripts) != len(sink.subscripts):
+        # Same array name, different ranks: inconsistently aliased
+        # declarations.  Zipping would silently drop the extra
+        # subscripts and "answer"; refuse explicitly instead.
+        return None
     distances = {v: 0 for v in nest_vars}
     constrained: set[str] = set()
     for sub_a, sub_b in zip(source.subscripts, sink.subscripts):
@@ -85,7 +114,9 @@ def distance_vectors(
     """All dependence distance vectors among ``statements``.
 
     Returns None as soon as any potentially-dependent pair cannot be
-    analyzed — the conservative "don't transform" answer.
+    analyzed — the conservative "don't transform" answer.  The result
+    is deduplicated (a vector appears once per distinct value and
+    kind, not once per reference pair that produces it).
     """
     reads_by_array: dict[str, list[AffineRef]] = {}
     writes_by_array: dict[str, list[AffineRef]] = {}
@@ -98,6 +129,7 @@ def distance_vectors(
                 return None
 
     vectors: list[tuple[int, ...]] = []
+    seen: set[tuple] = set()
     for array_name, writes in writes_by_array.items():
         others = writes + reads_by_array.get(array_name, [])
         for write in writes:
@@ -110,25 +142,38 @@ def distance_vectors(
                 if distance == INDEPENDENT:
                     continue
                 if any(distance):
-                    vectors.append(_normalize(distance))
+                    vector = _normalize(distance, other in writes)
+                    key = (tuple(vector), vector.kind)
+                    if key not in seen:
+                        seen.add(key)
+                        vectors.append(vector)
     return vectors
 
 
-def _normalize(vector: tuple[int, ...]) -> tuple[int, ...]:
-    """Flip lexicographically-negative vectors.
+def _normalize(
+    vector: tuple[int, ...], sink_is_write: bool
+) -> DistanceVector:
+    """Canonicalize a write→other vector to execution order.
 
     A negative leading distance means the dependence actually flows
     from the other reference to this one (e.g. ``d[k] = d[k+1]`` is a
-    backward recurrence whose true flow distance is +1); the dependence
-    constraint is the same either way, but legality checks expect the
-    canonical non-negative orientation.
+    backward recurrence whose source is the *read*); flipping the
+    vector flips the orientation, so the kind is derived from which
+    reference executes first rather than always calling it flow.
     """
     for component in vector:
         if component > 0:
-            return vector
+            # write happens first: write→write is output, write→read flow
+            return DistanceVector(
+                vector, "output" if sink_is_write else "flow"
+            )
         if component < 0:
-            return tuple(-c for c in vector)
-    return vector
+            # other reference happens first: read→write is anti
+            return DistanceVector(
+                (-c for c in vector),
+                "output" if sink_is_write else "anti",
+            )
+    return DistanceVector(vector, "output" if sink_is_write else "flow")
 
 
 def _sortable(

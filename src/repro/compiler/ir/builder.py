@@ -22,7 +22,13 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.compiler.ir.expr import AffineExpr, BoundLike, MinExpr, as_expr
+from repro.compiler.ir.expr import (
+    AffineExpr,
+    BoundLike,
+    MaxExpr,
+    MinExpr,
+    as_expr,
+)
 from repro.compiler.ir.loops import Loop, Node
 from repro.compiler.ir.program import Program
 from repro.compiler.ir.refs import ArrayDecl, Reference
@@ -33,14 +39,15 @@ __all__ = ["ProgramBuilder", "loop", "stmt"]
 
 def loop(
     var: str,
-    lower: Union[AffineExpr, int],
+    lower: Union[AffineExpr, MaxExpr, int],
     upper: BoundLike,
     body: Sequence[Node],
     step: int = 1,
 ) -> Loop:
     """Build a loop node; bounds accept ints or affine expressions."""
+    lower_expr = lower if isinstance(lower, MaxExpr) else as_expr(lower)
     upper_expr = upper if isinstance(upper, MinExpr) else as_expr(upper)
-    return Loop(var, as_expr(lower), upper_expr, list(body), step)
+    return Loop(var, lower_expr, upper_expr, list(body), step)
 
 
 def stmt(

@@ -7,14 +7,24 @@ arithmetic (``i + 1``, ``2 * i - j``) so workload definitions read like
 the source loops they model.
 
 :class:`MinExpr` exists for loop upper bounds produced by tiling
-(``min(N, tt + T)``); it is not a valid array subscript.
+(``min(N, tt + T)``); :class:`MaxExpr` is its dual for lower bounds,
+produced when tiling a skewed (affine-bounded) nest over its constant
+bounding box (``max(f*t, jt)``).  Neither is a valid array subscript.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Union
 
-__all__ = ["AffineExpr", "MinExpr", "var", "const", "as_expr", "BoundLike"]
+__all__ = [
+    "AffineExpr",
+    "MinExpr",
+    "MaxExpr",
+    "var",
+    "const",
+    "as_expr",
+    "BoundLike",
+]
 
 
 class AffineExpr:
@@ -182,8 +192,51 @@ class MinExpr:
         return "min(" + ", ".join(map(repr, self.operands)) + ")"
 
 
+class MaxExpr:
+    """``max`` of affine expressions; only valid as a loop lower bound."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Union[AffineExpr, int]):
+        if not operands:
+            raise ValueError("MaxExpr needs at least one operand")
+        object.__setattr__(
+            self, "operands", tuple(as_expr(op) for op in operands)
+        )
+
+    def __setattr__(self, *_args) -> None:
+        raise AttributeError("MaxExpr is immutable")
+
+    def __copy__(self) -> "MaxExpr":
+        return self  # immutable: sharing is safe
+
+    def __deepcopy__(self, _memo) -> "MaxExpr":
+        return self
+
+    def eval(self, bindings: Mapping[str, int]) -> int:
+        return max(op.eval(bindings) for op in self.operands)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for op in self.operands:
+            names |= op.variables
+        return names
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MaxExpr):
+            return NotImplemented
+        return self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(self.operands)
+
+    def __repr__(self) -> str:
+        return "max(" + ", ".join(map(repr, self.operands)) + ")"
+
+
 #: Anything accepted as a loop bound.
-BoundLike = Union[AffineExpr, MinExpr, int]
+BoundLike = Union[AffineExpr, MinExpr, MaxExpr, int]
 
 
 def var(name: str) -> AffineExpr:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
-from repro.compiler.ir.expr import AffineExpr, MinExpr, as_expr
+from repro.compiler.ir.expr import AffineExpr, MaxExpr, MinExpr, as_expr
 from repro.compiler.ir.stmts import MarkerStmt, Statement
 
 __all__ = ["Loop", "Node"]
@@ -17,15 +17,15 @@ Node = Union["Loop", Statement, MarkerStmt]
 class Loop:
     """``for var in [lower, upper) step step: body``.
 
-    Bounds are affine in outer loop variables (``MinExpr`` uppers appear
-    after tiling).  ``preference`` is filled in by the region-detection
-    pass: "sw" (compiler-optimizable), "hw" (leave to the run-time
-    mechanism) or "mixed" (an outer loop whose children disagree,
-    paper Figure 2 step 7).
+    Bounds are affine in outer loop variables (``MinExpr`` uppers and
+    ``MaxExpr`` lowers appear after tiling).  ``preference`` is filled
+    in by the region-detection pass: "sw" (compiler-optimizable), "hw"
+    (leave to the run-time mechanism) or "mixed" (an outer loop whose
+    children disagree, paper Figure 2 step 7).
     """
 
     var: str
-    lower: AffineExpr
+    lower: Union[AffineExpr, MaxExpr]
     upper: Union[AffineExpr, MinExpr]
     body: list[Node] = field(default_factory=list)
     step: int = 1
@@ -82,7 +82,24 @@ class Loop:
     def trip_count_estimate(self, assumed_outer: int = 16) -> int:
         """Iterations of this loop, assuming ``assumed_outer`` when the
         bounds depend on outer variables (triangular loops etc.)."""
-        lower = self.lower.const if self.lower.is_constant else 0
+        if (
+            isinstance(self.lower, AffineExpr)
+            and isinstance(self.upper, AffineExpr)
+        ):
+            # Correlated affine bounds (a skewed loop's f*t .. n + f*t)
+            # have an exact trip count even though neither bound is
+            # constant: subtract symbolically first.
+            span = self.upper - self.lower
+            if span.is_constant:
+                trips = (span.const + self.step - 1) // self.step
+                return max(trips, 0)
+        if isinstance(self.lower, MaxExpr):
+            candidates = [
+                op.const for op in self.lower.operands if op.is_constant
+            ]
+            lower = max(candidates) if candidates else 0
+        else:
+            lower = self.lower.const if self.lower.is_constant else 0
         if isinstance(self.upper, MinExpr):
             candidates = [
                 op.const for op in self.upper.operands if op.is_constant

@@ -8,7 +8,7 @@ workload models and inspecting what the transformations did.  Used by
 
 from __future__ import annotations
 
-from repro.compiler.ir.expr import MinExpr
+from repro.compiler.ir.expr import MaxExpr, MinExpr
 from repro.compiler.ir.loops import Loop
 from repro.compiler.ir.program import Program
 from repro.compiler.ir.refs import (
@@ -54,6 +54,8 @@ def format_reference(ref: Reference) -> str:
 def _format_bound(bound) -> str:
     if isinstance(bound, MinExpr):
         return "min(" + ", ".join(repr(op) for op in bound.operands) + ")"
+    if isinstance(bound, MaxExpr):
+        return "max(" + ", ".join(repr(op) for op in bound.operands) + ")"
     return repr(bound)
 
 

@@ -2,14 +2,18 @@
 
 Applies, to every software-analyzable region found by region detection:
 
-1. **Loop interchange** — temporal-reuse-first permutation of each
+1. **Loop fusion** — adjacent compatible sibling nests sharing arrays
+   merge, so shared values are reused cache-hot.
+2. **Loop interchange** — temporal-reuse-first permutation of each
    perfect nest.
-2. **Data layout selection** — per-array storage order so the innermost
+3. **Data layout selection** — per-array storage order so the innermost
    loop sweeps stride-1 (global, voted across regions).
-3. **Iteration-space tiling** — when the nest's footprint exceeds L1 and
+4. **Loop skewing** — depth-2 nests whose dependence pattern blocks an
+   otherwise-profitable tiling get rotated fully permutable.
+5. **Iteration-space tiling** — when the nest's footprint exceeds L1 and
    outer loops carry reuse.
-4. **Unroll-and-jam** — small-factor outer unrolling into the inner body.
-5. **Scalar replacement** — inner-invariant references promoted to
+6. **Unroll-and-jam** — small-factor outer unrolling into the inner body.
+7. **Scalar replacement** — inner-invariant references promoted to
    registers (loads hoisted, stores sunk).
 
 Hardware-preferred regions are left untouched — their locality is the
@@ -34,6 +38,7 @@ from repro.compiler.analysis.classify import (
 from repro.compiler.ir.loops import Loop
 from repro.compiler.ir.program import Program
 from repro.compiler.regions.detect import RegionReport, detect_regions
+from repro.compiler.transforms.fusion import FusionResult, fuse_region
 from repro.compiler.transforms.interchange import (
     InterchangeResult,
     apply_interchange,
@@ -48,6 +53,7 @@ from repro.compiler.transforms.scalar_replacement import (
     ScalarReplacementResult,
     apply_scalar_replacement,
 )
+from repro.compiler.transforms.skew import SkewResult, apply_skew
 from repro.compiler.transforms.tiling import TilingResult, apply_tiling
 from repro.compiler.transforms.unroll import UnrollResult, apply_unroll_and_jam
 from repro.params import MachineParams
@@ -66,9 +72,11 @@ class OptimizationReport:
 
     program_name: str
     regions: RegionReport | None = None
+    fusions: list[FusionResult] = field(default_factory=list)
     interchanges: list[InterchangeResult] = field(default_factory=list)
     layout: LayoutResult | None = None
     padded_arrays: list[str] = field(default_factory=list)
+    skews: list[SkewResult] = field(default_factory=list)
     tilings: list[TilingResult] = field(default_factory=list)
     unrolls: list[UnrollResult] = field(default_factory=list)
     scalar: ScalarReplacementResult | None = None
@@ -76,8 +84,16 @@ class OptimizationReport:
     verification: object | None = None
 
     @property
+    def fused_nests(self) -> int:
+        return sum(1 for r in self.fusions if r.applied)
+
+    @property
     def interchanged_nests(self) -> int:
         return sum(1 for r in self.interchanges if r.applied)
+
+    @property
+    def skewed_nests(self) -> int:
+        return sum(1 for r in self.skews if r.applied)
 
     @property
     def tiled_nests(self) -> int:
@@ -91,8 +107,10 @@ class OptimizationReport:
         layouts = len(self.layout.changed) if self.layout else 0
         promoted = self.scalar.promoted if self.scalar else 0
         return (
-            f"{self.program_name}: {self.interchanged_nests} interchanged, "
+            f"{self.program_name}: {self.fused_nests} fused, "
+            f"{self.interchanged_nests} interchanged, "
             f"{layouts} layouts changed, {len(self.padded_arrays)} padded, "
+            f"{self.skewed_nests} skewed, "
             f"{self.tiled_nests} tiled, {self.unrolled_nests} unrolled, "
             f"{promoted} refs promoted"
         )
@@ -105,9 +123,11 @@ class LocalityOptimizer:
         self,
         machine: MachineParams,
         threshold: float = DEFAULT_THRESHOLD,
+        enable_fusion: bool = True,
         enable_interchange: bool = True,
         enable_layout: bool = True,
         enable_padding: bool = True,
+        enable_skew: bool = True,
         enable_tiling: bool = True,
         enable_unroll: bool = True,
         enable_scalar_replacement: bool = True,
@@ -115,9 +135,11 @@ class LocalityOptimizer:
     ):
         self.machine = machine
         self.threshold = threshold
+        self.enable_fusion = enable_fusion
         self.enable_interchange = enable_interchange
         self.enable_layout = enable_layout
         self.enable_padding = enable_padding
+        self.enable_skew = enable_skew
         self.enable_tiling = enable_tiling
         self.enable_unroll = enable_unroll
         self.enable_scalar_replacement = enable_scalar_replacement
@@ -138,6 +160,13 @@ class LocalityOptimizer:
         baseline = program.clone() if verify else None
         report = OptimizationReport(program.name)
         report.regions = detect_regions(program, self.threshold)
+
+        if self.enable_fusion:
+            # Before anything enumerates nest heads: fusion merges
+            # sibling nests, so the head list must be taken afterwards.
+            for index, region in enumerate(self._software_regions(program)):
+                report.fusions.extend(fuse_region(region, index))
+
         heads = list(self._software_nest_heads(program))
 
         if self.enable_interchange:
@@ -173,6 +202,13 @@ class LocalityOptimizer:
                 self.machine.l2.block_size,
                 candidates=candidates,
             )
+
+        if self.enable_skew and self.enable_tiling:
+            # Skewing exists only to unblock tiling; one result per
+            # head, aligned with the heads list like the other phases.
+            l1_bytes = self.machine.l1d.size
+            for head in heads:
+                report.skews.append(apply_skew(head, l1_bytes))
 
         if self.enable_tiling:
             l1_bytes = self.machine.l1d.size

@@ -1,0 +1,261 @@
+"""Loop fusion and fission (loop distribution).
+
+Fusion merges adjacent sibling perfect nests with identical bounds
+into one nest, so values shared between their bodies are reused while
+still cache-hot instead of after a full sweep — and the loop overhead
+of the second nest disappears.  Legality comes from the cross-nest
+question :func:`repro.compiler.analysis.deps.fusion_preventing`: the
+merge is illegal exactly when some dependence from a first-nest
+instance to a second-nest instance would have to flow backwards in the
+fused iteration space.  Profitability is the paper's reuse argument:
+the nests must share at least one array.
+
+Only *whole* nests fuse (every level down to the statements), so the
+perfect-nest shape downstream passes rely on — interchange, tiling,
+unroll-and-jam all start from ``perfect_nest_loops`` — is preserved,
+never torn into an imperfect nest that would rob them of depth.
+
+Fission is the inverse: splitting one nest's statement list into two
+sibling nests.  It breaks the dependences from a later statement to an
+earlier one carried across iterations (a strictly positive direction
+with the groups reversed), and is provided for completeness and as the
+escape hatch a failed fusion experiment needs; the optimizer pipeline
+does not apply it by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.analysis.deps import (
+    fission_preventing,
+    fusion_preventing,
+)
+from repro.compiler.ir.expr import AffineExpr, var
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.refs import AffineRef, RegisterRef
+from repro.compiler.ir.stmts import Statement
+
+__all__ = [
+    "FusionResult",
+    "FissionResult",
+    "fuse_region",
+    "fuse_pair",
+    "apply_fission",
+]
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """One attempted pairwise merge of adjacent sibling nests.
+
+    ``at`` is the child-index path from the region head's body to the
+    surviving (first) loop; the absorbed loop was its next sibling.
+    The legality replay navigates the same path on the baseline, so
+    results must be applied in emission order.
+    """
+
+    applied: bool
+    region_index: int = -1
+    at: tuple[int, ...] = ()
+    fused_vars: tuple[str, ...] = ()
+    depth: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class FissionResult:
+    applied: bool
+    split_vars: tuple[str, ...] = ()
+    reason: str = ""
+
+
+def fuse_region(region: Loop, region_index: int) -> list[FusionResult]:
+    """Fuse what can be fused anywhere inside ``region``, in place."""
+    results: list[FusionResult] = []
+    _fuse_body(region.body, [], region_index, results)
+    return results
+
+
+def _fuse_body(
+    body: list[Node],
+    path: list[int],
+    region_index: int,
+    results: list[FusionResult],
+) -> None:
+    index = 0
+    while index < len(body):
+        node = body[index]
+        if isinstance(node, Loop):
+            while index + 1 < len(body) and isinstance(
+                body[index + 1], Loop
+            ):
+                reason = fuse_pair(node, body[index + 1])
+                chain_vars = tuple(
+                    loop.var for loop in node.perfect_nest_loops()
+                )
+                results.append(
+                    FusionResult(
+                        reason is None,
+                        region_index,
+                        tuple(path + [index]),
+                        chain_vars,
+                        len(chain_vars),
+                        reason or "fused",
+                    )
+                )
+                if reason is not None:
+                    break
+                del body[index + 1]
+            _fuse_body(node.body, path + [index], region_index, results)
+        index += 1
+
+
+def fusion_compatible(first: Loop, second: Loop) -> Optional[str]:
+    """Structural reasons the nests cannot share one iteration space."""
+    if not first.is_perfect_nest() or not second.is_perfect_nest():
+        return "imperfect nest"
+    chain1 = first.perfect_nest_loops()
+    chain2 = second.perfect_nest_loops()
+    if len(chain1) != len(chain2):
+        return "mismatched nest depth"
+    rename = {
+        b.var: a.var
+        for a, b in zip(chain1, chain2)
+        if a.var != b.var
+    }
+    if set(rename) & set(rename.values()):
+        # A source name is also a target (e.g. swapped (i,j)/(j,i)):
+        # sequential substitution would cascade, so refuse.
+        return "variable collision"
+    for a, b in zip(chain1, chain2):
+        if a.step != b.step:
+            return "mismatched step"
+        if a.preference != b.preference:
+            return "mismatched region preference"
+        if not isinstance(a.lower, AffineExpr) or not isinstance(
+            a.upper, AffineExpr
+        ):
+            return "non-affine bounds"
+        if not isinstance(b.lower, AffineExpr) or not isinstance(
+            b.upper, AffineExpr
+        ):
+            return "non-affine bounds"
+        if _renamed(b.lower, rename) != a.lower or _renamed(
+            b.upper, rename
+        ) != a.upper:
+            return "mismatched bounds"
+    return None
+
+
+def fuse_pair(
+    first: Loop, second: Loop, require_profit: bool = True
+) -> Optional[str]:
+    """Fuse ``second`` into ``first`` in place; reason string if not.
+
+    The legality replay re-runs this on the baseline with
+    ``require_profit=False`` — profitability is the optimizer's
+    business, legality is the only thing the audit re-proves.
+    """
+    reason = fusion_compatible(first, second)
+    if reason is not None:
+        return reason
+    chain1 = first.perfect_nest_loops()
+    chain2 = second.perfect_nest_loops()
+    rename = {
+        b.var: a.var
+        for a, b in zip(chain1, chain2)
+        if a.var != b.var
+    }
+    stmts1 = list(chain1[-1].all_statements())
+    stmts2 = list(chain2[-1].all_statements())
+    reason = fusion_preventing(chain1, chain2, stmts1, stmts2, rename)
+    if reason is not None:
+        return reason
+    arrays1 = _array_names(stmts1)
+    arrays2 = _array_names(stmts2)
+    if require_profit and not arrays1 & arrays2:
+        return "no shared arrays (fusion not profitable)"
+    for statement in stmts2:
+        statement.reads = [
+            _rename_ref(ref, rename) for ref in statement.reads
+        ]
+        statement.writes = [
+            _rename_ref(ref, rename) for ref in statement.writes
+        ]
+    chain1[-1].body.extend(chain2[-1].body)
+    return None
+
+
+def _array_names(statements: list[Statement]) -> set[str]:
+    names: set[str] = set()
+    for statement in statements:
+        for ref in statement.references:
+            base = ref.original if isinstance(ref, RegisterRef) else ref
+            name = base.array_name
+            if name is not None:
+                names.add(name)
+    return names
+
+
+def _renamed(expr: AffineExpr, rename: dict[str, str]) -> AffineExpr:
+    for old, new in rename.items():
+        expr = expr.substitute(old, var(new))
+    return expr
+
+
+def _rename_ref(ref, rename: dict[str, str]):
+    if not rename:
+        return ref
+    if isinstance(ref, RegisterRef):
+        original = _rename_ref(ref.original, rename)
+        if original is ref.original:
+            return ref
+        return RegisterRef(original=original)
+    if isinstance(ref, AffineRef) and any(
+        ref.depends_on(old) for old in rename
+    ):
+        return AffineRef(
+            ref.array,
+            tuple(
+                _renamed(subscript, rename)
+                for subscript in ref.subscripts
+            ),
+        )
+    return ref
+
+
+def apply_fission(
+    parent_body: list[Node], index: int, split: int
+) -> FissionResult:
+    """Split the nest at ``parent_body[index]`` after its ``split``-th
+    innermost statement into two sibling nests, in place."""
+    head = parent_body[index]
+    if not isinstance(head, Loop) or not head.is_perfect_nest():
+        return FissionResult(False, reason="not a perfect nest")
+    chain = head.perfect_nest_loops()
+    statements = chain[-1].statements()
+    if not 0 < split < len(statements):
+        return FissionResult(False, reason="split point out of range")
+    first_group = statements[:split]
+    second_group = statements[split:]
+    reason = fission_preventing(chain, first_group, second_group)
+    if reason is not None:
+        return FissionResult(False, reason=reason)
+    second: Node = None  # type: ignore[assignment]
+    for loop in reversed(chain):
+        body = list(second_group) if loop is chain[-1] else [second]
+        second = Loop(
+            var=loop.var,
+            lower=loop.lower,
+            upper=loop.upper,
+            body=body,
+            step=loop.step,
+            preference=loop.preference,
+        )
+    chain[-1].body = list(first_group)
+    parent_body.insert(index + 1, second)
+    return FissionResult(
+        True, tuple(loop.var for loop in chain)
+    )

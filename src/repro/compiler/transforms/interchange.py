@@ -14,10 +14,12 @@ whatever dimension the chosen innermost variable sweeps:
   cost ``trip * element / line`` (can be made spatial by layout);
 * otherwise → cost ``trip`` (a new line every iteration).
 
-Legality is checked with the direction-vector test; permutations that
-cannot be proven legal are not applied.  Only perfect nests with
-constant bounds are considered (triangular nests would need bound
-rewriting, which the paper's kernels do not require).
+Legality comes from the dependence-relation engine
+(:mod:`repro.compiler.analysis.deps`): a permutation is applied only
+when every relation's direction vector stays lexicographically
+positive under it.  Only perfect nests with constant bounds are
+considered (triangular nests would need bound rewriting, which the
+paper's kernels do not require).
 """
 
 from __future__ import annotations
@@ -26,10 +28,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.compiler.analysis.dependence import (
-    distance_vectors,
-    permutation_legal,
-)
+from repro.compiler.analysis.deps import Permutation, nest_dependences
 from repro.compiler.analysis.reuse import address_stride
 from repro.compiler.ir.loops import Loop
 from repro.compiler.ir.refs import AffineRef
@@ -132,10 +131,14 @@ def apply_interchange(nest_head: Loop, line_size: int) -> InterchangeResult:
         return InterchangeResult(False, original, original, "empty nest")
 
     nest_vars = [loop.var for loop in chain]
-    vectors = distance_vectors(nest_vars, statements)
-    if vectors is None:
+    deps = nest_dependences(nest_head, limit=len(chain))
+    if not deps.analyzable:
+        bad = deps.unanalyzable[0]
         return InterchangeResult(
-            False, original, original, "dependences not analyzable"
+            False,
+            original,
+            original,
+            f"dependences not analyzable ({bad.description}: {bad.reason})",
         )
 
     # Primary key: layout-agnostic potential cost.  Tie-break: the cost
@@ -155,7 +158,7 @@ def apply_interchange(nest_head: Loop, line_size: int) -> InterchangeResult:
     best_perm: Optional[tuple[int, ...]] = None
     best_key: Optional[tuple] = None
     for perm in itertools.permutations(range(len(chain))):
-        if not permutation_legal(vectors, perm):
+        if not deps.legal(Permutation(perm)):
             continue
         # Innermost position dominates, then outward: lexicographic key.
         key = tuple(costs[nest_vars[perm[level]]] for level in

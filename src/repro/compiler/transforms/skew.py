@@ -1,0 +1,127 @@
+"""Loop skewing (Wolfe; Wolf & Lam [13]).
+
+Skewing remaps the inner variable of a depth-2 nest as
+``j' = j + f * t``: bounds become ``[lower + f*t, upper + f*t)`` and
+every subscript substitutes ``j -> j' - f*t``.  The traversal order is
+*unchanged* — skewing is always legal — but the dependence distances
+transform as ``(d_t, d_j) -> (d_t, d_j + f * d_t)``, so a factor
+``f >= max(-d_j / d_t)`` turns every backward inner component
+non-negative and makes the nest fully permutable.  That is exactly
+what time-iterated stencils need before tiling: the classic
+``(1, -1)`` recurrence of a Gauss-Seidel sweep blocks tiling until a
+skew of factor 1 rotates it to ``(1, 0)``.
+
+Skewing is only applied when it *enables* a tiling that was otherwise
+illegal: the nest must pass every profitability precondition of
+:func:`repro.compiler.transforms.tiling.apply_tiling` (footprint,
+reuse, trip counts), must not already be fully permutable, and the
+engine must find a finite factor.  The skewed bounds are affine in the
+outer variable; the tiling pass strips them over their bounding box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.analysis.deps import nest_dependences
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.loops import Loop
+from repro.compiler.ir.refs import AffineRef, RegisterRef
+
+__all__ = ["apply_skew", "SkewResult", "skew_chain", "MAX_SKEW_FACTOR"]
+
+#: Beyond this the skewed bounding box (and the wasted empty tile
+#: intersections) grow out of proportion to the locality win.
+MAX_SKEW_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class SkewResult:
+    applied: bool
+    factor: int = 0
+    skewed_var: str = ""
+    wrt_var: str = ""
+    reason: str = ""
+
+
+def skew_chain(chain: list[Loop], factor: int) -> None:
+    """Skew ``chain[1]`` by ``factor`` with respect to ``chain[0]``,
+    in place: mechanical part only, no legality or profit checks.
+
+    Shared with the legality replay, which re-applies the claimed skew
+    to the baseline and re-derives everything from the result.
+    """
+    outer, inner = chain[0], chain[1]
+    shift = var(outer.var) * factor
+    inner.lower = inner.lower + shift
+    inner.upper = inner.upper + shift
+    replacement = var(inner.var) - shift
+    for statement in inner.all_statements():
+        statement.reads = [
+            _substitute(ref, inner.var, replacement)
+            for ref in statement.reads
+        ]
+        statement.writes = [
+            _substitute(ref, inner.var, replacement)
+            for ref in statement.writes
+        ]
+
+
+def _substitute(ref, variable: str, replacement):
+    if isinstance(ref, RegisterRef):
+        original = _substitute(ref.original, variable, replacement)
+        if original is ref.original:
+            return ref
+        return RegisterRef(original=original)
+    if isinstance(ref, AffineRef) and ref.depends_on(variable):
+        return AffineRef(
+            ref.array,
+            tuple(
+                subscript.substitute(variable, replacement)
+                for subscript in ref.subscripts
+            ),
+        )
+    return ref
+
+
+def apply_skew(nest_head: Loop, l1_bytes: int) -> SkewResult:
+    """Skew the nest at ``nest_head`` in place when that makes an
+    otherwise-illegal, otherwise-profitable tiling legal."""
+    from repro.compiler.transforms.tiling import tiling_blockers
+
+    chain = nest_head.perfect_nest_loops()
+    if len(chain) != 2:
+        return SkewResult(False, reason="only depth-2 nests are skewed")
+    blocker = tiling_blockers(nest_head, l1_bytes)
+    if blocker is not None:
+        return SkewResult(
+            False, reason=f"tiling would not pay off: {blocker}"
+        )
+    deps = nest_dependences(nest_head)
+    if not deps.analyzable:
+        bad = deps.unanalyzable[0]
+        return SkewResult(
+            False,
+            reason=f"unanalyzable reference {bad.description}: "
+            f"{bad.reason}",
+        )
+    if deps.fully_permutable():
+        return SkewResult(
+            False, reason="already fully permutable (tiling needs no skew)"
+        )
+    factor = deps.skew_factor(wrt=0, level=1)
+    if factor is None or factor == 0:
+        return SkewResult(
+            False, reason="no skew factor restores full permutability"
+        )
+    if factor > MAX_SKEW_FACTOR:
+        return SkewResult(
+            False, reason=f"skew factor {factor} too large"
+        )
+    skew_chain(chain, factor)
+    return SkewResult(
+        True,
+        factor=factor,
+        skewed_var=chain[1].var,
+        wrt_var=chain[0].var,
+    )

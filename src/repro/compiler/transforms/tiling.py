@@ -5,28 +5,43 @@ the reused working set fits in cache.  Strip-mine-and-interchange: the
 tiled levels get controlling loops of step ``tile`` outside the nest,
 and the original loops shrink to ``[tt, min(upper, tt + tile))``.
 
-Tiling is applied only when it can pay off: nest depth at least two,
-constant bounds, a legal full permutation (tiling reorders traversal
-like interchange does), and at least one reference with *temporal*
-reuse carried by a non-innermost loop — without such reuse tiling only
-adds loop overhead.
+Bounds may be affine in outer chain variables (the shape skewing
+creates: ``i in [f*t, n + f*t)``): such a level is strip-mined over
+its constant *bounding box*, and the inner loop clamps with
+``max(lower, tt)`` / ``min(upper, tt + tile)``; empty tile/loop
+intersections simply run zero iterations.
+
+Tiling is applied only when it can pay off: nest depth at least two, a
+legal full permutation of the relation set from
+:mod:`repro.compiler.analysis.deps` (tiling reorders traversal like
+interchange does), and at least one reference whose subscript matrix
+is rank-deficient along a non-innermost direction — the generalized
+"temporal reuse carried by an outer loop" test that also recognizes
+skewed references like ``a[i - f*t]``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from repro.compiler.analysis.dependence import (
-    distance_vectors,
-    permutation_legal,
-)
+from typing import Optional
+
+import numpy as np
+
+from repro.compiler.analysis.deps import Tiling, nest_dependences
 from repro.compiler.analysis.footprint import nest_footprint_bytes
-from repro.compiler.ir.expr import MinExpr, var
+from repro.compiler.ir.expr import AffineExpr, MaxExpr, MinExpr, var
 from repro.compiler.ir.loops import Loop
 from repro.compiler.ir.refs import AffineRef
 from repro.compiler.ir.stmts import Statement
+from repro.compiler.verify.bounds import Interval, loop_var_interval
 
-__all__ = ["apply_tiling", "TilingResult", "select_tile_size"]
+__all__ = [
+    "apply_tiling",
+    "TilingResult",
+    "select_tile_size",
+    "tiling_blockers",
+]
 
 
 @dataclass(frozen=True)
@@ -62,61 +77,100 @@ def select_tile_size(
     return 1 << (tile.bit_length() - 1)
 
 
-def apply_tiling(nest_head: Loop, l1_bytes: int) -> TilingResult:
-    """Tile the perfect nest rooted at ``nest_head`` in place."""
+def _affine_bounds(chain: list[Loop]) -> bool:
+    """Every bound a plain affine expression over outer chain vars."""
+    seen: set[str] = set()
+    for loop in chain:
+        for bound in (loop.lower, loop.upper):
+            if not isinstance(bound, AffineExpr):
+                return False  # already tiled (Min/Max bounds)
+            if bound.variables - seen:
+                return False  # depends on a non-chain variable
+        seen.add(loop.var)
+    return True
+
+
+def tiling_blockers(
+    nest_head: Loop, l1_bytes: int, statements: Optional[list] = None
+) -> Optional[str]:
+    """Why tiling cannot pay off here, ignoring legality — shared with
+    the skewing gate (skewing is only worth it when the tiling it
+    enables would be applied).  Returns None when no blocker."""
     chain = nest_head.perfect_nest_loops()
     if len(chain) < 2:
-        return TilingResult(False, reason="nest depth < 2")
+        return "nest depth < 2"
     innermost = chain[-1]
     if not innermost.is_innermost:
-        return TilingResult(False, reason="imperfect nest")
-    if any(
-        not loop.lower.is_constant
-        or isinstance(loop.upper, MinExpr)
-        or not loop.upper.is_constant
-        for loop in chain
-    ):
-        return TilingResult(False, reason="non-constant bounds")
-
-    statements = list(innermost.all_statements())
+        return "imperfect nest"
+    if not _affine_bounds(chain):
+        return "non-constant bounds"
+    if statements is None:
+        statements = list(innermost.all_statements())
     footprint = nest_footprint_bytes(chain, statements)
     if footprint <= l1_bytes:
-        return TilingResult(False, reason="footprint fits in L1")
+        return "footprint fits in L1"
     if not _has_outer_temporal_reuse(chain, statements):
-        return TilingResult(False, reason="no outer-carried reuse")
-
-    nest_vars = [loop.var for loop in chain]
-    vectors = distance_vectors(nest_vars, statements)
-    # Tiling reorders iterations like a permutation that brings tile
-    # loops outward; require full permutability (all-zero or
-    # all-non-negative distance vectors in every order).
-    if vectors is None or not all(
-        permutation_legal(vectors, perm)
-        for perm in _rotations(len(chain))
-    ):
-        return TilingResult(False, reason="not fully permutable")
-
+        return "no outer-carried reuse"
     tile = select_tile_size(l1_bytes, statements, len(chain))
     for loop in chain:
         if loop.trip_count_estimate() <= tile:
-            return TilingResult(
-                False, tile, reason="trip count not larger than tile"
-            )
+            return "trip count not larger than tile"
+    return None
+
+
+def apply_tiling(nest_head: Loop, l1_bytes: int) -> TilingResult:
+    """Tile the perfect nest rooted at ``nest_head`` in place."""
+    chain = nest_head.perfect_nest_loops()
+    statements = (
+        list(chain[-1].all_statements()) if len(chain) >= 2 else []
+    )
+    blocker = tiling_blockers(nest_head, l1_bytes, statements)
+    if blocker is not None:
+        tile = (
+            select_tile_size(l1_bytes, statements, len(chain))
+            if blocker == "trip count not larger than tile"
+            else 0
+        )
+        return TilingResult(False, tile, reason=blocker)
+
+    # Tiling reorders iterations like a permutation that brings tile
+    # loops outward; require full permutability of the relation set.
+    verdict = nest_dependences(nest_head).legal(Tiling())
+    if not verdict:
+        return TilingResult(
+            False, reason=f"not fully permutable: {verdict.reason}"
+        )
+
+    tile = select_tile_size(l1_bytes, statements, len(chain))
+
+    # Bounding boxes must be computed before any bound is rewritten.
+    env: dict[str, Interval] = {}
+    boxes: list[Interval] = []
+    for loop in chain:
+        interval = loop_var_interval(loop, env)
+        if interval is None:
+            return TilingResult(False, reason="unbounded iteration space")
+        boxes.append(interval)
+        env[loop.var] = interval
 
     # Strip-mine each level: collect controlling loops, innermost last.
     tile_loops = []
-    for loop in chain:
+    for loop, box in zip(chain, boxes):
         tile_var = loop.var + "__t"
+        constant = loop.lower.is_constant and loop.upper.is_constant
         tile_loops.append(
             Loop(
                 var=tile_var,
-                lower=loop.lower,
-                upper=loop.upper,
+                lower=loop.lower if constant else box.lo,
+                upper=loop.upper if constant else box.hi + 1,
                 body=[],
                 step=tile,
             )
         )
-        loop.lower = var(tile_var)
+        if constant:
+            loop.lower = var(tile_var)
+        else:
+            loop.lower = MaxExpr(loop.lower, var(tile_var))
         loop.upper = MinExpr(loop.upper, var(tile_var) + tile)
 
     # Wire the tile loops around the original nest head by *re-seating*
@@ -155,19 +209,37 @@ def apply_tiling(nest_head: Loop, l1_bytes: int) -> TilingResult:
 def _has_outer_temporal_reuse(
     chain: list[Loop], statements: list[Statement]
 ) -> bool:
-    """Some reference is invariant in a non-innermost loop variable."""
-    outer_vars = [loop.var for loop in chain[:-1]]
+    """Some reference revisits elements along a non-innermost direction.
+
+    A reference's subscript matrix M (rows = array dimensions, columns
+    = nest variables) has temporal reuse exactly when its null space is
+    non-trivial; the reuse is *outer-carried* when the null space is
+    not confined to the innermost axis — i.e. some reuse direction
+    moves an outer loop.  This generalizes "invariant in an outer
+    variable" to skewed references like ``a[i - f*t]``.
+    """
+    nest_vars = [loop.var for loop in chain]
+    depth = len(nest_vars)
     for statement in statements:
         for ref in statement.references:
-            if isinstance(ref, AffineRef):
-                for outer in outer_vars:
-                    if not ref.depends_on(outer):
-                        return True
+            if not isinstance(ref, AffineRef):
+                continue
+            matrix = np.array(
+                [
+                    [subscript.coefficient(v) for v in nest_vars]
+                    for subscript in ref.subscripts
+                ],
+                dtype=float,
+            )
+            rank = (
+                int(np.linalg.matrix_rank(matrix)) if matrix.size else 0
+            )
+            if rank >= depth:
+                continue  # injective: every iteration a fresh element
+            if rank < depth - 1:
+                return True  # kernel too big to fit the innermost axis
+            # Kernel is one-dimensional: it lies along the innermost
+            # axis iff the innermost column is entirely zero.
+            if matrix.size and np.any(matrix[:, -1]):
+                return True
     return False
-
-
-def _rotations(count: int):
-    """All rotations of the identity — a cheap full-permutability probe."""
-    identity = tuple(range(count))
-    for shift in range(count):
-        yield identity[shift:] + identity[:shift]

@@ -6,15 +6,16 @@ iterations per pass, exposing register reuse that scalar replacement
 harvests and amortizing branch overhead.
 
 Applied conservatively: constant bounds, trip count divisible by the
-factor, and no loop-carried dependence on the unrolled variable (all
-analyzable distance vectors must have a zero component for it).
+factor, and no loop-carried dependence on the unrolled variable (the
+dependence-relation engine must prove every relation ``=`` at that
+level).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.analysis.dependence import distance_vectors
+from repro.compiler.analysis.deps import UnrollJam, analyze_nest
 from repro.compiler.ir.expr import MinExpr, var
 from repro.compiler.ir.loops import Loop
 from repro.compiler.ir.refs import AffineRef, Reference
@@ -63,8 +64,8 @@ def apply_unroll_and_jam(
         _unrollable_statement(s) for s in statements
     ):
         return UnrollResult(False, reason="body not unrollable")
-    vectors = distance_vectors([outer_var, inner.var], statements)
-    if vectors is None or any(vector[0] != 0 for vector in vectors):
+    deps = analyze_nest([nest_head, inner], statements)
+    if not deps.legal(UnrollJam(level=0)):
         return UnrollResult(False, reason="carried dependence on outer var")
 
     new_body: list = []

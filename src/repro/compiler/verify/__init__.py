@@ -15,11 +15,19 @@ marker emitter, and proves four families of facts about a program:
 3. **bounds** (:mod:`.bounds`) — interval analysis over loop bounds
    proves every affine access in bounds, through tiling's ``min``
    uppers, unroll's shifted copies, and padded/permuted layouts;
-4. **legality** (:mod:`.legality`) — dependence distance vectors are
-   recomputed from the subscripts and each applied interchange /
-   tiling / unroll is re-validated (lexicographic non-negativity, full
-   permutability, no carried dependence), and every scalar-replaced
-   reference is re-proven inner-loop invariant.
+4. **legality** (:mod:`.legality`) — dependence relations are
+   recomputed from the subscripts by the engine in
+   :mod:`repro.compiler.analysis.deps` and each applied fusion /
+   interchange / skew / tiling / unroll is re-validated (no
+   fusion-preventing dependence, lexicographic non-negativity, skew
+   restores full permutability, no reversed dependence under
+   unroll-and-jam), and every scalar-replaced reference is re-proven
+   inner-loop invariant.
+
+A fifth, purely informational pass (:mod:`.deps`, behind
+``repro lint --deps``) renders per-nest relation summaries: counts,
+kind mix, ``*`` directions, unanalyzable references, and which
+transforms each nest received.
 
 Entry points: :func:`verify_program` over one program,
 :func:`~repro.compiler.verify.lint.lint_registry` over the whole
@@ -28,6 +36,11 @@ benchmark suite (``python -m repro lint``), and the opt-in
 """
 
 from repro.compiler.verify.bounds import Interval, verify_bounds
+from repro.compiler.verify.deps import (
+    NestDepsSummary,
+    deps_summaries,
+    render_deps,
+)
 from repro.compiler.verify.diagnostics import (
     ERROR,
     WARNING,
@@ -45,8 +58,11 @@ __all__ = [
     "WARNING",
     "Diagnostic",
     "Interval",
+    "NestDepsSummary",
     "VerificationError",
     "VerifyReport",
+    "deps_summaries",
+    "render_deps",
     "verify_bounds",
     "verify_legality",
     "verify_markers",

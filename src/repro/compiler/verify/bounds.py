@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
-from repro.compiler.ir.expr import AffineExpr, MinExpr
+from repro.compiler.ir.expr import AffineExpr, MaxExpr, MinExpr
 from repro.compiler.ir.loops import Loop, Node
 from repro.compiler.ir.program import Program
 from repro.compiler.ir.refs import AffineRef, ArrayDecl, IndexedRef, RegisterRef
@@ -98,19 +98,42 @@ def _upper_interval(loop: Loop, env: Env) -> Optional[Interval]:
     return eval_interval(loop.upper, env)
 
 
+def _lower_interval(loop: Loop, env: Env) -> Optional[Interval]:
+    if isinstance(loop.lower, MaxExpr):
+        operands = [eval_interval(op, env) for op in loop.lower.operands]
+        if any(op is None for op in operands):
+            return None
+        return Interval(
+            max(op.lo for op in operands), max(op.hi for op in operands)
+        )
+    return eval_interval(loop.lower, env)
+
+
 def trip_interval_lo(loop: Loop, env: Env) -> Optional[int]:
     """A lower bound on ``upper - lower`` that keeps correlated
-    variables exact by subtracting *symbolically* first."""
-    if isinstance(loop.upper, MinExpr):
-        lows = []
-        for op in loop.upper.operands:
-            diff = eval_interval(op - loop.lower, env)
+    variables exact by subtracting *symbolically* first.
+
+    ``min(..) - max(..)`` distributes into pairwise differences:
+    the trip count is at least ``min over (U_i - L_j)``.
+    """
+    uppers = (
+        loop.upper.operands
+        if isinstance(loop.upper, MinExpr)
+        else (loop.upper,)
+    )
+    lowers = (
+        loop.lower.operands
+        if isinstance(loop.lower, MaxExpr)
+        else (loop.lower,)
+    )
+    lows = []
+    for up in uppers:
+        for low in lowers:
+            diff = eval_interval(up - low, env)
             if diff is None:
                 return None
             lows.append(diff.lo)
-        return min(lows)
-    diff = eval_interval(loop.upper - loop.lower, env)
-    return None if diff is None else diff.lo
+    return min(lows)
 
 
 def definitely_executes(loop: Loop, env: Env) -> bool:
@@ -122,7 +145,7 @@ def definitely_executes(loop: Loop, env: Env) -> bool:
 def loop_var_interval(loop: Loop, env: Env) -> Optional[Interval]:
     """Interval of the loop variable's iterates, or None when the
     bounds are unanalyzable or the loop provably never runs."""
-    lower = eval_interval(loop.lower, env)
+    lower = _lower_interval(loop, env)
     upper = _upper_interval(loop, env)
     if lower is None or upper is None:
         return None
@@ -137,12 +160,18 @@ def loop_var_interval(loop: Loop, env: Env) -> Optional[Interval]:
     return Interval(lower.lo, max(hi, lower.lo))
 
 
+#: Per-variable symbolic loop bounds: (inclusive lower candidates,
+#: exclusive upper candidates).  Max lowers / Min uppers contribute one
+#: candidate per operand; any single candidate is a sound bound.
+SymBounds = Mapping[str, tuple[tuple[AffineExpr, ...], tuple[AffineExpr, ...]]]
+
+
 def verify_bounds(program: Program) -> list[Diagnostic]:
     """Prove every affine access in bounds; return the diagnostics."""
     diagnostics: list[Diagnostic] = []
     for decl in program.arrays.values():
         _check_footprint(program, decl, diagnostics)
-    _walk(program, program.body, [], {}, diagnostics)
+    _walk(program, program.body, [], {}, {}, diagnostics)
     return diagnostics
 
 
@@ -173,18 +202,35 @@ def _check_footprint(
         )
 
 
+def _bound_operands(
+    loop: Loop,
+) -> tuple[tuple[AffineExpr, ...], tuple[AffineExpr, ...]]:
+    lowers = (
+        loop.lower.operands
+        if isinstance(loop.lower, MaxExpr)
+        else (loop.lower,)
+    )
+    uppers = (
+        loop.upper.operands
+        if isinstance(loop.upper, MinExpr)
+        else (loop.upper,)
+    )
+    return lowers, uppers
+
+
 def _walk(
     program: Program,
     nodes: list[Node],
     ancestors: list[Loop],
     env: dict[str, Interval],
+    symbolic: dict[str, tuple[tuple[AffineExpr, ...], tuple[AffineExpr, ...]]],
     diagnostics: list[Diagnostic],
 ) -> None:
     for node in nodes:
         if isinstance(node, Loop):
             iterates = loop_var_interval(node, env)
             if iterates is None:
-                lower = eval_interval(node.lower, env)
+                lower = _lower_interval(node, env)
                 upper = _upper_interval(node, env)
                 if lower is not None and upper is not None:
                     diagnostics.append(
@@ -200,14 +246,18 @@ def _walk(
             if node.var in env:
                 continue  # shadowing: structure pass reports it
             env[node.var] = iterates
+            symbolic[node.var] = _bound_operands(node)
             _walk(
-                program, node.body, ancestors + [node], env, diagnostics
+                program, node.body, ancestors + [node], env, symbolic,
+                diagnostics,
             )
             del env[node.var]
+            del symbolic[node.var]
         elif isinstance(node, Statement):
             for ref in node.references:
                 _check_reference(
-                    program, ref, node, ancestors, env, diagnostics
+                    program, ref, node, ancestors, env, symbolic,
+                    diagnostics,
                 )
 
 
@@ -217,6 +267,7 @@ def _check_reference(
     statement: Statement,
     ancestors: list[Loop],
     env: Env,
+    symbolic: SymBounds,
     diagnostics: list[Diagnostic],
 ) -> None:
     if isinstance(ref, RegisterRef):
@@ -226,11 +277,62 @@ def _check_reference(
         # access depends on run-time values (that is what makes the
         # reference non-analyzable) and is range-checked dynamically.
         _check_affine(
-            program, ref.index, statement, ancestors, env, diagnostics
+            program, ref.index, statement, ancestors, env, symbolic,
+            diagnostics,
         )
         return
     if isinstance(ref, AffineRef):
-        _check_affine(program, ref, statement, ancestors, env, diagnostics)
+        _check_affine(
+            program, ref, statement, ancestors, env, symbolic, diagnostics
+        )
+
+
+_SUBST_DEPTH = 4
+
+
+def _symbolic_side(
+    expr: AffineExpr,
+    side: str,
+    env: Env,
+    symbolic: SymBounds,
+    depth: int = 0,
+) -> Optional[int]:
+    """Sharpest provable ``lo``/``hi`` of ``expr``, substituting loop
+    variables by their *symbolic* bounds so correlated variables cancel
+    (a skewed subscript ``i - f*t`` with ``i in [f*t, n+f*t)`` is exact
+    even though the plain interval product is not)."""
+    value = eval_interval(expr, env)
+    best = None if value is None else (
+        value.lo if side == "lo" else value.hi
+    )
+    if depth >= _SUBST_DEPTH:
+        return best
+    for name in sorted(expr.variables):
+        bounds = symbolic.get(name)
+        if bounds is None:
+            continue
+        lowers, uppers = bounds
+        if all(low.is_constant for low in lowers) and all(
+            up.is_constant for up in uppers
+        ):
+            continue  # plain interval already exact for this variable
+        coeff = expr.coefficient(name)
+        if (coeff > 0) == (side == "lo"):
+            candidates = lowers
+        else:
+            candidates = tuple(up - 1 for up in uppers)
+        for candidate in candidates:
+            bound = _symbolic_side(
+                expr.substitute(name, candidate), side, env, symbolic,
+                depth + 1,
+            )
+            if bound is None:
+                continue
+            if best is None:
+                best = bound
+            else:
+                best = max(best, bound) if side == "lo" else min(best, bound)
+    return best
 
 
 def _check_affine(
@@ -239,6 +341,7 @@ def _check_affine(
     statement: Statement,
     ancestors: list[Loop],
     env: Env,
+    symbolic: SymBounds,
     diagnostics: list[Diagnostic],
 ) -> None:
     if len(ref.subscripts) != ref.array.rank:
@@ -248,7 +351,13 @@ def _check_affine(
         if value is None:
             continue  # out-of-scope variable: structure pass reports it
         extent = ref.array.shape[dim]
-        if value.lo < 0 or value.hi > extent - 1:
+        lo: Optional[int] = value.lo
+        hi: Optional[int] = value.hi
+        if value.lo < 0:
+            lo = _symbolic_side(subscript, "lo", env, symbolic)
+        if value.hi > extent - 1:
+            hi = _symbolic_side(subscript, "hi", env, symbolic)
+        if lo is None or hi is None or lo < 0 or hi > extent - 1:
             diagnostics.append(
                 Diagnostic(
                     program.name, _ANALYSIS,

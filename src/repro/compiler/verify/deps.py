@@ -1,0 +1,190 @@
+"""The ``deps`` lint pass: per-nest dependence-relation summaries.
+
+``repro lint --deps`` renders, for every software nest the optimizer
+would transform, what the dependence engine in
+:mod:`repro.compiler.analysis.deps` proved about it *before* any loop
+transform ran: how many (source, sink) relations there are, their kind
+mix (flow/anti/output), how many carry a ``*`` direction (feasible
+directions that disagree between expanded relations), and every
+reference the engine refused to analyze, with the reason.
+
+The pass also cross-references the optimizer's decisions: a nest that
+received a transform while its merged relation set still contains a
+``*`` level is flagged — the transform was proven legal on the
+*expanded* relations, so it is sound, but the ``*`` marks exactly the
+nests where the merged (human-readable) view under-constrains the
+engine's real reasoning and deserves a second look.
+
+The nests summarized here are the ones the optimizer actually saw: the
+pre-head phases (region detection and fusion) are replayed on a private
+instantiation so the head list lines up index-by-index with the
+per-head result lists in the :class:`OptimizationReport`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.compiler.analysis.deps import ANY, NestDependences, nest_dependences
+
+if False:  # typing only; runtime imports are lazy (import-cycle hygiene)
+    from repro.workloads.base import Scale
+
+__all__ = [
+    "NestDepsSummary",
+    "deps_summaries",
+    "render_deps",
+]
+
+
+@dataclass
+class NestDepsSummary:
+    """What the engine knows about one optimizer-visible nest."""
+
+    benchmark: str
+    nest_vars: tuple[str, ...]
+    relations: int  # merged (per source/sink pair) relation count
+    kinds: Counter = field(default_factory=Counter)
+    star_relations: int = 0  # merged relations with a '*' level
+    unanalyzable: tuple = ()  # UnanalyzableRef, from the engine
+    transforms: tuple[str, ...] = ()  # applied to this nest, in order
+    fused: bool = False  # the nest is the product of a legal fusion
+
+    @property
+    def analyzable(self) -> bool:
+        return not self.unanalyzable
+
+    @property
+    def flagged(self) -> bool:
+        """A transform ran while merged relations still show ``*``."""
+        return bool(self.star_relations) and bool(self.transforms)
+
+
+def _summarize_nest(
+    benchmark: str, nest_vars: tuple[str, ...], deps: NestDependences
+) -> NestDepsSummary:
+    merged = deps.merged()
+    return NestDepsSummary(
+        benchmark=benchmark,
+        nest_vars=nest_vars,
+        relations=len(merged),
+        kinds=Counter(rel.kind for rel in merged),
+        star_relations=sum(
+            1 for rel in merged if ANY in rel.directions
+        ),
+        unanalyzable=tuple(deps.unanalyzable),
+    )
+
+
+def deps_summaries(
+    scale: "Scale", names: Optional[Sequence[str]] = None
+) -> list[NestDepsSummary]:
+    """Engine summaries for every software nest of each benchmark."""
+    # Imported here, not at module level: the verify facade loads this
+    # module, and the optimizer/workload layers import the facade.
+    from repro.compiler.optimizer import (
+        LocalityOptimizer,
+        software_nest_heads,
+        software_regions,
+    )
+    from repro.compiler.regions.detect import detect_regions
+    from repro.compiler.regions.markers import insert_markers
+    from repro.compiler.transforms.fusion import fuse_region
+    from repro.params import base_config
+    from repro.workloads.registry import all_specs, get_spec
+
+    machine = base_config().scaled(scale.machine_divisor)
+    out: list[NestDepsSummary] = []
+    for name in names or [spec.name for spec in all_specs()]:
+        spec = get_spec(name)
+
+        # Replay the optimizer's pre-head phases on a private copy so
+        # the head enumeration matches the report's per-head lists.
+        program = spec.instantiate(scale)
+        insert_markers(program)
+        optimizer = LocalityOptimizer(machine)
+        detect_regions(program, optimizer.threshold)
+        if optimizer.enable_fusion:
+            for index, region in enumerate(software_regions(program)):
+                fuse_region(region, index)
+        heads = list(software_nest_heads(program))
+
+        # The decisions, from an identical (deterministic) pipeline run.
+        run = spec.instantiate(scale)
+        insert_markers(run)
+        report = optimizer.optimize(run)
+
+        fused_vars = {
+            f.fused_vars for f in report.fusions if f.applied
+        }
+        for index, head in enumerate(heads):
+            chain = head.perfect_nest_loops()
+            nest_vars = tuple(loop.var for loop in chain)
+            summary = _summarize_nest(
+                name, nest_vars, nest_dependences(head)
+            )
+            summary.fused = any(
+                vars_ and set(vars_) <= set(nest_vars)
+                for vars_ in fused_vars
+            )
+            applied = []
+            for label, results in (
+                ("interchange", report.interchanges),
+                ("skew", report.skews),
+                ("tile", report.tilings),
+                ("unroll", report.unrolls),
+            ):
+                result = (
+                    results[index] if index < len(results) else None
+                )
+                if result is not None and result.applied:
+                    applied.append(label)
+            summary.transforms = tuple(applied)
+            out.append(summary)
+    return out
+
+
+def render_deps(summaries: list[NestDepsSummary]) -> str:
+    """Human-readable per-nest dependence table plus detail lines."""
+    lines = [
+        f"{'benchmark':<10} {'nest':<16} {'rel':>4} {'flow':>5} "
+        f"{'anti':>5} {'out':>4} {'star':>5}  transforms"
+    ]
+    details: list[str] = []
+    for s in summaries:
+        nest = " > ".join(s.nest_vars)
+        applied = ", ".join(s.transforms) or "-"
+        if s.fused:
+            applied = "fused" + ("" if applied == "-" else ", " + applied)
+        flag = " !" if s.flagged else ""
+        mark = "" if s.analyzable else " ?"
+        lines.append(
+            f"{s.benchmark:<10} {nest:<16} {s.relations:>4} "
+            f"{s.kinds.get('flow', 0):>5} {s.kinds.get('anti', 0):>5} "
+            f"{s.kinds.get('output', 0):>4} {s.star_relations:>5}  "
+            f"{applied}{flag}{mark}"
+        )
+        for bad in s.unanalyzable:
+            details.append(
+                f"{s.benchmark}: nest {nest}: unanalyzable "
+                f"{bad.description}: {bad.reason}"
+            )
+        if s.flagged:
+            details.append(
+                f"{s.benchmark}: nest {nest}: transforms "
+                f"({', '.join(s.transforms)}) applied while merged "
+                "relations carry a '*' direction — legality was proven "
+                "on the expanded relation set"
+            )
+    lines.extend(details)
+    nests = len(summaries)
+    analyzable = sum(1 for s in summaries if s.analyzable)
+    relations = sum(s.relations for s in summaries)
+    lines.append(
+        f"{nests} nest(s): {relations} relation(s), "
+        f"{analyzable}/{nests} fully analyzable, "
+        f"{sum(1 for s in summaries if s.flagged)} flagged"
+    )
+    return "\n".join(lines)

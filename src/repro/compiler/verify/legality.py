@@ -16,29 +16,41 @@ reference would read one element where the original program read many.
 **Replay audit** (when the caller supplies the pre-transform
 ``baseline`` program and the :class:`OptimizationReport` the optimizer
 produced): the software nest heads of the baseline are enumerated
-exactly as the optimizer enumerated them, the dependence distance
-vectors of each nest are *recomputed from the subscripts* (nothing is
-trusted from the report but the claimed loop orders), and then
+exactly as the optimizer enumerated them, the dependence relations of
+each nest are *recomputed from the subscripts* by the engine in
+:mod:`repro.compiler.analysis.deps` (nothing is trusted from the
+report but the claimed loop orders, skew factors, and fusion sites),
+and then
 
+* each applied fusion must be re-provable legal from the baseline's
+  subscripts (no fusion-preventing dependence between the merged
+  nests); the legal merge is replayed on the baseline so the head
+  enumeration lines up with what the optimizer saw;
 * each applied interchange's ``order_before → order_after`` permutation
-  must keep every distance vector lexicographically non-negative
+  must keep every dependence relation lexicographically non-negative
   (Wolf & Lam), and the transformed program must actually contain the
   claimed order on some nest path;
-* each applied tiling must have been fully permutable (every rotation
-  of the nest legal), since tiling reorders traversal like an
-  interchange of the controlling loops;
-* each applied unroll-and-jam must carry no dependence on the unrolled
-  variable and the unrolled trip count must divide by the factor (no
-  epilogue is generated, so a remainder would drop iterations).
+* each applied skew, re-applied to the baseline with the claimed
+  factor, must leave the nest fully permutable — otherwise the tiling
+  it was supposed to enable was illegal;
+* each applied tiling must have been fully permutable, since tiling
+  reorders traversal like an interchange of the controlling loops;
+* each applied unroll-and-jam must not reverse any dependence when the
+  jammed copies interleave, and the unrolled trip count must divide by
+  the factor (no epilogue is generated, so a remainder would drop
+  iterations).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.compiler.analysis.dependence import (
-    distance_vectors,
-    permutation_legal,
+from repro.compiler.analysis.deps import (
+    Permutation,
+    Tiling,
+    UnrollJam,
+    analyze_nest,
+    nest_dependences,
 )
 from repro.compiler.ir.loops import Loop, Node
 from repro.compiler.ir.program import Program
@@ -217,12 +229,18 @@ def _replay_audit(
         report.regions.threshold if report.regions is not None else 0.5
     )
     detect_regions(baseline, threshold)
+
+    # Fusion ran before the optimizer took its head list, so its audit
+    # (which replays legal merges on the baseline) must run before ours.
+    _audit_fusions(program, report, baseline, diagnostics)
+
     heads = list(software_nest_heads(baseline))
 
     transformed_paths = _var_paths(program)
 
     for name, results in (
         ("interchange", report.interchanges),
+        ("skew", getattr(report, "skews", [])),
         ("tiling", report.tilings),
         ("unroll", report.unrolls),
     ):
@@ -245,6 +263,9 @@ def _replay_audit(
             )
             if not ok:
                 continue  # nest unrecognizable: later audits would lie
+        skew = _result_at(getattr(report, "skews", []), index)
+        if skew is not None and skew.applied:
+            _audit_skew(program, head, skew, diagnostics)
         tiling = _result_at(report.tilings, index)
         if tiling is not None and tiling.applied:
             _audit_tiling(program, head, tiling, diagnostics)
@@ -258,14 +279,101 @@ def _result_at(results, index: int):
 
 
 def _nest_facts(head: Loop, limit: Optional[int] = None):
-    """(vars, statements, vectors) of the baseline nest under ``head``."""
+    """(chain, vars, relations) of the baseline nest under ``head``."""
     chain = head.perfect_nest_loops()
     if limit is not None:
         chain = chain[:limit]
     nest_vars = tuple(loop.var for loop in chain)
-    statements = list(chain[-1].all_statements())
-    vectors = distance_vectors(list(nest_vars), statements)
-    return chain, nest_vars, vectors
+    deps = analyze_nest(chain)
+    return chain, nest_vars, deps
+
+
+def _audit_fusions(
+    program: Program,
+    report,
+    baseline: Program,
+    diagnostics: list[Diagnostic],
+) -> None:
+    """Re-prove every applied fusion from the baseline's subscripts and
+    replay the merge so later audits see the optimizer's nests."""
+    from repro.compiler.optimizer import software_regions
+    from repro.compiler.transforms.fusion import fuse_pair
+
+    applied = [
+        f for f in getattr(report, "fusions", []) if f.applied
+    ]
+    if not applied:
+        return
+    regions = list(software_regions(baseline))
+    for claim in applied:
+        where = f"fusion {' > '.join(claim.fused_vars)}"
+        if not 0 <= claim.region_index < len(regions):
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS, where,
+                    f"report claims a fusion in region "
+                    f"{claim.region_index} but the baseline has "
+                    f"{len(regions)} software region(s)",
+                    severity=WARNING,
+                )
+            )
+            continue
+        region = regions[claim.region_index]
+        site = _locate_fusion(region, claim)
+        if site is None:
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS, where,
+                    f"report claims a fusion at path {claim.at} but the "
+                    "baseline has no adjacent sibling nests there",
+                    severity=WARNING,
+                )
+            )
+            continue
+        body, index = site
+        reason = fuse_pair(
+            body[index], body[index + 1], require_profit=False
+        )
+        if reason is None:
+            # Legal: finish the merge (fuse_pair moves the statements,
+            # the caller removes the absorbed shell) so the baseline's
+            # nests line up with the optimizer's.
+            del body[index + 1]
+            continue
+        if "fusion-preventing" in reason:
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS, where,
+                    f"illegal fusion of nests at path {claim.at}: {reason}",
+                )
+            )
+        else:
+            diagnostics.append(
+                Diagnostic(
+                    program.name, _ANALYSIS, where,
+                    f"fusion claimed at path {claim.at} cannot be "
+                    f"replayed on the baseline: {reason}",
+                    severity=WARNING,
+                )
+            )
+
+
+def _locate_fusion(region: Loop, claim):
+    """The (body, index) where ``claim.at`` points at two sibling
+    loops: the surviving nest and the one it absorbed."""
+    body = region.body
+    for index in claim.at[:-1]:
+        if index >= len(body) or not isinstance(body[index], Loop):
+            return None
+        body = body[index].body
+    index = claim.at[-1]
+    if index + 1 >= len(body):
+        return None
+    if not isinstance(body[index], Loop) or not isinstance(
+        body[index + 1], Loop
+    ):
+        return None
+    return body, index
 
 
 def _audit_interchange(
@@ -279,7 +387,7 @@ def _audit_interchange(
     chain so tiling/unroll audits see the order those transforms saw.
     Returns False when the nest could not even be matched."""
     where = f"nest {' > '.join(result.order_before)}"
-    chain, nest_vars, vectors = _nest_facts(
+    chain, nest_vars, deps = _nest_facts(
         head, limit=len(result.order_before)
     )
     if nest_vars != tuple(result.order_before):
@@ -305,14 +413,15 @@ def _audit_interchange(
             )
         )
         return False
-    if not permutation_legal(vectors, permutation):
+    verdict = deps.legal(Permutation(permutation))
+    if not verdict:
         diagnostics.append(
             Diagnostic(
                 program.name, _ANALYSIS, where,
                 f"illegal interchange {result.order_before} -> "
-                f"{result.order_after}: a dependence distance vector "
+                f"{result.order_after}: a dependence direction vector "
                 "becomes lexicographically negative "
-                f"(vectors {vectors})",
+                f"({verdict.reason})",
             )
         )
     if not any(
@@ -346,24 +455,58 @@ def _apply_permutation(chain: list[Loop], permutation: tuple[int, ...]) -> None:
         chain[level].step = step
 
 
+def _audit_skew(
+    program: Program, head: Loop, result, diagnostics: list[Diagnostic]
+) -> None:
+    """Re-apply the claimed skew to the baseline and demand the result
+    be fully permutable — skewing never reorders iterations, so the
+    only thing that can be wrong is the factor failing to unblock the
+    tiling that followed it."""
+    from repro.compiler.transforms.skew import skew_chain
+
+    chain, nest_vars, _ = _nest_facts(head)
+    where = f"nest {' > '.join(nest_vars)}"
+    if (
+        len(chain) != 2
+        or result.wrt_var != chain[0].var
+        or result.skewed_var != chain[1].var
+    ):
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"report claims a skew of {result.skewed_var!r} with "
+                f"respect to {result.wrt_var!r} but the baseline nest "
+                f"is {nest_vars}",
+                severity=WARNING,
+            )
+        )
+        return
+    skew_chain(chain, result.factor)
+    verdict = nest_dependences(head).legal(Tiling())
+    if not verdict:
+        diagnostics.append(
+            Diagnostic(
+                program.name, _ANALYSIS, where,
+                f"skew of {result.skewed_var!r} by factor "
+                f"{result.factor} does not make the nest fully "
+                f"permutable ({verdict.reason})",
+            )
+        )
+
+
 def _audit_tiling(
     program: Program, head: Loop, result, diagnostics: list[Diagnostic]
 ) -> None:
-    chain, nest_vars, vectors = _nest_facts(head)
+    chain, nest_vars, deps = _nest_facts(head)
     where = f"nest {' > '.join(nest_vars)}"
-    rotations = [
-        tuple(range(shift, len(chain))) + tuple(range(shift))
-        for shift in range(len(chain))
-    ]
-    if vectors is None or not all(
-        permutation_legal(vectors, rotation) for rotation in rotations
-    ):
+    verdict = deps.legal(Tiling())
+    if not verdict:
         diagnostics.append(
             Diagnostic(
                 program.name, _ANALYSIS, where,
                 f"tiling (tile {result.tile_size}) applied to a nest "
                 "that is not fully permutable "
-                f"(vectors {vectors})",
+                f"({verdict.reason})",
             )
         )
 
@@ -386,16 +529,15 @@ def _audit_unroll(
     position = nest_vars.index(result.variable)
     unrolled = chain[position]
     statements = list(unrolled.all_statements())
-    vectors = distance_vectors(
-        [loop.var for loop in chain[position:]], statements
-    )
-    if vectors is None or any(vector[0] != 0 for vector in vectors):
+    deps = analyze_nest(chain[position:], statements)
+    verdict = deps.legal(UnrollJam(level=0))
+    if not verdict:
         diagnostics.append(
             Diagnostic(
                 program.name, _ANALYSIS, where,
                 f"unroll-and-jam of {result.variable!r} by "
                 f"{result.factor} carries a dependence on the unrolled "
-                f"variable (vectors {vectors})",
+                f"variable ({verdict.reason})",
             )
         )
     trip = unrolled.trip_count_estimate()

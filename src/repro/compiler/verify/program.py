@@ -54,7 +54,9 @@ def verify_program(
         sum(
             1
             for results in (
+                getattr(report, "fusions", []),
                 report.interchanges,
+                getattr(report, "skews", []),
                 report.tilings,
                 report.unrolls,
             )

@@ -25,7 +25,7 @@ instead of as an address error three layers down:
 from __future__ import annotations
 
 from repro.compiler.analysis.classify import HARDWARE, SOFTWARE
-from repro.compiler.ir.expr import AffineExpr, MinExpr
+from repro.compiler.ir.expr import AffineExpr, MaxExpr, MinExpr
 from repro.compiler.ir.loops import Loop, Node
 from repro.compiler.ir.program import Program
 from repro.compiler.ir.refs import (
@@ -167,7 +167,17 @@ def _check_loop(
             f"non-positive step {loop.step}",
         )
     for role, bound in (("lower", loop.lower), ("upper", loop.upper)):
-        if isinstance(bound, MinExpr):
+        if isinstance(bound, (MinExpr, MaxExpr)):
+            # min() can only tighten an upper bound, max() a lower one;
+            # the other placement would silently widen the range.
+            valid_role = "upper" if isinstance(bound, MinExpr) else "lower"
+            if role != valid_role:
+                _emit(
+                    diagnostics, program, ancestors, loop,
+                    f"{type(bound).__name__} is only valid as "
+                    f"a{'n' if valid_role == 'upper' else ''} "
+                    f"{valid_role} bound, found as {role}",
+                )
             variables = bound.variables
         elif isinstance(bound, AffineExpr):
             variables = bound.variables

@@ -20,6 +20,8 @@ from repro.workloads.regular import (
     build_adi,
     build_mgrid,
     build_mxm,
+    build_pipefuse,
+    build_seidel,
     build_swim,
     build_vpenta,
 )
@@ -63,6 +65,12 @@ _EXTRA_SPECS = [
     WorkloadSpec("mxm", MIXED, build_mxm,
                  "Dense IJK matrix multiply + irregular binning "
                  "(profiling demo kernel)"),
+    WorkloadSpec("seidel", REGULAR, build_seidel,
+                 "Gauss-Seidel time/space sweep "
+                 "(loop-skewing demo kernel)"),
+    WorkloadSpec("pipefuse", REGULAR, build_pipefuse,
+                 "Producer/consumer pipeline sweeps "
+                 "(loop-fusion demo kernel)"),
 ]
 
 _BY_NAME = {spec.name: spec for spec in _SPECS + _EXTRA_SPECS}

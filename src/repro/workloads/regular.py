@@ -23,6 +23,8 @@ __all__ = [
     "build_vpenta",
     "build_adi",
     "build_mxm",
+    "build_seidel",
+    "build_pipefuse",
 ]
 
 
@@ -233,4 +235,76 @@ def build_mxm(scale: Scale) -> Program:
              work=1, label="bin"),
     ])
     b.append(loop("t", 0, scale.steps, [mult, binpass]))
+    return b.build()
+
+
+def build_seidel(scale: Scale) -> Program:
+    """Gauss-Seidel time/space sweep (loop-skewing demo kernel).
+
+    A 1-D three-point relaxation repeated over time steps::
+
+        for t: for i: a[i] = (a[i-1] + a[i] + a[i+1]) / 3
+
+    The ``(t, i)`` nest carries a ``(<, >)`` dependence (this step
+    reads ``a[i+1]`` written by the *previous* step), so neither
+    interchange nor rectangular tiling is legal as written.  Skewing
+    ``i`` by one per time step turns every direction non-negative,
+    making the nest fully permutable — the classic wavefront — and
+    unblocks tiling.  Sized so the array overflows the scaled L1 and
+    both trip counts exceed the selected tile.
+    """
+    n = max(scale.n1d // 4, 768)
+    steps = max(8 * scale.steps, 24)
+    b = ProgramBuilder("seidel")
+    a = b.array("A", (n,))
+    t, i = var("t"), var("i")
+
+    b.append(loop("t", 0, steps, [
+        loop("i", 1, n - 1, [
+            stmt(writes=[a[i]],
+                 reads=[a[i - 1], a[i], a[i + 1]],
+                 work=2, label="relax"),
+        ]),
+    ]))
+    return b.build()
+
+
+def build_pipefuse(scale: Scale) -> Program:
+    """Producer/consumer pipeline (loop-fusion demo kernel).
+
+    Three sibling sweeps per time step over shared 1-D arrays::
+
+        for i: b[i] = a[i] + a[i-1]        # produce
+        for j: c[j] = b[j] + b[j-1]        # consume
+        for k: d[k] = b[k+1] + c[k]        # look-ahead
+
+    The first two nests share ``B`` with only forward-or-equal
+    dependences, so fusing them is legal and profitable (the ``B``
+    values are still hot).  The third reads ``b[k+1]`` — *ahead* of
+    the producer's write at the same iteration — so fusing it into
+    the pair would reverse a flow dependence; the optimizer must
+    refuse with a fusion-preventing reason, which the legality replay
+    re-checks.
+    """
+    n = scale.n1d // 2
+    b = ProgramBuilder("pipefuse")
+    a = b.array("A", (n,))
+    bb = b.array("B", (n + 1,))
+    c = b.array("C", (n,))
+    d = b.array("D", (n,))
+    i, j, k = var("i"), var("j"), var("k")
+
+    produce = loop("i", 1, n, [
+        stmt(writes=[bb[i]], reads=[a[i], a[i - 1]],
+             work=1, label="produce"),
+    ])
+    consume = loop("j", 1, n, [
+        stmt(writes=[c[j]], reads=[bb[j], bb[j - 1]],
+             work=1, label="consume"),
+    ])
+    ahead = loop("k", 1, n, [
+        stmt(writes=[d[k]], reads=[bb[k + 1], c[k]],
+             work=1, label="ahead"),
+    ])
+    b.append(loop("t", 0, scale.steps, [produce, consume, ahead]))
     return b.build()

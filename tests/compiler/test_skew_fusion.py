@@ -1,0 +1,341 @@
+"""Loop skewing and fusion/fission: mechanics, gates, audit, and the
+demo workloads that exercise them end to end."""
+
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.optimizer import LocalityOptimizer, OptimizationReport
+from repro.compiler.regions.markers import insert_markers
+from repro.compiler.transforms.fusion import (
+    FusionResult,
+    apply_fission,
+    fuse_pair,
+    fuse_region,
+    fusion_compatible,
+)
+from repro.compiler.transforms.skew import (
+    MAX_SKEW_FACTOR,
+    SkewResult,
+    apply_skew,
+    skew_chain,
+)
+from repro.compiler.verify import verify_legality, verify_program
+from repro.params import base_config
+from repro.tracegen.interpreter import TraceGenerator
+from repro.workloads.base import TINY
+from repro.workloads.registry import get_spec
+
+
+def addresses_touched(program):
+    trace = TraceGenerator(program.clone()).generate()
+    return sorted(
+        (inst.op, inst.arg) for inst in trace if inst.is_memory
+    )
+
+
+def wavefront(name="wave", n=256, steps=32, shift=1):
+    """Seidel-like time/space sweep: this step reads ``a[i+shift]``
+    from the previous step, so tiling needs a skew of ``shift``."""
+    b = ProgramBuilder(name)
+    A = b.array("A", (n + 8,))
+    t, i = var("t"), var("i")
+    b.append(loop("t", 0, steps, [loop("i", 1, n, [
+        stmt(writes=[A[i]], reads=[A[i - 1], A[i + shift]]),
+    ])]))
+    return b.build()
+
+
+def uniform(name="uni", n=256, steps=32):
+    """Pointwise update: every direction non-negative, no skew needed."""
+    b = ProgramBuilder(name)
+    A = b.array("A", (n + 8,))
+    t, i = var("t"), var("i")
+    b.append(loop("t", 0, steps, [loop("i", 1, n, [
+        stmt(writes=[A[i]], reads=[A[i]]),
+    ])]))
+    return b.build()
+
+
+def pipeline(name="pipe", n=24, ahead=False):
+    """Two adjacent sibling sweeps inside a shared outer loop; with
+    ``ahead`` the second reads *ahead* of the first's writes."""
+    b = ProgramBuilder(name)
+    A = b.array("A", (n + 1,))
+    B = b.array("B", (n + 1,))
+    i, j = var("i"), var("j")
+    offset = 1 if ahead else -1
+    first = loop("i", 1, n, [
+        stmt(writes=[A[i]], reads=[B[i]]),
+    ])
+    second = loop("j", 1, n, [
+        stmt(writes=[B[j]], reads=[A[j + offset]]),
+    ])
+    b.append(loop("t", 0, 3, [first, second]))
+    return b.build()
+
+
+class TestSkewMechanics:
+    def test_skew_chain_preserves_address_multiset(self):
+        program = wavefront()
+        skewed = program.clone()
+        head = skewed.body[0]
+        skew_chain(head.perfect_nest_loops(), 1)
+        assert addresses_touched(program) == addresses_touched(skewed)
+
+    def test_skew_chain_shifts_bounds_and_subscripts(self):
+        program = wavefront()
+        head = program.body[0]
+        chain = head.perfect_nest_loops()
+        skew_chain(chain, 2)
+        inner = chain[1]
+        assert inner.lower.terms == {"t": 2}
+        assert inner.upper.terms == {"t": 2}
+        statement = next(iter(inner.statements()))
+        write = statement.writes[0]
+        assert write.subscripts[0].terms == {"i": 1, "t": -2}
+
+    def test_apply_skew_fixes_wavefront(self):
+        program = wavefront()
+        result = apply_skew(program.body[0], l1_bytes=1024)
+        assert result.applied
+        assert result.factor == 1
+        assert result.skewed_var == "i"
+        assert result.wrt_var == "t"
+
+    def test_apply_skew_skips_permutable_nest(self):
+        program = uniform()
+        result = apply_skew(program.body[0], l1_bytes=1024)
+        assert not result.applied
+        assert "already fully permutable" in result.reason
+
+    def test_apply_skew_skips_shallow_nest(self):
+        b = ProgramBuilder("one")
+        A = b.array("A", (64,))
+        i = var("i")
+        b.append(loop("i", 1, 64, [stmt(writes=[A[i]], reads=[A[i - 1]])]))
+        result = apply_skew(b.build().body[0], l1_bytes=1024)
+        assert not result.applied
+        assert "depth-2" in result.reason
+
+    def test_apply_skew_rejects_oversized_factor(self):
+        program = wavefront(shift=MAX_SKEW_FACTOR + 1)
+        result = apply_skew(program.body[0], l1_bytes=1024)
+        assert not result.applied
+        assert "too large" in result.reason
+
+
+class TestFusionMechanics:
+    def test_legal_fusion_merges_statements(self):
+        program = pipeline()
+        outer = program.body[0]
+        first, second = outer.body
+        assert fuse_pair(first, second) is None
+        del outer.body[1]
+        assert len(first.body) == 2
+        # The second statement's subscripts were renamed onto i.
+        renamed = first.body[1]
+        assert all(
+            "j" not in ref.subscripts[0].terms
+            for ref in renamed.reads + renamed.writes
+        )
+
+    def test_fusion_preserves_address_multiset(self):
+        program = pipeline()
+        fused = program.clone()
+        outer = fused.body[0]
+        assert fuse_pair(outer.body[0], outer.body[1]) is None
+        del outer.body[1]
+        assert addresses_touched(program) == addresses_touched(fused)
+
+    def test_backward_dependence_prevents_fusion(self):
+        program = pipeline(ahead=True)
+        outer = program.body[0]
+        reason = fuse_pair(outer.body[0], outer.body[1])
+        assert reason is not None
+        assert "fusion-preventing" in reason
+        # Refused merges must leave both nests untouched.
+        assert len(outer.body) == 2
+        assert len(outer.body[0].body) == 1
+
+    def test_profit_gate_requires_shared_arrays(self):
+        b = ProgramBuilder("disjoint")
+        A = b.array("A", (16,))
+        B = b.array("B", (16,))
+        i, j = var("i"), var("j")
+        first = loop("i", 1, 16, [stmt(writes=[A[i]], reads=[A[i - 1]])])
+        second = loop("j", 1, 16, [stmt(writes=[B[j]], reads=[B[j - 1]])])
+        b.append(loop("t", 0, 2, [first, second]))
+        program = b.build()
+        outer = program.body[0]
+        reason = fuse_pair(outer.body[0], outer.body[1])
+        assert reason == "no shared arrays (fusion not profitable)"
+        # The audit path ignores profitability: legality only.
+        assert fuse_pair(
+            outer.body[0], outer.body[1], require_profit=False
+        ) is None
+
+    def test_structural_mismatch_reported(self):
+        b = ProgramBuilder("shapes")
+        A = b.array("A", (16, 16))
+        i, j, k = var("i"), var("j"), var("k")
+        deep = loop("i", 0, 16, [loop("j", 0, 16, [
+            stmt(writes=[A[i, j]], reads=[]),
+        ])])
+        shallow = loop("k", 0, 16, [stmt(writes=[A[k, 0]], reads=[])])
+        assert fusion_compatible(deep, shallow) == "mismatched nest depth"
+        short = loop("k", 0, 8, [stmt(writes=[A[k, 0]], reads=[])])
+        assert fusion_compatible(shallow, short) == "mismatched bounds"
+
+    def test_fuse_region_walks_and_merges(self):
+        program = pipeline()
+        results = fuse_region(program.body[0], 0)
+        assert [r.applied for r in results] == [True]
+        assert results[0].at == (0,)
+        assert results[0].fused_vars == ("i",)
+
+    def test_fission_splits_and_preserves_addresses(self):
+        b = ProgramBuilder("split")
+        A = b.array("A", (16,))
+        B = b.array("B", (16,))
+        i = var("i")
+        s1 = stmt(writes=[A[i]], reads=[A[i - 1]])
+        s2 = stmt(writes=[B[i]], reads=[B[i - 1]])
+        b.append(loop("i", 1, 16, [s1, s2]))
+        program = b.build()
+        split = program.clone()
+        result = apply_fission(split.body, 0, 1)
+        assert result.applied
+        assert len(split.body) == 2
+        assert addresses_touched(program) == addresses_touched(split)
+
+    def test_fission_refused_on_backward_use(self):
+        b = ProgramBuilder("nosplit")
+        A = b.array("A", (16,))
+        B = b.array("B", (16,))
+        i = var("i")
+        s1 = stmt(writes=[A[i]], reads=[B[i - 1]])
+        s2 = stmt(writes=[B[i]], reads=[A[i]])
+        b.append(loop("i", 1, 16, [s1, s2]))
+        program = b.build()
+        result = apply_fission(program.body, 0, 1)
+        assert not result.applied
+        assert "fission-preventing" in result.reason
+
+
+def report_with(name, **fields):
+    report = OptimizationReport(name)
+    for key, value in fields.items():
+        setattr(report, key, value)
+    return report
+
+
+def errors(diags):
+    return [d for d in diags if d.severity == "error"]
+
+
+class TestReplayAudit:
+    def test_bogus_skew_factor_detected(self):
+        # The nest needs factor 3; a buggy optimizer claiming factor 1
+        # would have tiled an unskewed wavefront.
+        baseline = wavefront(shift=3)
+        program = baseline.clone()
+        report = report_with(
+            "wave",
+            skews=[SkewResult(True, factor=1, skewed_var="i", wrt_var="t")],
+        )
+        diags = errors(verify_legality(program, report, baseline))
+        assert diags
+        assert "does not make the nest fully permutable" in diags[0].message
+
+    def test_correct_skew_factor_passes(self):
+        baseline = wavefront(shift=3)
+        program = baseline.clone()
+        report = report_with(
+            "wave",
+            skews=[SkewResult(True, factor=3, skewed_var="i", wrt_var="t")],
+        )
+        assert not errors(verify_legality(program, report, baseline))
+
+    def test_illegal_fusion_claim_detected(self):
+        baseline = pipeline(ahead=True)
+        program = baseline.clone()
+        report = report_with(
+            "pipe",
+            fusions=[FusionResult(True, 0, (0,), ("i",), 1)],
+        )
+        diags = errors(verify_legality(program, report, baseline))
+        assert diags
+        assert "illegal fusion" in diags[0].message
+        assert "fusion-preventing" in diags[0].message
+
+    def test_legal_fusion_claim_replays_clean(self):
+        baseline = pipeline()
+        program = baseline.clone()
+        outer = program.body[0]
+        assert fuse_pair(outer.body[0], outer.body[1]) is None
+        del outer.body[1]
+        report = report_with(
+            "pipe",
+            fusions=[FusionResult(True, 0, (0,), ("i",), 1)],
+        )
+        assert not verify_legality(program, report, baseline)
+
+    def test_misplaced_fusion_claim_warned(self):
+        baseline = pipeline()
+        program = baseline.clone()
+        report = report_with(
+            "pipe",
+            fusions=[FusionResult(True, 0, (5,), ("i",), 1)],
+        )
+        diags = verify_legality(program, report, baseline)
+        assert any(
+            "no adjacent sibling nests" in d.message
+            and d.severity == "warning"
+            for d in diags
+        )
+
+
+class TestDemoWorkloads:
+    def _optimize(self, name, **flags):
+        program = get_spec(name).instantiate(TINY)
+        insert_markers(program)
+        baseline = program.clone()
+        machine = base_config().scaled(TINY.machine_divisor)
+        report = LocalityOptimizer(machine, **flags).optimize(program)
+        return program, baseline, report
+
+    def test_seidel_is_skewed_then_tiled(self):
+        program, baseline, report = self._optimize("seidel")
+        assert [s.applied for s in report.skews] == [True]
+        assert report.skews[0].factor == 1
+        assert [t.applied for t in report.tilings] == [True]
+        result = verify_program(program, report=report, baseline=baseline)
+        assert result.ok(strict=True), [str(d) for d in result.diagnostics]
+
+    def test_seidel_skew_preserves_addresses(self):
+        program, _, _ = self._optimize(
+            "seidel",
+            enable_layout=False,
+            enable_padding=False,
+            enable_scalar_replacement=False,
+        )
+        baseline = get_spec("seidel").instantiate(TINY)
+        assert addresses_touched(baseline) == addresses_touched(program)
+
+    def test_pipefuse_fuses_forward_refuses_backward(self):
+        program, baseline, report = self._optimize("pipefuse")
+        applied = [f for f in report.fusions if f.applied]
+        refused = [f for f in report.fusions if not f.applied]
+        assert len(applied) == 1
+        assert refused and "fusion-preventing" in refused[0].reason
+        result = verify_program(program, report=report, baseline=baseline)
+        assert result.ok(strict=True), [str(d) for d in result.diagnostics]
+
+    def test_pipefuse_fusion_preserves_addresses(self):
+        program, _, _ = self._optimize(
+            "pipefuse",
+            enable_layout=False,
+            enable_padding=False,
+            enable_scalar_replacement=False,
+        )
+        baseline = get_spec("pipefuse").instantiate(TINY)
+        assert addresses_touched(baseline) == addresses_touched(program)

@@ -81,6 +81,20 @@ class TestDependence:
         i, j = var("i"), var("j")
         assert pair_distance(a[i + j, j], a[i + j, j], ["i", "j"]) is None
 
+    def test_rank_mismatch_unknown_not_truncated(self):
+        # Same array name declared with different ranks: zipping the
+        # subscripts would silently drop one and "answer" (0,); the
+        # analysis must refuse instead.
+        from repro.compiler.ir.refs import AffineRef, ArrayDecl
+
+        a = self._refs()
+        flat = ArrayDecl("A", (64,))
+        i, j = var("i"), var("j")
+        two_d = a[i, j]
+        one_d = AffineRef(flat, (var("i"),))
+        assert pair_distance(two_d, one_d, ["i", "j"]) is None
+        assert pair_distance(one_d, two_d, ["i", "j"]) is None
+
     def test_permutation_legality(self):
         assert permutation_legal([(0, 1)], (1, 0))   # becomes (1, 0): ok
         assert not permutation_legal([(1, -1)], (1, 0))  # (-1, 1): bad

@@ -105,10 +105,14 @@ def test_tiling_of_non_permutable_nest_detected():
 
 
 def test_unroll_with_carried_dependence_detected():
+    # (1, -1): the jammed copies would interleave across the inner
+    # loop and run the sink before its source.
     b = ProgramBuilder("carry")
-    A = b.array("A", (16,))
-    i = var("i")
-    b.append(loop("i", 1, 16, [stmt(writes=[A[i]], reads=[A[i - 1]])]))
+    A = b.array("A", (16, 16))
+    i, j = var("i"), var("j")
+    b.append(loop("i", 1, 15, [loop("j", 1, 15, [
+        stmt(writes=[A[i, j]], reads=[A[i - 1, j + 1]])
+    ])]))
     program = b.build()
     report = report_with(
         "carry", unrolls=[UnrollResult(True, variable="i", factor=2)]

@@ -385,6 +385,23 @@ def bench_verify(scale):
     }
 
 
+def bench_dependence(scale):
+    """Wall-clock of the dependence-relation engine over every
+    software nest the optimizer sees (``repro lint --deps``): relation
+    solving, the merged per-pair view, and the decision
+    cross-reference, suite-wide."""
+    from repro.compiler.verify.deps import deps_summaries
+
+    summaries, wall_s = _time(lambda: deps_summaries(scale))
+    return {
+        "nests": len(summaries),
+        "relations": sum(s.relations for s in summaries),
+        "analyzable": sum(1 for s in summaries if s.analyzable),
+        "flagged": sum(1 for s in summaries if s.flagged),
+        "seconds": round(wall_s, 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -491,6 +508,13 @@ def main(argv=None) -> int:
         f"{verify['seconds']}s, clean={verify['clean']}"
     )
 
+    dependence = bench_dependence(scale)
+    print(
+        f"dependence engine: {dependence['relations']} relations over "
+        f"{dependence['nests']} nests in {dependence['seconds']}s, "
+        f"analyzable={dependence['analyzable']}/{dependence['nests']}"
+    )
+
     report = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "cpu_count": os.cpu_count(),
@@ -506,6 +530,7 @@ def main(argv=None) -> int:
         "telemetry_overhead": telemetry,
         "service": service,
         "verify": verify,
+        "dependence": dependence,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
