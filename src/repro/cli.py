@@ -329,6 +329,22 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="delete entries that fail verification",
     )
+    runs_cmd.add_argument(
+        "--scrub",
+        action="store_true",
+        help=(
+            "re-verify every entry's embedded sha256 up front and "
+            "print a scrub report (exit 1 if anything is corrupt)"
+        ),
+    )
+    runs_cmd.add_argument(
+        "--quarantine",
+        action="store_true",
+        help=(
+            "with --scrub: move corrupt entries into the store's "
+            "quarantine/ directory instead of leaving them in place"
+        ),
+    )
 
     trace_cmd = sub.add_parser(
         "trace", help="dump a benchmark's base trace to a file"
@@ -360,6 +376,48 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=8023,
         help="TCP port; 0 picks an ephemeral port (default: 8023)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help=(
+            "admission high-water mark: shed (429) beyond this many "
+            "non-terminal jobs (default: 64)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--client-cap",
+        type=int,
+        default=16,
+        help="max in-flight jobs per client identity (default: 16)",
+    )
+    serve_cmd.add_argument(
+        "--drain-grace",
+        type=float,
+        default=20.0,
+        help=(
+            "seconds a SIGTERM drain waits for in-flight jobs before "
+            "cancelling them (default: 20)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help=(
+            "consecutive worker failures that trip warm-only mode "
+            "(default: 5)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds an open circuit breaker waits before its "
+            "half-open probe (default: 30)"
+        ),
     )
     return parser
 
@@ -603,13 +661,34 @@ def _cmd_profile(
     return 0 if profile.consistent() else 1
 
 
-def _cmd_runs(store: Optional[RunStore], purge_bad: bool) -> int:
+def _cmd_runs(
+    store: Optional[RunStore],
+    purge_bad: bool,
+    scrub: bool = False,
+    quarantine: bool = False,
+) -> int:
     if store is None:
         print("error: 'runs' requires --store DIR", file=sys.stderr)
+        return 2
+    if quarantine and not scrub:
+        print("error: --quarantine requires --scrub", file=sys.stderr)
         return 2
     if purge_bad:
         for key in store.purge_corrupt():
             print(f"purged {key}", file=sys.stderr)
+    if scrub:
+        report = store.scrub(quarantine=quarantine)
+        for key in report.corrupt:
+            action = (
+                "quarantined" if key in report.quarantined else "corrupt"
+            )
+            print(f"{action} {key}: {report.errors[key]}", file=sys.stderr)
+        print(
+            f"scrub: {report.checked} checked, {report.ok} ok, "
+            f"{len(report.corrupt)} corrupt, "
+            f"{len(report.quarantined)} quarantined"
+        )
+        return 0 if report.clean else 1
     entries = store.entries()
     print(render_runs(entries))
     return 0 if all(entry.ok for entry in entries) else 1
@@ -664,6 +743,7 @@ def _cmd_serve(
     jobs: int,
     scale: Scale,
     resilience: dict,
+    admission: dict,
 ) -> int:
     from repro.service.server import ServiceConfig, serve_forever
 
@@ -680,6 +760,11 @@ def _cmd_serve(
             timeout=resilience["timeout"],
             retries=resilience["retries"],
             faults=resilience["faults"],
+            max_pending=admission["max_pending"],
+            client_cap=admission["client_cap"],
+            drain_grace=admission["drain_grace"],
+            breaker_threshold=admission["breaker_threshold"],
+            breaker_cooldown=admission["breaker_cooldown"],
         )
     )
     return 0
@@ -754,12 +839,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "lint":
         return _cmd_lint(args.benchmarks, scale, args.strict, args.deps)
     if args.command == "runs":
-        return _cmd_runs(store, args.purge_bad)
+        return _cmd_runs(
+            store, args.purge_bad, args.scrub, args.quarantine
+        )
     if args.command == "trace":
         return _cmd_trace(args.benchmark, args.output, args.version, scale)
     if args.command == "serve":
         return _cmd_serve(
-            args.host, args.port, store, jobs, scale, resilience
+            args.host,
+            args.port,
+            store,
+            jobs,
+            scale,
+            resilience,
+            {
+                "max_pending": args.max_pending,
+                "client_cap": args.client_cap,
+                "drain_grace": args.drain_grace,
+                "breaker_threshold": args.breaker_threshold,
+                "breaker_cooldown": args.breaker_cooldown,
+            },
         )
     raise AssertionError(f"unhandled command {args.command}")
 

@@ -33,6 +33,14 @@ every recovery test is reproducible.  Execution faults fire only inside
 worker processes (the in-process fallback path strips the plan — a
 parent-process ``os._exit`` would kill the whole sweep rather than one
 cell); ``corrupt`` fires in the parent at store-write time.
+
+The second half of this module is the *network* fault vocabulary used
+by the chaos proxy (:mod:`repro.service.chaos`, ``tools/chaos_proxy``):
+``drop`` (connection closed on accept), ``stall`` (the response stream
+freezes mid-flight), and ``truncate`` (the response is cut after N
+bytes — mid-NDJSON-event by construction).  Like execution faults,
+network faults are deterministic: whether a connection is sabotaged
+depends only on its 0-based accept index, via ``every``-th matching.
 """
 
 from __future__ import annotations
@@ -48,9 +56,12 @@ __all__ = [
     "EXECUTION_KINDS",
     "FAULT_KINDS",
     "FAULTS_ENV",
+    "NETWORK_KINDS",
     "Fault",
     "FaultInjected",
     "FaultPlan",
+    "NetworkFault",
+    "NetworkFaultPlan",
     "corrupt_stored_entry",
 ]
 
@@ -191,6 +202,138 @@ class FaultPlan:
         if fault.kind == EXIT:
             os._exit(EXIT_STATUS)
         raise AssertionError(f"unhandled fault kind {fault.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# network faults (chaos proxy vocabulary)
+
+DROP = "drop"
+STALL = "stall"
+TRUNCATE = "truncate"
+
+#: Kinds the chaos proxy can inject into a TCP connection.
+NETWORK_KINDS = (DROP, STALL, TRUNCATE)
+
+#: Default stall length: long enough that any sane client read timeout
+#: fires first, short enough that proxy threads drain promptly.
+DEFAULT_STALL_SECONDS = 30.0
+
+#: Default truncation point, in response bytes.  Small enough to land
+#: inside the HTTP headers or the first NDJSON event of any response.
+DEFAULT_TRUNCATE_BYTES = 120
+
+
+@dataclass(frozen=True)
+class NetworkFault:
+    """One chaos-proxy fault entry.
+
+    ``every`` selects which connections are sabotaged: the fault fires
+    on every ``every``-th accepted connection (0-based index, so
+    ``every=2`` hits connections 1, 3, 5, ... and the first connection
+    is always clean).  ``amount`` is the stall length in seconds for
+    ``stall`` and the byte offset for ``truncate``; ``drop`` ignores
+    it.
+    """
+
+    kind: str
+    every: int = 1
+    amount: float = 0.0
+
+    def fires(self, connection: int) -> bool:
+        return (connection + 1) % self.every == 0
+
+    def spec(self) -> str:
+        if self.kind == DROP:
+            return f"{self.kind}:{self.every}"
+        return f"{self.kind}:{self.every}:{self.amount:g}"
+
+
+def _parse_network_entry(entry: str) -> NetworkFault:
+    fields = [field.strip() for field in entry.split(":")]
+    if not 1 <= len(fields) <= 3:
+        raise ValueError(
+            f"bad network fault entry {entry!r}: expected "
+            "kind[:every[:amount]]"
+        )
+    kind = fields[0]
+    if kind not in NETWORK_KINDS:
+        raise ValueError(
+            f"unknown network fault kind {kind!r}; expected one of "
+            f"{NETWORK_KINDS}"
+        )
+    every = 1
+    if len(fields) >= 2 and fields[1]:
+        try:
+            every = int(fields[1])
+        except ValueError:
+            raise ValueError(
+                f"bad network fault entry {entry!r}: every must be an "
+                "integer"
+            ) from None
+        if every < 1:
+            raise ValueError(
+                f"bad network fault entry {entry!r}: every must be >= 1"
+            )
+    amount = (
+        DEFAULT_STALL_SECONDS
+        if kind == STALL
+        else float(DEFAULT_TRUNCATE_BYTES)
+    )
+    if len(fields) == 3 and fields[2]:
+        try:
+            amount = float(fields[2])
+        except ValueError:
+            raise ValueError(
+                f"bad network fault entry {entry!r}: amount must be a "
+                "number"
+            ) from None
+        if amount < 0:
+            raise ValueError(
+                f"bad network fault entry {entry!r}: amount must be >= 0"
+            )
+    return NetworkFault(kind, every, amount)
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """A parsed set of network fault entries for the chaos proxy.
+
+    Spec syntax mirrors :class:`FaultPlan`::
+
+        kind[:every[:amount]][;kind[:every[:amount]]...]
+
+    e.g. ``drop:3`` (every 3rd connection refused), ``stall:2:5``
+    (every 2nd connection stalls 5 s mid-response), ``truncate:1:200``
+    (every response cut after 200 bytes).  The first matching entry
+    wins when several fire on one connection.
+    """
+
+    entries: tuple[NetworkFault, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "NetworkFaultPlan":
+        if not spec or not spec.strip():
+            return cls()
+        return cls(
+            tuple(
+                _parse_network_entry(entry)
+                for entry in spec.split(";")
+                if entry.strip()
+            )
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def spec(self) -> str:
+        return ";".join(entry.spec() for entry in self.entries)
+
+    def fault_for(self, connection: int) -> Optional[NetworkFault]:
+        """The fault to apply to the ``connection``-th accept, if any."""
+        for fault in self.entries:
+            if fault.fires(connection):
+                return fault
+        return None
 
 
 def corrupt_stored_entry(store: "RunStore", key: str) -> None:

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
@@ -127,8 +128,11 @@ class CellFailure:
 
     Recorded in the result grid in place of a :class:`BenchmarkRun` so
     the sweep can complete with partial results; ``kind`` is ``error``
-    (the cell raised), ``timeout`` (killed at the per-cell deadline), or
-    ``crash`` (the worker died without reporting).  ``duration`` is the
+    (the cell raised), ``timeout`` (killed at the per-cell deadline),
+    ``crash`` (the worker died without reporting), ``cancelled`` (the
+    caller's cancel event killed it — :func:`execute_cell` only), or
+    ``degraded`` (the service's circuit breaker refused to execute it).
+    ``duration`` is the
     wall-clock seconds from the cell's first launch to its permanent
     failure (all attempts plus backoff waits), so failure reports and
     the sweep timeline show what the dead cell actually cost.
@@ -192,6 +196,7 @@ def execute_cell(
     backoff: float = DEFAULT_BACKOFF,
     plan: Optional[FaultPlan] = None,
     on_attempt: Optional[Callable[[CellAttempt], None]] = None,
+    cancel: Optional["threading.Event"] = None,
 ):
     """Run one cell in its own worker process with full resilience.
 
@@ -210,6 +215,13 @@ def execute_cell(
     attempt (including the successful one) — the sweep service streams
     these as per-cell job events.
 
+    ``cancel`` (a ``threading.Event``, settable from any thread) aborts
+    the cell cooperatively: a set event kills the in-flight worker
+    process within one poll period, skips any pending backoff wait, and
+    returns a :class:`CellFailure` of kind ``"cancelled"`` — never
+    retried.  This is the kill path job cancellation, per-job deadlines,
+    and graceful drain all ride.
+
     Returns ``(value_or_CellFailure, attempts)``.  Blocking: callers
     that need concurrency run it from threads or worker pools.
     """
@@ -225,10 +237,30 @@ def execute_cell(
             on_attempt(record)
         return record
 
+    def cancelled_failure(started: float) -> CellFailure:
+        note(
+            CellAttempt(
+                attempt + 1,
+                "cancelled",
+                time.monotonic() - started,
+                "cancelled",
+            )
+        )
+        return CellFailure(
+            benchmark=benchmark,
+            config=config,
+            kind="cancelled",
+            attempts=attempt + 1,
+            message="cell cancelled",
+            duration=time.monotonic() - first_started,
+        )
+
     first_started = time.monotonic()
     attempt = 0
     while True:
         started = time.monotonic()
+        if cancel is not None and cancel.is_set():
+            return cancelled_failure(started), attempts
         try:
             proc, conn = _start_worker(fn, make_task(attempt, plan))
         except OSError:
@@ -271,6 +303,10 @@ def execute_cell(
                             f"(exit code {proc.exitcode})",
                         )
                     break
+                if cancel is not None and cancel.is_set():
+                    _stop_worker(proc)
+                    conn.close()
+                    return cancelled_failure(started), attempts
                 if deadline is not None and time.monotonic() >= deadline:
                     _stop_worker(proc)
                     status, value = (
@@ -300,7 +336,12 @@ def execute_cell(
                 duration=time.monotonic() - first_started,
             )
             return failure, attempts
-        time.sleep(min(backoff * (2 ** (attempt - 1)), _BACKOFF_CAP))
+        delay = min(backoff * (2 ** (attempt - 1)), _BACKOFF_CAP)
+        if cancel is not None:
+            if cancel.wait(delay):
+                return cancelled_failure(time.monotonic()), attempts
+        else:
+            time.sleep(delay)
 
 
 def _slim_codes(codes: BenchmarkCodes) -> BenchmarkCodes:

@@ -51,6 +51,7 @@ from repro.workloads.base import Scale
 __all__ = [
     "STORE_FORMAT",
     "RunStore",
+    "ScrubReport",
     "StoreStats",
     "StoredEntry",
     "trace_checksum",
@@ -96,6 +97,35 @@ class StoredEntry:
     @property
     def config(self) -> str:
         return (self.meta or {}).get("config", "?")
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of a ``repro runs --scrub`` pass over the store.
+
+    ``corrupt`` lists the keys whose embedded sha256 (or header) failed
+    re-verification; ``quarantined`` the subset moved aside into the
+    store's ``quarantine/`` directory rather than left in place.
+    """
+
+    checked: int
+    ok: int
+    corrupt: tuple[str, ...]
+    quarantined: tuple[str, ...]
+    errors: dict
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def to_json(self) -> dict:
+        return {
+            "checked": self.checked,
+            "ok": self.ok,
+            "corrupt": list(self.corrupt),
+            "quarantined": list(self.quarantined),
+            "errors": dict(self.errors),
+        }
 
 
 @dataclass(frozen=True)
@@ -303,6 +333,49 @@ class RunStore:
                 self.delete(entry.key)
                 removed.append(entry.key)
         return removed
+
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def scrub(self, quarantine: bool = False) -> ScrubReport:
+        """Proactively re-verify every entry's embedded sha256.
+
+        Reads normally detect corruption lazily — a rotted entry costs
+        a recompute whenever it is next requested.  ``scrub`` walks the
+        whole store up front (``repro runs --scrub``) so operators
+        learn about damage before a sweep trips over it.  With
+        ``quarantine=True`` corrupt entries are moved (atomic rename)
+        into ``quarantine/`` under the store root, out of the key
+        namespace but preserved for forensics; without it they are only
+        reported.
+        """
+        corrupt: list[str] = []
+        quarantined: list[str] = []
+        errors: dict[str, str] = {}
+        checked = 0
+        for key in self.keys():
+            checked += 1
+            _, _, error = self._read(key)
+            if not error:
+                continue
+            corrupt.append(key)
+            errors[key] = error
+            if quarantine:
+                target_dir = self.quarantine_dir()
+                target_dir.mkdir(parents=True, exist_ok=True)
+                source = self.path_for(key)
+                try:
+                    os.replace(source, target_dir / source.name)
+                except FileNotFoundError:
+                    continue  # raced with a concurrent delete
+                quarantined.append(key)
+        return ScrubReport(
+            checked=checked,
+            ok=checked - len(corrupt),
+            corrupt=tuple(corrupt),
+            quarantined=tuple(quarantined),
+            errors=errors,
+        )
 
 
 def _slug(text: str) -> str:

@@ -14,10 +14,12 @@ HTTP/1.1 layer, the client is ``http.client``.
 """
 
 from repro.service.cells import CellSpec, canonical_json, decompose
+from repro.service.chaos import ChaosProxy
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.jobs import Job
+from repro.service.jobs import TERMINAL, Job
 from repro.service.server import (
     BackgroundServer,
+    CircuitBreaker,
     ServiceConfig,
     SweepService,
     serve_forever,
@@ -26,11 +28,14 @@ from repro.service.server import (
 __all__ = [
     "BackgroundServer",
     "CellSpec",
+    "ChaosProxy",
+    "CircuitBreaker",
     "Job",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "SweepService",
+    "TERMINAL",
     "canonical_json",
     "decompose",
     "serve_forever",

@@ -4,44 +4,90 @@ Used by the test suite, the CI smoke step, and the benchmark harness;
 also a reference for talking to the service from anything that can
 speak HTTP.  One connection per call — the server closes connections
 after each response anyway.
+
+Failure behaviour is deliberate, because the chaos suite drives this
+client through a fault-injecting proxy:
+
+* transport errors (dropped connections, resets) retry with
+  decorrelated-jitter exponential backoff up to ``retries`` times;
+* a truncated NDJSON event stream ends the :meth:`events` generator
+  cleanly, and :meth:`wait` falls back to polling the job document;
+* :meth:`wait` honours ``Retry-After`` on 429/503 shed responses and
+  **fails fast** on any other 4xx — a missing job will not exist no
+  matter how long we retry.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Iterator, Optional
 
+from repro.service.jobs import TERMINAL
+
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: Decorrelated-jitter backoff bounds (seconds) for transient errors.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` carries the server's Retry-After hint in seconds
+    (0.0 when absent); shed responses (429/503) always set it.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: float = 0.0):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+
+    @property
+    def transient(self) -> bool:
+        """Worth retrying? (load shedding / server-side trouble)"""
+        return self.status == 429 or self.status >= 500
+
+
+def _next_backoff(previous: float) -> float:
+    """Decorrelated jitter: sleep ~ U(base, 3*previous), capped."""
+    return min(_BACKOFF_CAP, random.uniform(_BACKOFF_BASE, previous * 3))
 
 
 class ServiceClient:
-    """Thin convenience wrapper over the service's JSON endpoints."""
+    """Thin convenience wrapper over the service's JSON endpoints.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    ``retries`` bounds transport-level retries (connection refused or
+    reset before a response lands) per :meth:`request` call; responses,
+    once received, are never retried at this layer.  ``client_id`` is
+    sent as ``X-Repro-Client`` so the server's per-client admission cap
+    keys on it rather than on the peer address.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retries: int = 0,
+        client_id: Optional[str] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.client_id = client_id
 
     # ------------------------------------------------------------------
     # transport
 
-    def request(
-        self,
-        method: str,
-        path: str,
-        body: Optional[dict] = None,
-    ) -> tuple[int, bytes]:
+    def _request_once(
+        self, method: str, path: str, body: Optional[dict]
+    ) -> tuple[int, dict, bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -52,20 +98,61 @@ class ServiceClient:
             headers = (
                 {"Content-Type": "application/json"} if payload else {}
             )
+            if self.client_id:
+                headers["X-Repro-Client"] = self.client_id
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
-            return response.status, response.read()
+            response_headers = {
+                name.lower(): value
+                for name, value in response.getheaders()
+            }
+            return response.status, response_headers, response.read()
         finally:
             connection.close()
 
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> tuple[int, dict, bytes]:
+        """One HTTP exchange; returns (status, headers, body bytes).
+
+        Retries transport failures — connection errors *and* torn
+        responses (``IncompleteRead``, ``BadStatusLine`` from a peer
+        dying mid-response) — up to ``self.retries`` times with
+        decorrelated-jitter backoff.  POSTs are retried too: job
+        submission is idempotent at the cell level (the store and
+        single-flight registry dedupe), so a duplicate submit costs a
+        duplicate job document, never duplicate work.
+        """
+        attempts = self.retries + 1
+        sleep = _BACKOFF_BASE
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, body)
+            except (OSError, http.client.HTTPException):
+                if attempt + 1 >= attempts:
+                    raise
+                sleep = _next_backoff(sleep)
+                time.sleep(sleep)
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    def _retry_after(headers: dict) -> float:
+        try:
+            return max(0.0, float(headers.get("retry-after", "0")))
+        except ValueError:
+            return 0.0
+
     def _json(self, method: str, path: str, body: Optional[dict] = None) -> Any:
-        status, raw = self.request(method, path, body)
+        status, headers, raw = self.request(method, path, body)
         if not 200 <= status < 300:
             try:
                 message = json.loads(raw).get("error", raw.decode())
             except ValueError:
                 message = raw.decode("utf-8", "replace")
-            raise ServiceError(status, message)
+            raise ServiceError(status, message, self._retry_after(headers))
         return json.loads(raw)
 
     def get(self, path: str) -> Any:
@@ -77,6 +164,16 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # endpoints
 
+    def healthz(self) -> bool:
+        """Liveness: True iff the event loop answered 200."""
+        status, _, _ = self.request("GET", "/v1/healthz")
+        return status == 200
+
+    def readyz(self) -> tuple[bool, dict]:
+        """Readiness: (admitting?, readiness document)."""
+        status, _, raw = self.request("GET", "/v1/readyz")
+        return status == 200, json.loads(raw)
+
     def status(self) -> dict:
         return self.get("/v1/status")
 
@@ -87,14 +184,28 @@ class ServiceClient:
         return self.get("/v1/cells")["cells"]
 
     def submit(self, body: dict) -> dict:
-        """POST /v1/jobs; returns the job document."""
+        """POST /v1/jobs; returns the job document.
+
+        Raises :class:`ServiceError` with ``retry_after`` set when the
+        server sheds the submission (429/503).
+        """
         return self.post("/v1/jobs", body)
 
     def job(self, job_id: str) -> dict:
         return self.get(f"/v1/jobs/{job_id}")
 
+    def cancel(self, job_id: str) -> dict:
+        """DELETE /v1/jobs/{id}; returns the (cancelling) job document."""
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
     def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
-        """Stream the job's NDJSON events until it finishes."""
+        """Stream the job's NDJSON events until it finishes.
+
+        A connection drop or a line truncated mid-event (chaos proxy,
+        server drain) ends the generator cleanly instead of raising —
+        callers that need the terminal state poll :meth:`job`, which is
+        exactly what :meth:`wait` does.
+        """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -107,8 +218,14 @@ class ServiceClient:
                 )
             for line in response:
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield json.loads(line)
+                except ValueError:
+                    return  # truncated mid-event; stream is unusable
+        except (ConnectionError, TimeoutError, http.client.HTTPException):
+            return  # dropped mid-stream; fall back to polling
         finally:
             connection.close()
 
@@ -116,24 +233,47 @@ class ServiceClient:
         """Follow the event stream until the job's terminal event.
 
         Falls back to polling if the stream drops; returns the final
-        job document.
+        job document.  Transient errors (connection trouble, 429/503
+        shedding) back off with decorrelated jitter, honouring the
+        server's ``Retry-After``; any other 4xx raises immediately —
+        retrying a 404 will never make the job exist.
         """
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        sleep = _BACKOFF_BASE
+        while True:
+            streamed = False
             try:
                 for event in self.events(job_id):
-                    if event.get("event") == "job" and event.get("state") in (
-                        "done",
-                        "failed",
+                    streamed = True
+                    if (
+                        event.get("event") == "job"
+                        and event.get("state") in TERMINAL
                     ):
                         return self.job(job_id)
-            except (ServiceError, OSError):
-                pass
-            job = self.job(job_id)
-            if job["state"] in ("done", "failed"):
-                return job
-            time.sleep(0.2)
-        raise TimeoutError(f"job {job_id} did not finish within {timeout}s")
+            except ServiceError as exc:
+                if not exc.transient:
+                    raise
+            try:
+                job = self.job(job_id)
+            except ServiceError as exc:
+                if not exc.transient:
+                    raise
+                job = None
+                sleep = max(_next_backoff(sleep), exc.retry_after)
+            except (OSError, http.client.HTTPException):
+                job = None
+                sleep = _next_backoff(sleep)
+            if job is not None:
+                if job["state"] in TERMINAL:
+                    return job
+                # Stream progress resets the backoff: the service is
+                # alive and the job is moving.
+                sleep = _BACKOFF_BASE if streamed else _next_backoff(sleep)
+            if time.monotonic() + sleep > deadline:
+                raise TimeoutError(
+                    f"job {job_id} did not finish within {timeout}s"
+                )
+            time.sleep(sleep)
 
     def run(self, body: dict, timeout: float = 300.0) -> dict:
         """Submit a job and wait for its terminal state."""
@@ -142,9 +282,15 @@ class ServiceClient:
 
     def result_bytes(self, job_id: str) -> bytes:
         """The job's canonical result document (exact bytes)."""
-        status, raw = self.request("GET", f"/v1/jobs/{job_id}/result")
+        status, headers, raw = self.request(
+            "GET", f"/v1/jobs/{job_id}/result"
+        )
         if status != 200:
-            raise ServiceError(status, raw.decode("utf-8", "replace"))
+            raise ServiceError(
+                status,
+                raw.decode("utf-8", "replace"),
+                self._retry_after(headers),
+            )
         return raw
 
     def result(self, job_id: str) -> dict:

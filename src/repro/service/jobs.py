@@ -18,18 +18,20 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.service.cells import CellSpec
 
-__all__ = ["CellState", "Job"]
+__all__ = ["TERMINAL", "CellState", "Job"]
 
 _JOB_IDS = itertools.count(1)
 
-#: Terminal job states (``state`` in the job document).
-TERMINAL = ("done", "failed")
+#: Terminal job states (``state`` in the job document).  Shared with
+#: the client so both sides agree on when to stop waiting.
+TERMINAL = ("done", "failed", "cancelled")
 
 
 @dataclass
@@ -42,7 +44,7 @@ class CellState:
     """
 
     spec: CellSpec
-    state: str = "queued"  # queued|preparing|running|done|failed
+    state: str = "queued"  # queued|preparing|running|done|failed|cancelled
     source: str = ""
     attempts: int = 0
     key: str = ""
@@ -69,16 +71,32 @@ class Job:
     params: dict
     cells: list[CellState]
     id: str = field(default_factory=lambda: f"job-{next(_JOB_IDS):06d}")
-    state: str = "queued"  # queued|running|done|failed
+    state: str = "queued"  # queued|running|done|failed|cancelled
     created: float = field(default_factory=time.time)
     finished: Optional[float] = None
     error: str = ""
+    #: Admission identity (``X-Repro-Client`` header or peer address);
+    #: the per-client in-flight cap is keyed on it.
+    client: str = ""
     events: list[dict] = field(default_factory=list)
     #: Canonical result document bytes, set exactly once at completion.
     result_bytes: Optional[bytes] = None
     #: Chrome-trace artifact (traceEvents document), set at completion.
     trace_document: Optional[dict] = None
+    #: Set (from any thread) to abort the job: in-flight cell workers
+    #: are killed via :func:`repro.core.parallel.execute_cell`'s cancel
+    #: path, queued cells never start.  Checked by the event-loop side
+    #: at every cell boundary.
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+    #: Why the job was cancelled (client request, deadline, drain).
+    cancel_reason: str = ""
     _waiters: list[asyncio.Future] = field(default_factory=list)
+
+    @property
+    def cancelling(self) -> bool:
+        return self.cancel_event.is_set()
 
     # ------------------------------------------------------------------
     # event log
@@ -155,6 +173,8 @@ class Job:
             "created": self.created,
             "finished": self.finished,
             "error": self.error,
+            "client": self.client,
+            "cancel_reason": self.cancel_reason,
             "cells": [cell.to_json() for cell in self.cells],
             "cell_counts": counts,
             "events": len(self.events),

@@ -29,13 +29,40 @@ Concurrency is capped twice: a global semaphore sized to the service's
 worker budget, and a per-job semaphore sized to the request's explicit
 ``jobs`` override (threaded end to end as a parameter; the service
 never mutates ``REPRO_JOBS``).
+
+On top of that sits the resilience layer:
+
+* **Admission control** — at most ``max_pending`` non-terminal jobs
+  and ``client_cap`` per client (``X-Repro-Client`` header, else peer
+  address); excess submissions are shed with a structured ``429`` and
+  a ``Retry-After`` header while admitted jobs run to completion.
+* **Lifecycle control** — ``DELETE /v1/jobs/{id}`` (and per-job
+  ``deadline`` seconds) sets the job's cancel event: in-flight cell
+  workers are killed through :func:`execute_cell`'s kill path, queued
+  cells never start, and the job finishes ``cancelled``.
+* **Graceful drain** — SIGTERM/SIGINT stop admission (503 +
+  ``Retry-After``), emit a ``draining`` event on every live stream,
+  let in-flight jobs finish within ``drain_grace`` seconds (completed
+  cells are already checkpointed to the store as they land), cancel
+  stragglers, then exit cleanly.
+* **Circuit breaker** — ``breaker_threshold`` consecutive worker-pool
+  failures trip warm-only mode: store hits keep serving, cold work is
+  shed with a structured ``503`` until a half-open probe succeeds
+  after ``breaker_cooldown`` seconds.
+
+``/v1/healthz`` answers whenever the event loop does; ``/v1/readyz``
+additionally requires admission to be open (not draining, executor
+accepting) and reports the breaker state.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
+import signal
 import threading
+import time
 import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -70,6 +97,7 @@ from repro.workloads.registry import get_spec
 
 __all__ = [
     "BackgroundServer",
+    "CircuitBreaker",
     "JobOptions",
     "ServiceConfig",
     "SweepService",
@@ -83,11 +111,14 @@ _MAX_HEADERS = 100
 _REASONS = {
     200: "OK",
     201: "Created",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -107,6 +138,22 @@ class ServiceConfig:
     backoff: float = DEFAULT_BACKOFF
     #: Service-wide chaos plan; ``None`` reads ``REPRO_FAULTS``.
     faults: Optional[FaultPlan] = None
+    #: Admission high-water mark: max non-terminal jobs before load
+    #: shedding (429 + Retry-After).
+    max_pending: int = 64
+    #: Per-client in-flight job cap (X-Repro-Client header, else the
+    #: peer address).
+    client_cap: int = 16
+    #: Retry-After hint (seconds) attached to shed responses.
+    shed_retry_after: float = 1.0
+    #: Seconds a SIGTERM drain waits for in-flight jobs before
+    #: cancelling them (killing their workers).
+    drain_grace: float = 20.0
+    #: Consecutive worker-pool failures that trip the circuit breaker
+    #: into warm-only mode.
+    breaker_threshold: int = 5
+    #: Seconds an open breaker waits before the half-open probe.
+    breaker_cooldown: float = 30.0
 
 
 @dataclass(frozen=True)
@@ -118,11 +165,126 @@ class JobOptions:
     retries: int
     backoff: float
     plan: FaultPlan
+    #: Wall-clock budget for the whole job; exceeded → cancelled.
+    deadline: Optional[float] = None
     semaphore: asyncio.Semaphore = field(compare=False, repr=False, default=None)
+
+
+class CircuitBreaker:
+    """Worker-pool circuit breaker (closed → open → half-open).
+
+    Counts *consecutive* scheduler-execution failures (error, crash,
+    timeout — never cancellations or breaker refusals).  At
+    ``threshold`` the breaker opens: cold cells are refused (the
+    service serves warm store hits only) until ``cooldown`` seconds
+    pass, after which exactly one cold execution is admitted as the
+    half-open probe.  A probe success closes the breaker; a probe
+    failure reopens it for another cooldown.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"  # closed|open|half-open
+        self.failures = 0  # consecutive
+        self.trips = 0
+        self._clock = clock
+        self._opened_at = 0.0
+        self._probing = False
+
+    def allow_cold(self) -> bool:
+        """May a cold execution start right now?  (May start a probe.)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            self.state = "half-open"
+            self._probing = False
+        if self._probing:
+            return False  # one probe at a time
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._probing = False
+        self.state = "closed"
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == "half-open" or self.failures >= self.threshold:
+            if self.state != "open":
+                self.trips += 1
+            self.state = "open"
+            self._opened_at = self._clock()
+            self._probing = False
+
+    def release_probe(self) -> None:
+        """Abort an admitted cold slot without a verdict (cancellation).
+
+        Without this, a cancelled half-open probe would leave the
+        breaker waiting forever for a result that never comes.
+        """
+        self._probing = False
+
+    def retry_after(self) -> float:
+        """Seconds until a cold retry could be admitted (>= 0)."""
+        if self.state != "open":
+            return 0.0
+        return max(
+            0.0, self.cooldown - (self._clock() - self._opened_at)
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "trips": self.trips,
+            "retry_after": round(self.retry_after(), 3),
+        }
 
 
 class _BadRequest(ValueError):
     """Client error surfaced as an HTTP 400."""
+
+
+class _Shed(Exception):
+    """An admission refusal: HTTP 429/503 + Retry-After + JSON body."""
+
+    def __init__(
+        self,
+        status: int,
+        reason: str,
+        message: str,
+        retry_after: float,
+        **extra: Any,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.message = message
+        self.retry_after = retry_after
+        self.extra = extra
+
+    def body(self) -> dict:
+        return {
+            "error": self.message,
+            "reason": self.reason,
+            "retry_after": round(self.retry_after, 3),
+            **self.extra,
+        }
 
 
 class SweepService:
@@ -143,15 +305,30 @@ class SweepService:
         self.metrics: dict[str, int] = {
             "requests": 0,
             "jobs_submitted": 0,
+            "admitted": 0,
+            "shed_overload": 0,
+            "shed_client_cap": 0,
+            "shed_breaker": 0,
+            "shed_draining": 0,
+            "jobs_cancelled": 0,
             "cells_total": 0,
             "warm_hits": 0,
             "coalesced": 0,
             "scheduler_executions": 0,
             "cell_failures": 0,
+            "degraded_cells": 0,
             "attempts": 0,
             "prepares": 0,
             "errors": 0,
+            "drains": 0,
         }
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown,
+        )
+        self.draining = False
+        #: client id → number of that client's non-terminal jobs.
+        self._client_inflight: dict[str, int] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         # +2 so benchmark preparation never starves behind a full grid
         # of executing cells.
@@ -201,47 +378,222 @@ class SweepService:
             )
         except ValueError as exc:
             raise _BadRequest(str(exc)) from None
+        deadline = body.get("deadline")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise _BadRequest(
+                f"deadline must be positive seconds, got {deadline!r}"
+            )
         return JobOptions(
             jobs=jobs,
             timeout=timeout,
             retries=retries,
             backoff=self.config.backoff,
             plan=plan,
+            deadline=deadline,
             semaphore=asyncio.Semaphore(jobs),
         )
 
-    def submit(self, body: dict) -> Job:
-        """Validate, decompose, and launch one job (returns immediately)."""
+    # ------------------------------------------------------------------
+    # admission control
+
+    def pending_jobs(self) -> int:
+        return sum(1 for job in self.jobs.values() if not job.done)
+
+    def _all_warm(self, request: JobRequest) -> bool:
+        """Can every cell of ``request`` be served from the store now?
+
+        Used by the open-breaker admission gate: warm-only mode still
+        serves jobs that will never touch the scheduler.  Cells that
+        need prepared codes are only resolvable if their benchmark's
+        trace digests are already cached; otherwise computing the key
+        itself would need a (cold) prepare, so they count as cold.
+        """
+        for spec in request.specs:
+            digests: tuple = ()
+            if spec.needs_codes:
+                cached = self._prep_cache.get(
+                    (spec.benchmark, spec.scale.name)
+                )
+                if cached is None:
+                    return False
+                digests = cached[1]
+            key = spec.store_key(self.store, digests)
+            if not spec.payload_valid(self.store.get(key)):
+                return False
+        return True
+
+    def _admit(self, request: JobRequest, client: str) -> None:
+        """Shed-or-admit; raises :class:`_Shed` to refuse."""
+        if self.draining:
+            self.metrics["shed_draining"] += 1
+            raise _Shed(
+                503,
+                "draining",
+                "service is draining; not accepting new jobs",
+                self.config.drain_grace,
+            )
+        pending = self.pending_jobs()
+        if pending >= self.config.max_pending:
+            self.metrics["shed_overload"] += 1
+            raise _Shed(
+                429,
+                "overload",
+                f"pending job high-water mark reached "
+                f"({pending}/{self.config.max_pending})",
+                self.config.shed_retry_after,
+                pending=pending,
+                high_water=self.config.max_pending,
+            )
+        inflight = self._client_inflight.get(client, 0)
+        if inflight >= self.config.client_cap:
+            self.metrics["shed_client_cap"] += 1
+            raise _Shed(
+                429,
+                "client_cap",
+                f"client {client!r} has {inflight} jobs in flight "
+                f"(cap {self.config.client_cap})",
+                self.config.shed_retry_after,
+                client=client,
+                inflight=inflight,
+                cap=self.config.client_cap,
+            )
+        if (
+            self.breaker.state == "open"
+            and self.breaker.retry_after() > 0
+            and not self._all_warm(request)
+        ):
+            self.metrics["shed_breaker"] += 1
+            raise _Shed(
+                503,
+                "breaker_open",
+                "circuit breaker open: serving warm store cells only",
+                max(self.breaker.retry_after(), 0.1),
+                breaker=self.breaker.to_json(),
+            )
+
+    def submit(self, body: dict, client: str = "") -> Job:
+        """Validate, admit, decompose, and launch one job.
+
+        Returns immediately; raises :class:`_BadRequest` (400) on an
+        invalid body and :class:`_Shed` (429/503) on admission refusal.
+        """
         try:
             request = decompose(body, self.config.scale)
             options = self.parse_options(body)
         except ValueError as exc:
             raise _BadRequest(str(exc)) from None
+        self._admit(request, client)
         job = Job(
             kind=request.kind,
             params=request.params,
             cells=[CellState(spec) for spec in request.specs],
+            client=client,
         )
         self.jobs[job.id] = job
+        self._client_inflight[client] = (
+            self._client_inflight.get(client, 0) + 1
+        )
         self.metrics["jobs_submitted"] += 1
+        self.metrics["admitted"] += 1
         self.metrics["cells_total"] += len(job.cells)
         job.emit("job", state="queued", cells=len(job.cells))
         self._loop.create_task(self._run_job(job, request, options))
         return job
+
+    # ------------------------------------------------------------------
+    # cancellation and drain
+
+    def cancel_job(self, job: Job, reason: str) -> bool:
+        """Request cancellation; False if already terminal/cancelling.
+
+        Sets the job's cancel event: executing cell workers are killed
+        by :func:`execute_cell` within one poll period, cells queued on
+        the worker semaphores abort before starting, and the job
+        finishes in state ``cancelled``.
+        """
+        if job.done or job.cancelling:
+            return False
+        job.cancel_reason = reason
+        job.cancel_event.set()
+        self.metrics["jobs_cancelled"] += 1
+        job.emit("job", state="cancelling", reason=reason)
+        return True
+
+    async def drain(self, budget: Optional[float] = None) -> dict:
+        """Graceful shutdown: stop admitting, finish or cancel jobs.
+
+        Emits a ``draining`` event on every live job's stream, waits up
+        to ``budget`` seconds for in-flight jobs to finish (their
+        completed cells are already checkpointed to the run store as
+        they land), cancels the stragglers (killing their worker
+        processes), and returns a summary once every job is terminal.
+        Idempotent; admission stays closed afterwards.
+        """
+        budget = (
+            budget if budget is not None else self.config.drain_grace
+        )
+        first = not self.draining
+        self.draining = True
+        if first:
+            self.metrics["drains"] += 1
+        active = [job for job in self.jobs.values() if not job.done]
+        for job in active:
+            job.emit("draining", budget=budget)
+        deadline = self._loop.time() + budget
+        while (
+            any(not job.done for job in active)
+            and self._loop.time() < deadline
+        ):
+            await asyncio.sleep(0.05)
+        stragglers = [job for job in active if not job.done]
+        for job in stragglers:
+            self.cancel_job(job, "drain budget exceeded")
+        # Cancellation lands within ~one scheduler poll period; give it
+        # a hard bound so drain always returns.
+        grace = self._loop.time() + 10.0
+        while (
+            any(not job.done for job in active)
+            and self._loop.time() < grace
+        ):
+            await asyncio.sleep(0.05)
+        return {
+            "jobs": len(active),
+            "finished": len(active) - len(stragglers),
+            "cancelled": len(stragglers),
+        }
 
     async def _run_job(
         self, job: Job, request: JobRequest, options: JobOptions
     ) -> None:
         job.state = "running"
         job.emit("job", state="running")
+        deadline_handle = None
+        if options.deadline is not None:
+            deadline_handle = self._loop.call_later(
+                options.deadline,
+                self.cancel_job,
+                job,
+                f"deadline of {options.deadline:g}s exceeded",
+            )
         timeline = SweepTimeline()
-        values = await asyncio.gather(
-            *(
-                self._resolve_cell(job, cell, options, timeline)
-                for cell in job.cells
-            ),
-            return_exceptions=True,
-        )
+        try:
+            values = await asyncio.gather(
+                *(
+                    self._resolve_cell(job, cell, options, timeline)
+                    for cell in job.cells
+                ),
+                return_exceptions=True,
+            )
+        finally:
+            if deadline_handle is not None:
+                deadline_handle.cancel()
+            count = self._client_inflight.get(job.client, 0) - 1
+            if count > 0:
+                self._client_inflight[job.client] = count
+            else:
+                self._client_inflight.pop(job.client, None)
         values = [
             value
             if not isinstance(value, BaseException)
@@ -262,6 +614,9 @@ class SweepService:
         )
         job.result_bytes = canonical_json(document)
         job.trace_document = self._trace_document(job, timeline, values)
+        if job.cancelling:
+            job.finish("cancelled", error=job.cancel_reason)
+            return
         failed = any(isinstance(value, CellFailure) for value in values)
         job.finish("failed" if failed else "done")
 
@@ -293,15 +648,29 @@ class SweepService:
         key = spec.store_key(self.store, digests)
         cell.key = key
 
-        # --- single-flight critical section: the in-flight probe, the
-        # store probe, and the future registration must see a consistent
-        # world, so there is deliberately NO await between them.
-        existing = self._inflight.get(key)
-        if existing is not None:
-            self.metrics["coalesced"] += 1
-            job.cell_event(cell, "running", source="coalesced")
-            value = await asyncio.shield(existing)
-        else:
+        while True:
+            if job.cancelling:
+                value = self._cancelled_failure(cell)
+                break
+            # --- single-flight critical section: the in-flight probe,
+            # the store probe, and the future registration must see a
+            # consistent world, so there is deliberately NO await
+            # between them.
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.metrics["coalesced"] += 1
+                job.cell_event(cell, "running", source="coalesced")
+                value = await asyncio.shield(existing)
+                if (
+                    isinstance(value, CellFailure)
+                    and value.kind == "cancelled"
+                    and not job.cancelling
+                ):
+                    # We coalesced onto a job that got cancelled; this
+                    # job is still live, so re-resolve from scratch
+                    # (store probe or own execution).
+                    continue
+                break
             cached = self.store.get(key)
             if spec.payload_valid(cached):
                 self.metrics["warm_hits"] += 1
@@ -336,18 +705,37 @@ class SweepService:
                     )
             self._inflight.pop(key, None)
             future.set_result(value)
+            break
 
         if isinstance(value, CellFailure):
-            self.metrics["cell_failures"] += 1
-            job.cell_event(
-                cell,
-                "failed",
-                attempts=value.attempts,
-                message=f"{value.kind}: {value.message}",
-            )
+            if value.kind == "cancelled":
+                job.cell_event(
+                    cell,
+                    "cancelled",
+                    attempts=value.attempts,
+                    message=value.message,
+                )
+            else:
+                self.metrics["cell_failures"] += 1
+                job.cell_event(
+                    cell,
+                    "failed",
+                    attempts=value.attempts,
+                    message=f"{value.kind}: {value.message}",
+                )
         else:
             job.cell_event(cell, "done")
         return value
+
+    @staticmethod
+    def _cancelled_failure(cell: CellState) -> CellFailure:
+        return CellFailure(
+            benchmark=cell.spec.benchmark,
+            config=cell.spec.config,
+            kind="cancelled",
+            attempts=cell.attempts,
+            message="cell cancelled",
+        )
 
     async def _execute(
         self,
@@ -359,6 +747,18 @@ class SweepService:
     ) -> Any:
         """Run one cold cell on the scheduler, off the event loop."""
         spec = cell.spec
+        if not self.breaker.allow_cold():
+            self.metrics["degraded_cells"] += 1
+            return CellFailure(
+                benchmark=spec.benchmark,
+                config=spec.config,
+                kind="degraded",
+                attempts=0,
+                message=(
+                    "circuit breaker open (warm-only mode); retry after "
+                    f"{self.breaker.retry_after():.1f}s"
+                ),
+            )
         fn, make_task = spec.worker(codes)
 
         def on_attempt(record: CellAttempt) -> None:
@@ -377,12 +777,31 @@ class SweepService:
                 backoff=options.backoff,
                 plan=options.plan or None,
                 on_attempt=on_attempt,
+                cancel=job.cancel_event,
             )
             return value
 
         async with options.semaphore, self._sem:
+            if job.cancelling:
+                # Cancelled while queued behind the worker semaphores;
+                # never executed, so the admitted slot yields no
+                # breaker verdict.
+                self.breaker.release_probe()
+                return self._cancelled_failure(cell)
             self.metrics["scheduler_executions"] += 1
-            return await self._loop.run_in_executor(self._executor, run)
+            try:
+                value = await self._loop.run_in_executor(self._executor, run)
+            except Exception:
+                self.breaker.record_failure()
+                raise
+        if isinstance(value, CellFailure):
+            if value.kind == "cancelled":
+                self.breaker.release_probe()
+            else:
+                self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        return value
 
     def _note_attempt(
         self,
@@ -497,6 +916,41 @@ class SweepService:
             },
             "jobs": {"total": len(self.jobs), "states": states},
             "inflight_cells": len(self._inflight),
+            "draining": self.draining,
+            "admission": {
+                "pending": self.pending_jobs(),
+                "high_water": self.config.max_pending,
+                "client_cap": self.config.client_cap,
+                "clients_inflight": len(self._client_inflight),
+                "admitted": self.metrics["admitted"],
+                "shed": {
+                    "overload": self.metrics["shed_overload"],
+                    "client_cap": self.metrics["shed_client_cap"],
+                    "breaker": self.metrics["shed_breaker"],
+                    "draining": self.metrics["shed_draining"],
+                },
+            },
+            "breaker": self.breaker.to_json(),
+        }
+
+    def ready_json(self) -> tuple[bool, dict]:
+        """(ready?, body) for ``/v1/readyz``.
+
+        Ready means the service would admit a new job right now, modulo
+        per-client caps: not draining and pending below the high-water
+        mark.  An open breaker degrades (warm-only) but stays ready —
+        warm jobs are still served.
+        """
+        ready = (
+            not self.draining
+            and self.pending_jobs() < self.config.max_pending
+        )
+        return ready, {
+            "ready": ready,
+            "draining": self.draining,
+            "pending": self.pending_jobs(),
+            "high_water": self.config.max_pending,
+            "breaker": self.breaker.to_json(),
         }
 
     def cells_json(self) -> list[dict]:
@@ -547,20 +1001,40 @@ async def _read_request(reader: asyncio.StreamReader):
 
 
 def _response(
-    status: int, body: bytes, content_type: str = "application/json"
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[dict] = None,
 ) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
-        "\r\n"
     )
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "\r\n"
     return head.encode() + body
 
 
-def _json_response(status: int, payload: Any) -> bytes:
-    return _response(status, canonical_json(payload))
+def _json_response(
+    status: int, payload: Any, extra_headers: Optional[dict] = None
+) -> bytes:
+    return _response(
+        status, canonical_json(payload), extra_headers=extra_headers
+    )
+
+
+def _shed_response(exc: _Shed) -> bytes:
+    """Structured load-shed response with a Retry-After header."""
+    return _json_response(
+        exc.status,
+        exc.body(),
+        extra_headers={
+            "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+        },
+    )
 
 
 def _error(status: int, message: str) -> bytes:
@@ -591,11 +1065,20 @@ async def _stream_events(
             await job.wait_events(seq)
 
 
-async def _handle_request(service: SweepService, method, path, query, body):
+async def _handle_request(
+    service: SweepService, method, path, query, body, headers=None, peer=""
+):
     """Route one parsed request; returns response bytes or a coroutine
     marker ``("stream", job, since)`` for NDJSON endpoints."""
     service.metrics["requests"] += 1
+    headers = headers or {}
 
+    if path == "/v1/healthz" and method == "GET":
+        # Liveness: answers whenever the event loop does.
+        return _json_response(200, {"ok": True})
+    if path == "/v1/readyz" and method == "GET":
+        ready, payload = service.ready_json()
+        return _json_response(200 if ready else 503, payload)
     if path == "/v1/status" and method == "GET":
         return _json_response(200, service.status_json())
     if path == "/v1/metrics" and method == "GET":
@@ -607,7 +1090,11 @@ async def _handle_request(service: SweepService, method, path, query, body):
             payload = json.loads(body.decode() or "{}")
         except ValueError:
             return _error(400, "request body is not valid JSON")
-        job = service.submit(payload)
+        client = headers.get("x-repro-client") or peer or "anonymous"
+        try:
+            job = service.submit(payload, client=client)
+        except _Shed as exc:
+            return _shed_response(exc)
         return _json_response(201, job.to_json())
     if path == "/v1/jobs" and method == "GET":
         return _json_response(
@@ -620,8 +1107,15 @@ async def _handle_request(service: SweepService, method, path, query, body):
         job = service.jobs.get(job_id)
         if job is None:
             return _error(404, f"no such job {job_id!r}")
+        if method == "DELETE" and sub == "":
+            if job.done:
+                return _error(
+                    409, f"job {job.id} is already {job.state}"
+                )
+            service.cancel_job(job, "cancelled by client request")
+            return _json_response(202, job.to_json())
         if method != "GET":
-            return _error(405, "job endpoints are read-only")
+            return _error(405, "only GET and DELETE on job endpoints")
         since = 0
         if "since" in query:
             try:
@@ -652,7 +1146,11 @@ async def _handle_connection(service, reader, writer) -> None:
             if request is None:
                 return
             method, path, query, headers, body = request
-            result = await _handle_request(service, method, path, query, body)
+            peername = writer.get_extra_info("peername")
+            peer = peername[0] if peername else ""
+            result = await _handle_request(
+                service, method, path, query, body, headers, peer
+            )
         except _BadRequest as exc:
             service.metrics["errors"] += 1
             result = _error(400, str(exc))
@@ -693,10 +1191,25 @@ async def start_server(
 
 
 def serve_forever(config: ServiceConfig, notify=print) -> None:
-    """``repro serve``: run until interrupted."""
+    """``repro serve``: run until SIGTERM/SIGINT, then drain and exit.
+
+    The first signal starts a graceful drain: admission closes (503 +
+    Retry-After), live event streams get a ``draining`` event,
+    in-flight jobs finish or checkpoint within ``config.drain_grace``
+    seconds, stragglers are cancelled (their workers killed), and the
+    process exits 0.  Completed cells are already in the run store, so
+    a restarted server resumes warm.
+    """
 
     async def main() -> None:
         server, service, port = await start_server(config)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop; KeyboardInterrupt still works
         notify(
             f"repro service listening on http://{config.host}:{port} "
             f"(store {service.store.root}, {service.workers} worker(s), "
@@ -704,14 +1217,24 @@ def serve_forever(config: ServiceConfig, notify=print) -> None:
         )
         try:
             async with server:
-                await server.serve_forever()
+                await stop.wait()
+                notify(
+                    "repro service draining "
+                    f"(budget {config.drain_grace:g}s)"
+                )
+                summary = await service.drain(config.drain_grace)
+                notify(
+                    f"repro service drained: {summary['finished']} "
+                    f"finished, {summary['cancelled']} cancelled"
+                )
         finally:
             service.close()
 
     try:
         asyncio.run(main())
     except KeyboardInterrupt:
-        notify("repro service stopped")
+        pass
+    notify("repro service stopped")
 
 
 class BackgroundServer:
@@ -768,7 +1291,45 @@ class BackgroundServer:
             ) from self._failure
         if self.port is None:
             raise RuntimeError("service did not start within 30s")
+        self._await_ready()
         return self
+
+    def _await_ready(self, timeout: float = 30.0) -> None:
+        """Block until ``/v1/readyz`` answers 200 over real HTTP.
+
+        The port being bound does not mean the accept loop is serving;
+        polling readiness closes that gap (and is exactly what an
+        external orchestrator would do).
+        """
+        from repro.service.client import ServiceClient, ServiceError
+
+        client = ServiceClient("127.0.0.1", self.port, timeout=5.0)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                ready, _ = client.readyz()
+                if ready:
+                    return
+            except (ServiceError, OSError):
+                pass
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"service on port {self.port} did not become ready "
+                    f"within {timeout:g}s"
+                )
+            time.sleep(0.02)
+
+    def drain(self, budget: Optional[float] = None) -> dict:
+        """Run a graceful drain on the service loop; returns a summary."""
+        if self._loop is None or self.service is None:
+            raise RuntimeError("service is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(budget), self._loop
+        )
+        wait = (
+            budget if budget is not None else self.config.drain_grace
+        )
+        return future.result(timeout=wait + 30)
 
     def __exit__(self, *exc_info) -> None:
         if self._loop is not None and self._stop is not None:

@@ -7,6 +7,7 @@ resilience contract without any HTTP involved.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -132,6 +133,73 @@ class TestFallback:
         )
         assert value == 7
         assert attempts[0].fallback
+
+
+class TestCancellation:
+    def test_preset_cancel_never_starts_a_worker(self, monkeypatch):
+        def explode(fn, task):  # pragma: no cover - must not run
+            raise AssertionError("worker started for a cancelled cell")
+
+        monkeypatch.setattr(parallel, "_start_worker", explode)
+        cancel = threading.Event()
+        cancel.set()
+        value, attempts = execute_cell(
+            _echo,
+            _make(1),
+            benchmark="bench",
+            config="cfg",
+            cancel=cancel,
+        )
+        assert isinstance(value, CellFailure)
+        assert value.kind == "cancelled"
+        assert [a.status for a in attempts] == ["cancelled"]
+
+    def test_mid_run_cancel_kills_hung_worker_promptly(self):
+        cancel = threading.Event()
+        timer = threading.Timer(0.3, cancel.set)
+        timer.start()
+        started = time.monotonic()
+        try:
+            value, _ = execute_cell(
+                _echo,
+                _make(1),
+                benchmark="bench",
+                config="cfg",
+                plan=FaultPlan.parse("hang:*:*"),  # sleeps 3600s
+                retries=0,
+                cancel=cancel,
+            )
+        finally:
+            timer.cancel()
+        elapsed = time.monotonic() - started
+        assert isinstance(value, CellFailure)
+        assert value.kind == "cancelled"
+        # one poll period (0.5s) + kill, not the hang or any timeout
+        assert elapsed < 10.0
+
+    def test_cancel_skips_retry_backoff(self):
+        cancel = threading.Event()
+        seen: list[CellAttempt] = []
+
+        def note(record: CellAttempt) -> None:
+            seen.append(record)
+            cancel.set()  # cancel during the post-failure backoff
+
+        started = time.monotonic()
+        value, _ = execute_cell(
+            _boom,
+            _make(None),
+            benchmark="bench",
+            config="cfg",
+            retries=5,
+            backoff=60.0,  # would dominate the test if actually slept
+            on_attempt=note,
+            cancel=cancel,
+        )
+        assert isinstance(value, CellFailure)
+        assert value.kind == "cancelled"
+        assert time.monotonic() - started < 10.0
+        assert seen[0].status == "error"
 
 
 class TestValidation:

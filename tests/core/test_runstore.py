@@ -210,3 +210,56 @@ class TestStats:
         doc = store.stats().to_json()
         assert doc["entries"] == 1
         assert list(doc["by_kind"]) == sorted(doc["by_kind"])
+
+
+class TestScrub:
+    def test_clean_store_scrubs_clean(self, tmp_path):
+        store = _store(tmp_path)
+        store.put(_key(store), "x", meta={"kind": "cell"})
+        store.put(_key(store, kind="table2"), "y", meta={"kind": "table2"})
+        report = store.scrub()
+        assert report.clean
+        assert report.checked == 2 and report.ok == 2
+        assert report.corrupt == () and report.quarantined == ()
+
+    def test_scrub_reports_corruption_without_quarantine(self, tmp_path):
+        store = _store(tmp_path)
+        good = _key(store)
+        bad = _key(store, benchmark="compress")
+        store.put(good, "x", meta={"kind": "cell"})
+        store.put(bad, "y", meta={"kind": "cell"})
+        corrupt_stored_entry(store, bad)
+        report = store.scrub()
+        assert not report.clean
+        assert report.corrupt == (bad,)
+        assert report.quarantined == ()
+        assert "checksum" in report.errors[bad]
+        # reported only: the entry stays in the key namespace
+        assert bad in store.keys()
+
+    def test_quarantine_moves_entry_out_of_namespace(self, tmp_path):
+        store = _store(tmp_path)
+        good = _key(store)
+        bad = _key(store, benchmark="compress")
+        store.put(good, "x", meta={"kind": "cell"})
+        store.put(bad, "y", meta={"kind": "cell"})
+        corrupt_stored_entry(store, bad)
+        report = store.scrub(quarantine=True)
+        assert report.quarantined == (bad,)
+        assert bad not in store.keys()
+        assert good in store.keys()
+        # preserved for forensics, outside the key namespace
+        quarantined = store.quarantine_dir() / store.path_for(bad).name
+        assert quarantined.exists()
+        # a later scrub of the survivors is clean
+        assert store.scrub().clean
+
+    def test_report_to_json_round_trips(self, tmp_path):
+        store = _store(tmp_path)
+        key = _key(store)
+        store.put(key, "x", meta={"kind": "cell"})
+        corrupt_stored_entry(store, key)
+        doc = store.scrub(quarantine=True).to_json()
+        assert doc["checked"] == 1 and doc["ok"] == 0
+        assert doc["corrupt"] == [key] == doc["quarantined"]
+        assert key in doc["errors"]

@@ -16,7 +16,6 @@ claims are testable directly:
 from __future__ import annotations
 
 import dataclasses
-import json
 
 import pytest
 
@@ -219,11 +218,11 @@ class TestEndpoints:
         with pytest.raises(ServiceError) as excinfo:
             client.submit({"kind": "simulate", "benchmark": "nope"})
         assert excinfo.value.status == 400
-        status, _ = client.request("POST", "/v1/jobs", None)
+        status, _, _ = client.request("POST", "/v1/jobs", None)
         assert status == 400  # empty body is not a valid job
 
     def test_unrouted_path_is_404(self, client):
-        status, raw = client.request("GET", "/v2/everything")
+        status, _, raw = client.request("GET", "/v2/everything")
         assert status == 404
         assert b"no route" in raw
 

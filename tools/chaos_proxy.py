@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Stand-alone chaos proxy for manual sweep-service prodding.
+
+Puts a :class:`repro.service.chaos.ChaosProxy` in front of a running
+service and prints the port to aim clients at::
+
+    PYTHONPATH=src python tools/chaos_proxy.py \\
+        --upstream-port 8123 --faults 'truncate:2:150;stall:5:3'
+
+Fault spec syntax (see :mod:`repro.core.faults`)::
+
+    kind[:every[:amount]][;...]    kind in {drop, stall, truncate}
+
+``every`` picks which 0-based accepted connections are sabotaged
+(every ``every``-th); ``amount`` is seconds for ``stall`` and response
+bytes for ``truncate``.  Runs until interrupted; prints per-kind fault
+counts on exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.faults import NetworkFaultPlan  # noqa: E402
+from repro.service.chaos import ChaosProxy  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fault-injecting TCP proxy for the sweep service"
+    )
+    parser.add_argument("--upstream-host", default="127.0.0.1")
+    parser.add_argument("--upstream-port", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 = ephemeral (printed)"
+    )
+    parser.add_argument(
+        "--faults",
+        default="",
+        help="network fault spec, e.g. 'drop:3' or 'truncate:2:150'",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        plan = NetworkFaultPlan.parse(args.faults)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    with ChaosProxy(
+        args.upstream_host,
+        args.upstream_port,
+        plan,
+        host=args.host,
+        port=args.port,
+    ) as proxy:
+        print(
+            f"chaos proxy on {args.host}:{proxy.port} -> "
+            f"{args.upstream_host}:{args.upstream_port} "
+            f"(faults: {plan.spec() or 'none'})",
+            flush=True,
+        )
+        try:
+            while True:
+                time.sleep(1)
+        except KeyboardInterrupt:
+            pass
+        print(
+            f"{proxy.connections} connection(s), faults injected: "
+            + ", ".join(
+                f"{kind}={count}" for kind, count in proxy.faults.items()
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

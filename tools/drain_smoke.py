@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""CI smoke test for graceful drain of the sweep service.
+
+Proves the SIGTERM story end to end, against real processes:
+
+1. a clean reference run on its own store records the canonical
+   result bytes for a three-benchmark sweep;
+2. a second server is SIGTERMed **mid-sweep** (after at least one cell
+   has checkpointed, before the job finishes) — it must exit 0 within
+   the drain budget, and every worker process it spawned must be gone;
+3. a third server on the drained store re-runs the same request — the
+   checkpointed cells must come back warm from the store and the final
+   result document must be **bit-identical** to the clean reference.
+
+Usage::
+
+    PYTHONPATH=src python tools/drain_smoke.py
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+BODY = {
+    "kind": "simulate",
+    "benchmarks": ["vpenta", "adi", "swim"],
+    "mechanisms": ["bypass"],
+}
+DRAIN_GRACE = 15.0
+
+
+def _fail(message: str) -> None:
+    print(f"DRAIN SMOKE FAILURE: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _boot(store: str) -> tuple[subprocess.Popen, int]:
+    """Start ``repro serve`` on port 0; return (process, bound port)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "--scale",
+            "tiny",
+            "--jobs",
+            "2",
+            "--store",
+            store,
+            "serve",
+            "--port",
+            "0",
+            "--drain-grace",
+            str(DRAIN_GRACE),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    line = process.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    if not match:
+        process.terminate()
+        _fail(f"server did not announce a port (got {line!r})")
+    return process, int(match.group(1))
+
+
+def _children_of(pid: int) -> set[int]:
+    """Direct children of ``pid`` (worker processes), via /proc."""
+    children = set()
+    for stat in Path("/proc").glob("[0-9]*/stat"):
+        try:
+            fields = stat.read_text().rsplit(")", 1)[1].split()
+        except (OSError, IndexError):
+            continue  # process vanished mid-scan
+        if int(fields[1]) == pid:  # field 4 of stat is ppid
+            children.add(int(stat.parent.name))
+    return children
+
+
+def _alive(pid: int) -> bool:
+    return Path(f"/proc/{pid}").exists()
+
+
+def _shutdown(process: subprocess.Popen) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=DRAIN_GRACE + 20)
+    except subprocess.TimeoutExpired:
+        process.kill()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-drain-") as scratch:
+        # --- 1. clean reference run -----------------------------------
+        ref_store = str(Path(scratch) / "reference")
+        process, port = _boot(ref_store)
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=120)
+            reference = client.run(BODY, timeout=600)
+            if reference["state"] != "done":
+                _fail(f"reference job ended {reference['state']}")
+            ref_bytes = client.result_bytes(reference["id"])
+        finally:
+            _shutdown(process)
+        if process.returncode != 0:
+            _fail(f"reference server exited {process.returncode}")
+        print(f"reference run done ({len(ref_bytes)} bytes)")
+
+        # --- 2. SIGTERM mid-sweep -------------------------------------
+        store = str(Path(scratch) / "drained")
+        process, port = _boot(store)
+        exited_clean = False
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=120)
+            job = client.submit(BODY)
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                doc = client.job(job["id"])
+                if doc["cell_counts"].get("done", 0) >= 1:
+                    break
+                if doc["state"] in ("done", "failed", "cancelled"):
+                    _fail(f"job finished ({doc['state']}) before SIGTERM")
+                time.sleep(0.05)
+            else:
+                _fail("no cell checkpointed within 300s")
+            workers = _children_of(process.pid)
+            process.send_signal(signal.SIGTERM)
+            started = time.monotonic()
+            try:
+                process.wait(timeout=DRAIN_GRACE + 20)
+            except subprocess.TimeoutExpired:
+                _fail("server did not exit within the drain budget")
+            drained_s = time.monotonic() - started
+            if process.returncode != 0:
+                _fail(f"drained server exited {process.returncode}")
+            exited_clean = True
+            print(
+                f"SIGTERM mid-sweep: exit 0 in {drained_s:.1f}s "
+                f"({len(workers)} worker(s) were live)"
+            )
+        finally:
+            if not exited_clean:
+                _shutdown(process)
+
+        # --- 3. zero orphaned workers ---------------------------------
+        holdout = time.monotonic() + 5
+        while time.monotonic() < holdout and any(
+            _alive(pid) for pid in workers
+        ):
+            time.sleep(0.05)
+        orphans = sorted(pid for pid in workers if _alive(pid))
+        if orphans:
+            _fail(f"orphaned worker processes after drain: {orphans}")
+        print("no orphaned workers after drain")
+
+        # --- 4. warm resume is byte-identical -------------------------
+        process, port = _boot(store)
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=120)
+            resumed = client.run(BODY, timeout=600)
+            if resumed["state"] != "done":
+                _fail(f"resumed job ended {resumed['state']}")
+            warm = sum(
+                1
+                for cell in resumed["cells"]
+                if cell["source"] == "store"
+            )
+            if warm < 1:
+                _fail("no cell resumed warm from the drained store")
+            resumed_bytes = client.result_bytes(resumed["id"])
+            if resumed_bytes != ref_bytes:
+                _fail("resumed result is not bit-identical to reference")
+            print(
+                f"resume after drain: {warm}/{len(resumed['cells'])} "
+                "cell(s) warm, result bit-identical to clean run"
+            )
+            return 0
+        finally:
+            _shutdown(process)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
