@@ -1,0 +1,749 @@
+"""Closed-form locality model: stack-distance histograms from the IR.
+
+The model walks the loop-nest IR once and, for every memory reference,
+derives where its accesses land on the Mattson stack-distance axis as a
+closed-form function of loop trip counts, address strides (under the
+*current* storage layouts, so it sees what interchange/layout/tiling
+did), and the cache line size.  The output is an ordinary
+:class:`repro.locality.mrc.DistanceHistogram`, so every downstream
+consumer of the trace-driven machinery — miss-ratio curves, the gating
+policy, the evaluation tables — works unchanged, in O(IR size) instead
+of O(trace length).
+
+Per affine reference the derivation is the classic one (cf. "Fully
+Symbolic Analysis of Loop Locality"): along the enclosing loop chain
+``(L_1 .. L_d)`` the byte delta per iteration of ``L_k`` is
+``address_stride(ref, L_k.var) * L_k.step``.  Scanning levels from the
+innermost outwards,
+
+* ``delta == 0``  — temporal reuse carried by ``L_k``: all but the
+  first of ``N_k`` traversals re-touch the same line, at a stack
+  distance of the lines one ``L_k`` body iteration touches;
+* ``0 < |delta| < line`` — spatial reuse: a traversal of ``N_k``
+  iterations touches ``ceil(N_k * delta / line)`` distinct lines, the
+  remaining accesses hit at the same body-iteration distance;
+* ``|delta| >= line`` — no reuse at this level; the accesses stay
+  candidates for reuse carried further out.
+
+What survives every level is a cold miss, clamped to the reference's
+footprint in lines; accesses beyond the footprint are re-traversals at
+footprint distance.  References that share an array and the same delta
+signature are *grouped* by their constant byte offsets: offsets within
+one line (the read and write of ``a[i] += ...``, trailing-dimension
+stencil taps) fold into one stream whose extra copies are
+near-immediate reuses, and offsets that are an in-range multiple of
+some level's delta (``a[i-1][j]`` against ``a[i][j]``: one iteration
+of the ``i`` loop) are *group translations* — reuses carried by that
+loop, at the distance its intervening iterations touch.  Offsets with
+neither relation (the distinct columns of a column-store scan) stay
+separate streams; without the distinction, a three-column table scan
+would be underpredicted three-fold, and with plain per-offset streams
+a stencil would overcount cold misses several-fold.
+
+Non-analyzable references get coarse but honest models: indexed /
+non-affine data accesses are uniform draws over the target array's
+line footprint (expected-distinct for cold, a quantile spread for
+reuse distances), pointer chases are cyclic traversals that thrash
+any LRU cache smaller than the cycle.  Both are *interleave-scaled*:
+the stack distance between two draws of the same line includes the
+lines every other stream in the loop body touches during the reuse
+gap, so a small hot table inside a streaming loop still shows the
+capacity pressure the full-stack simulation sees.  These are exactly
+the behaviors the paper's hardware mechanisms exist to absorb, so the
+model flags them with high predicted miss ratios — which is what the
+analytic gating consumer needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.compiler.analysis.classify import HARDWARE, SOFTWARE
+from repro.compiler.analysis.reuse import address_stride
+from repro.compiler.ir.expr import AffineExpr, MaxExpr, MinExpr
+from repro.compiler.ir.loops import Loop, Node
+from repro.compiler.ir.program import Program
+from repro.compiler.ir.refs import (
+    AffineRef,
+    IndexedRef,
+    NonAffineRef,
+    PointerChaseRef,
+    RegisterRef,
+    ScalarRef,
+)
+from repro.compiler.ir.stmts import MarkerStmt, Statement
+from repro.locality.mrc import DistanceHistogram, MissRatioCurve
+
+__all__ = [
+    "LocalityModel",
+    "PredictedRegion",
+    "predict_histogram",
+    "predict_nest_histogram",
+]
+
+#: Quantile buckets used to spread the reuse distances of random-access
+#: references uniformly over their footprint (an 8-step staircase is a
+#: close enough approximation of the linear random-access MRC).
+_RANDOM_BUCKETS = 8
+
+
+@dataclass
+class PredictedRegion:
+    """Predicted locality of one static uniform region."""
+
+    index: int
+    gate_on: bool
+    histogram: DistanceHistogram = field(default_factory=DistanceHistogram)
+
+    @property
+    def memory_refs(self) -> int:
+        return self.histogram.total
+
+    def curve(self) -> MissRatioCurve:
+        return self.histogram.curve()
+
+
+@dataclass
+class _Level:
+    """One enclosing loop of a reference group."""
+
+    loop: Loop
+    trip: int
+
+
+@dataclass
+class _Group:
+    """References sharing one array, delta signature, and loop chain."""
+
+    kind: str  # "affine" | "scalar" | "random" | "pointer"
+    region: PredictedRegion
+    chain: tuple[_Level, ...]
+    deltas: tuple[int, ...] = ()
+    #: Constant byte offset of the representative reference.
+    offset: int = 0
+    #: References per innermost iteration mapped onto this group.
+    copies: int = 0
+    #: Footprint of the random/pointer target, in cache lines.
+    target_lines: int = 1
+    #: Perplexity of the draw distribution over the target's lines
+    #: (computed from the index array's actual data); 0 = unknown,
+    #: treated as uniform over ``target_lines``.
+    eff_lines: float = 0.0
+    #: Translated copies (stencil taps): each entry is the candidate
+    #: ``(gap, chain position)`` interpretations of one reference whose
+    #: offset is an in-range multiple of that level's delta.
+    far_copies: list = field(default_factory=list)
+
+    @property
+    def executions(self) -> int:
+        product = 1
+        for level in self.chain:
+            product *= max(level.trip, 0)
+        return product
+
+    def _factor(self, position: int, line_size: int) -> int:
+        """Distinct lines multiplier contributed by chain level ``position``.
+
+        Only meaningful for affine/scalar groups; random and pointer
+        groups carry their own footprint in ``target_lines``.
+        """
+        level = self.chain[position]
+        trip = max(level.trip, 1)
+        delta = abs(self.deltas[position])
+        if delta == 0 or trip <= 1:
+            return 1
+        if delta >= line_size:
+            return trip
+        lines = -(-(trip * delta) // line_size)  # ceil
+        return min(max(lines, 1), trip)
+
+    def lines_below(self, position: int, line_size: int) -> float:
+        """Distinct lines one iteration of chain level ``position`` touches
+        (i.e. the footprint of the levels strictly inside it)."""
+        if self.kind in ("random", "pointer"):
+            draws = self.copies
+            for level in self.chain[position + 1:]:
+                draws *= max(level.trip, 1)
+            return float(min(draws, self.target_lines))
+        lines = 1.0
+        for inner in range(position + 1, len(self.chain)):
+            lines *= self._factor(inner, line_size)
+        return lines
+
+    def footprint_lines(self, line_size: int) -> int:
+        """Distinct lines the whole group touches over its chain."""
+        if self.kind in ("random", "pointer"):
+            return max(self.target_lines, 1)
+        lines = 1
+        for position in range(len(self.chain)):
+            lines *= self._factor(position, line_size)
+        return max(lines, 1)
+
+
+class LocalityModel:
+    """Closed-form locality prediction for one program.
+
+    Builds per-region predicted stack-distance histograms (regions as
+    annotated by :mod:`repro.compiler.regions.detect`; a program
+    without annotations forms a single gate-off region) plus the
+    whole-program histogram.  All in one IR pass — no addresses need
+    to be assigned and no trace exists.
+    """
+
+    def __init__(self, program_or_nodes, line_size: int = 32):
+        self.line_size = line_size
+        self.regions: list[PredictedRegion] = []
+        self._groups: list[_Group] = []
+        #: Affine stream bundles: (region, chain, array, deltas) ->
+        #: the groups found so far, distinguished by constant offset.
+        self._affine: dict[tuple, list[_Group]] = {}
+        #: Scalar / random / pointer groups, unique per key.
+        self._keyed: dict[tuple, _Group] = {}
+        self._default_region: Optional[PredictedRegion] = None
+        if isinstance(program_or_nodes, Program):
+            nodes: Iterable[Node] = program_or_nodes.body
+        elif isinstance(program_or_nodes, Loop):
+            nodes = [program_or_nodes]
+        else:
+            nodes = list(program_or_nodes)
+        self._collect(nodes, (), None)
+        self._emit_all()
+
+    # -- public results ------------------------------------------------
+
+    def total_histogram(self) -> DistanceHistogram:
+        merged = DistanceHistogram()
+        for region in self.regions:
+            merged = merged.merged(region.histogram)
+        return merged
+
+    def curve(self) -> MissRatioCurve:
+        return self.total_histogram().curve()
+
+    def miss_ratio(self, cache_lines: int) -> float:
+        return self.curve().miss_ratio(cache_lines)
+
+    def occupied_regions(self) -> list[PredictedRegion]:
+        return [r for r in self.regions if r.memory_refs]
+
+    # -- region bookkeeping --------------------------------------------
+
+    def _new_region(self, gate_on: bool) -> PredictedRegion:
+        region = PredictedRegion(len(self.regions), gate_on)
+        self.regions.append(region)
+        return region
+
+    def _fallback_region(self) -> PredictedRegion:
+        if self._default_region is None:
+            self._default_region = self._new_region(False)
+        return self._default_region
+
+    # -- collection pass ------------------------------------------------
+
+    def _collect(
+        self,
+        nodes: Iterable[Node],
+        chain: tuple[_Level, ...],
+        region: Optional[PredictedRegion],
+    ) -> None:
+        steps = {level.loop.var: level.loop.step for level in chain}
+        for node in nodes:
+            if isinstance(node, MarkerStmt):
+                continue
+            if isinstance(node, Loop):
+                inner_region = region
+                if region is None and node.preference in (
+                    SOFTWARE,
+                    HARDWARE,
+                ):
+                    inner_region = self._new_region(
+                        node.preference == HARDWARE
+                    )
+                level = _Level(node, _model_trip(node, steps))
+                self._collect(node.body, chain + (level,), inner_region)
+            elif isinstance(node, Statement):
+                target = region
+                if target is None:
+                    if node.preference in (SOFTWARE, HARDWARE):
+                        target = self._new_region(
+                            node.preference == HARDWARE
+                        )
+                    else:
+                        target = self._fallback_region()
+                self._statement(node, chain, target)
+
+    def _statement(
+        self,
+        statement: Statement,
+        chain: tuple[_Level, ...],
+        region: PredictedRegion,
+    ) -> None:
+        for ref in statement.references:
+            self._reference(ref, chain, region)
+
+    def _reference(self, ref, chain, region) -> None:
+        chain_key = tuple(id(level.loop) for level in chain)
+        if isinstance(ref, RegisterRef):
+            return  # promoted: no memory traffic
+        if isinstance(ref, AffineRef):
+            self._affine_reference(ref, chain, region, chain_key)
+        elif isinstance(ref, ScalarRef):
+            deltas = tuple(0 for _ in chain)
+            key = (id(region), chain_key, "scalar", ref.name)
+            group = self._keyed.get(key)
+            if group is None:
+                group = _Group("scalar", region, chain, deltas)
+                self._keyed[key] = group
+                self._groups.append(group)
+            group.copies += 1
+        elif isinstance(ref, IndexedRef):
+            # The index load is a plain affine access; the data access
+            # is a random draw over the data array's footprint.
+            self._reference(ref.index, chain, region)
+            self._random_group(
+                ref.array, chain, region, chain_key, indexed=ref
+            )
+        elif isinstance(ref, PointerChaseRef):
+            lines = self._pointer_lines(ref)
+            key = (id(region), chain_key, "pointer", ref.array.name, ref.chain)
+            group = self._keyed.get(key)
+            if group is None:
+                group = _Group("pointer", region, chain, target_lines=lines)
+                self._keyed[key] = group
+                self._groups.append(group)
+            group.copies += 1
+        elif isinstance(ref, NonAffineRef):
+            self._random_group(ref.array, chain, region, chain_key)
+
+    def _affine_reference(self, ref, chain, region, chain_key) -> None:
+        strides = _effective_strides(ref, chain)
+        deltas = tuple(
+            stride * level.loop.step
+            for stride, level in zip(strides, chain)
+        )
+        offset = _constant_offset(ref)
+        bundle = (id(region), chain_key, ref.array.name, deltas)
+        groups = self._affine.setdefault(bundle, [])
+        for group in groups:
+            diff = offset - group.offset
+            if abs(diff) < self.line_size:
+                group.copies += 1  # shares the representative's lines
+                return
+            candidates = _translation_candidates(diff, chain, deltas)
+            if candidates:
+                group.far_copies.append(candidates)
+                return
+        group = _Group("affine", region, chain, deltas, offset=offset)
+        group.target_lines = self._array_lines(ref.array)
+        group.copies = 1
+        groups.append(group)
+        self._groups.append(group)
+
+    def _random_group(
+        self, array, chain, region, chain_key, indexed=None
+    ) -> None:
+        key = (id(region), chain_key, "random", array.name)
+        group = self._keyed.get(key)
+        if group is None:
+            group = _Group(
+                "random",
+                region,
+                chain,
+                target_lines=self._array_lines(array),
+            )
+            if indexed is not None:
+                group.eff_lines = self._effective_lines(indexed)
+            self._keyed[key] = group
+            self._groups.append(group)
+        group.copies += 1
+
+    def _effective_lines(self, ref: IndexedRef) -> float:
+        """Perplexity of the draw distribution over the target's lines.
+
+        The index array's initialization data is part of the IR, so
+        the model can see *how skewed* the draws are: for uniform
+        indices this equals the touched-line count, for zipf-skewed
+        ones (hot groups in an aggregation) it is much smaller — and
+        the typical reuse gap shrinks accordingly.
+        """
+        data = ref.index.array.data
+        if data is None:
+            return 0.0
+        values = np.asarray(data).reshape(-1)
+        if values.size == 0:
+            return 0.0
+        per_line = max(self.line_size // ref.array.element_size, 1)
+        targets = (
+            values * ref.scale + ref.offset
+        ) % ref.array.element_count
+        counts = np.unique(targets // per_line, return_counts=True)[1]
+        probabilities = counts / counts.sum()
+        entropy = float(-(probabilities * np.log(probabilities)).sum())
+        return math.exp(entropy)
+
+    def _array_lines(self, array) -> int:
+        return max(-(-array.footprint_bytes // self.line_size), 1)
+
+    def _pointer_lines(self, ref: PointerChaseRef) -> int:
+        nodes = (
+            len(ref.array.data)
+            if ref.array.data is not None
+            else ref.array.element_count
+        )
+        if ref.node_size >= self.line_size:
+            return max(nodes, 1)
+        return max(-(-(nodes * ref.node_size) // self.line_size), 1)
+
+    # -- emission pass ---------------------------------------------------
+
+    def _emit_all(self) -> None:
+        iteration_lines = self._iteration_lines()
+        region_lines = self._region_lines()
+        for group in self._groups:
+            if group.kind in ("affine", "scalar"):
+                self._emit_analyzable(group, iteration_lines)
+            elif group.kind == "random":
+                self._emit_random(group, iteration_lines, region_lines)
+            else:
+                self._emit_pointer(group, iteration_lines, region_lines)
+
+    def _iteration_lines(self) -> dict[int, float]:
+        """Distinct lines one body iteration of each loop touches.
+
+        Summed over every group the loop encloses; the innermost-level
+        value (position = chain end) degenerates to the number of
+        distinct line-groups one statement batch touches.
+        """
+        lines: dict[int, float] = {}
+        for group in self._groups:
+            for position, level in enumerate(group.chain):
+                key = id(level.loop)
+                lines[key] = lines.get(key, 0.0) + group.lines_below(
+                    position, self.line_size
+                )
+        return lines
+
+    def _region_lines(self) -> dict[int, float]:
+        """Total distinct lines each region's groups touch."""
+        totals: dict[int, float] = {}
+        for group in self._groups:
+            key = id(group.region)
+            totals[key] = totals.get(key, 0.0) + group.footprint_lines(
+                self.line_size
+            )
+        return totals
+
+    def _inner_distance(
+        self,
+        group: _Group,
+        position: int,
+        iteration_lines: dict[int, float],
+    ) -> int:
+        """Stack distance of a reuse carried by chain level ``position``:
+        the *other* distinct lines one body iteration touches."""
+        level = group.chain[position]
+        total = iteration_lines.get(id(level.loop), 1.0)
+        return max(int(round(total)) - 1, 0)
+
+    def _near_distance(self, group: _Group) -> int:
+        """Distance of intra-iteration (copy) reuses."""
+        if not group.chain:
+            return 0
+        innermost = group.chain[-1]
+        peers = sum(
+            1
+            for other in self._groups
+            if other.chain and other.chain[-1].loop is innermost.loop
+        )
+        return max(peers - 1, 0)
+
+    def _emit_analyzable(
+        self, group: _Group, iteration_lines: dict[int, float]
+    ) -> None:
+        histogram = group.region.histogram
+        executions = group.executions
+        if executions <= 0 or group.copies <= 0:
+            return
+        # Copies beyond the representative are near-immediate reuses.
+        near = (group.copies - 1) * executions
+        if near:
+            _bump(histogram, self._near_distance(group), near)
+        # Translated copies (a[i-1][j] against a[i][j]) reuse the
+        # representative's lines after ``gap`` iterations of the
+        # carrying loop; the cheapest interpretation wins the stack.
+        for candidates in group.far_copies:
+            distance = min(
+                int(
+                    round(
+                        gap
+                        * iteration_lines.get(
+                            id(group.chain[position].loop), 1.0
+                        )
+                    )
+                )
+                for gap, position in candidates
+            )
+            _bump(histogram, max(distance - 1, 0), executions)
+
+        remaining = executions
+        for position in range(len(group.chain) - 1, -1, -1):
+            if remaining <= 0:
+                break
+            level = group.chain[position]
+            trip = level.trip
+            if trip <= 1:
+                continue
+            delta = abs(group.deltas[position])
+            if delta >= self.line_size:
+                continue  # every iteration a new line at this level
+            if delta == 0:
+                reuses = remaining * (trip - 1) // trip
+            else:
+                new_lines = min(
+                    max(-(-(trip * delta) // self.line_size), 1), trip
+                )
+                reuses = remaining * (trip - new_lines) // trip
+            if reuses <= 0:
+                continue
+            distance = self._inner_distance(group, position, iteration_lines)
+            _bump(histogram, distance, reuses)
+            remaining -= reuses
+
+        if remaining <= 0:
+            return
+        footprint = group.footprint_lines(self.line_size)
+        if group.kind == "scalar":
+            footprint = 1
+        else:
+            footprint = min(footprint, group.target_lines)
+        cold = min(remaining, footprint)
+        histogram.cold += cold
+        leftover = remaining - cold
+        if leftover > 0:
+            # Re-traversals of the full footprint (the clamp bit): they
+            # hit only in caches that hold the whole footprint.
+            _bump(histogram, max(footprint - 1, 0), leftover)
+
+    def _other_rate(
+        self, group: _Group, iteration_lines: dict[int, float]
+    ) -> float:
+        """Lines per innermost iteration touched by *other* streams."""
+        if not group.chain:
+            return 0.0
+        innermost = group.chain[-1]
+        total = iteration_lines.get(id(innermost.loop), 0.0)
+        own = group.lines_below(len(group.chain) - 1, self.line_size)
+        return max(total - own, 0.0)
+
+    def _other_cap(
+        self, group: _Group, region_lines: dict[int, float]
+    ) -> float:
+        """Distinct lines other streams in the region can pile up."""
+        total = region_lines.get(id(group.region), 0.0)
+        return max(total - group.target_lines, 0.0)
+
+    def _emit_random(
+        self,
+        group: _Group,
+        iteration_lines: dict[int, float],
+        region_lines: dict[int, float],
+    ) -> None:
+        histogram = group.region.histogram
+        draws = group.copies * group.executions
+        if draws <= 0:
+            return
+        footprint = group.target_lines
+        expected = footprint * -math.expm1(-draws / footprint)
+        cold = min(int(round(expected)), draws, footprint)
+        cold = max(cold, 1)
+        histogram.cold += cold
+        reuses = draws - cold
+        if reuses <= 0:
+            return
+        # Uniform draws over the footprint: the reuse gap of a line is
+        # geometric with mean ``footprint`` draws, during which the
+        # group itself touches ``footprint * q`` distinct lines (q the
+        # gap quantile) and the other streams in the loop body add
+        # their per-iteration traffic — that interleave is what makes
+        # a small hot table miss inside a streaming loop.  A quantile
+        # staircase over q approximates the resulting distance mix.
+        copies = max(group.copies, 1)
+        effective = footprint
+        if 0.0 < group.eff_lines < footprint:
+            effective = group.eff_lines  # skewed draws: shorter gaps
+        other_rate = self._other_rate(group, iteration_lines)
+        other_cap = self._other_cap(group, region_lines)
+        per_bucket = reuses // _RANDOM_BUCKETS
+        spilled = reuses - per_bucket * _RANDOM_BUCKETS
+        for bucket in range(_RANDOM_BUCKETS):
+            count = per_bucket + (spilled if bucket == 0 else 0)
+            if count <= 0:
+                continue
+            quantile = (2 * bucket + 1) / (2 * _RANDOM_BUCKETS)
+            own = effective * quantile
+            gap_iterations = (
+                -effective * math.log1p(-quantile) / copies
+            )
+            other = min(other_rate * gap_iterations, other_cap)
+            _bump(histogram, int(own + other), count)
+
+    def _emit_pointer(
+        self,
+        group: _Group,
+        iteration_lines: dict[int, float],
+        region_lines: dict[int, float],
+    ) -> None:
+        histogram = group.region.histogram
+        draws = group.copies * group.executions
+        if draws <= 0:
+            return
+        cycle = group.target_lines
+        cold = min(draws, cycle)
+        histogram.cold += cold
+        reuses = draws - cold
+        if reuses > 0:
+            # A cyclic walk revisits each line after touching every
+            # other line in the cycle — plus whatever the other streams
+            # interleave during the lap: LRU thrash below that total.
+            copies = max(group.copies, 1)
+            other = min(
+                self._other_rate(group, iteration_lines) * cycle / copies,
+                self._other_cap(group, region_lines),
+            )
+            _bump(histogram, max(int(cycle + other) - 1, 0), reuses)
+
+
+def _bound_coefficient(bound, name: str) -> int:
+    """Coefficient of ``name`` in a loop bound, looking through the
+    Min/Max clamps that strip-mining installs."""
+    if isinstance(bound, AffineExpr):
+        return bound.coefficient(name)
+    if isinstance(bound, (MinExpr, MaxExpr)):
+        for operand in bound.operands:
+            coeff = _bound_coefficient(operand, name)
+            if coeff:
+                return coeff
+    return 0
+
+
+def _effective_strides(ref, chain: tuple[_Level, ...]) -> list[int]:
+    """Per-level address stride of ``ref``, window anchoring included.
+
+    A strip-mined controller variable (``i__t``) never appears in any
+    subscript, yet advancing it moves the reference: the inner loops
+    anchored to it (``i in [i__t, min(n, i__t + T))``) shift their
+    whole window.  Its effective stride is the anchored loops' strides
+    scaled by the anchor coefficients.  Without this, a tiled nest
+    looks like it revisits the same addresses tile after tile and the
+    model wildly over-credits temporal reuse.  Resolved innermost
+    first so a controller of a controller would chain through.
+    """
+    strides = {
+        level.loop.var: address_stride(ref, level.loop.var)
+        for level in chain
+    }
+    for position in range(len(chain) - 1, -1, -1):
+        name = chain[position].loop.var
+        if strides[name]:
+            continue  # appears in the subscripts directly
+        anchored = 0
+        for inner in chain[position + 1:]:
+            coeff = _bound_coefficient(inner.loop.lower, name)
+            anchored += coeff * strides[inner.loop.var]
+        strides[name] = anchored
+    return [strides[level.loop.var] for level in chain]
+
+
+def _constant_offset(ref: AffineRef) -> int:
+    """Constant byte offset of a reference under the current layout.
+
+    The loop-variant part lives in the deltas; this is the rest — what
+    separates ``a[i][0]`` from ``a[i][5]`` (different columns, possibly
+    thousands of bytes under a column-store layout) or ``a[i-1]`` from
+    ``a[i]`` (one element).
+    """
+    array = ref.array
+    elements = 0
+    for dim, subscript in enumerate(ref.subscripts):
+        if subscript.const:
+            elements += subscript.const * array.stride_of_dim(dim)
+    return elements * array.element_size
+
+
+def _translation_candidates(
+    diff: int, chain: tuple[_Level, ...], deltas: tuple[int, ...]
+) -> tuple[tuple[int, int], ...]:
+    """Loop levels that can carry a reuse across offset ``diff``.
+
+    ``diff`` bytes equal ``gap`` iterations of level ``k`` exactly when
+    ``diff`` is a multiple of ``deltas[k]`` with the gap *strictly*
+    inside the level's trip count — then the offset reference
+    re-touches lines the representative touched ``gap`` iterations of
+    ``k`` ago.  ``gap == trip`` is rejected: the translation lands
+    exactly past the level's range, which is a different stream unless
+    the next-outer level happens to be contiguous (``a[2i][j]`` and
+    ``a[2i+1][j]`` walk disjoint interleaved rows forever).  Returns
+    every ``(gap, position)`` interpretation (emission takes the one
+    with the smallest stack distance).
+    """
+    candidates = []
+    for position, level in enumerate(chain):
+        delta = deltas[position]
+        if not delta:
+            continue
+        gap, remainder = divmod(abs(diff), abs(delta))
+        if remainder == 0 and 0 < gap < max(level.trip, 0):
+            candidates.append((int(gap), position))
+    return tuple(candidates)
+
+
+def _bump(histogram: DistanceHistogram, distance: int, count: int) -> None:
+    counts = histogram.counts
+    counts[distance] = counts.get(distance, 0) + count
+
+
+def _model_trip(loop: Loop, outer_steps: dict[str, int]) -> int:
+    """Trip count for the model; tiled inner loops clamp to the strip.
+
+    ``trip_count_estimate`` sees a strip-mined loop's pre-tiling bounds
+    through its Min/Max constants, which would double-count the
+    iteration space (controller trips x full extent).  A ``MinExpr``
+    upper bound referencing a controlling tile variable means the loop
+    runs at most one strip: the controller's step.
+    """
+    estimate = loop.trip_count_estimate()
+    if isinstance(loop.upper, MinExpr):
+        for operand in loop.upper.operands:
+            if not isinstance(operand, AffineExpr) or operand.is_constant:
+                continue
+            names = operand.variables
+            if len(names) != 1:
+                continue
+            variable = next(iter(names))
+            step = outer_steps.get(variable)
+            if step and operand.coefficient(variable) == 1:
+                estimate = min(estimate, max(step, 1))
+    return estimate
+
+
+def predict_histogram(
+    program: Program, line_size: int = 32
+) -> DistanceHistogram:
+    """Whole-program predicted stack-distance histogram (closed form)."""
+    return LocalityModel(program, line_size).total_histogram()
+
+
+def predict_nest_histogram(
+    nest_head: Loop, line_size: int = 32
+) -> DistanceHistogram:
+    """Predicted histogram of one loop nest in isolation.
+
+    Used by the tile-size search to score tiled candidate nests
+    against each other; enclosing-loop context cancels out in the
+    comparison.
+    """
+    return LocalityModel(nest_head, line_size).total_histogram()

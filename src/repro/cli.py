@@ -9,7 +9,11 @@ Commands mirror the paper's evaluation artifacts:
 * ``table3``     — average improvements across configurations (Table 3);
 * ``figure N``   — one of Figures 4-9;
 * ``locality``   — reuse-distance / miss-ratio-curve profile of each
-  benchmark plus model-driven vs compiler ON/OFF gating;
+  benchmark plus model-driven vs compiler ON/OFF gating (``--json``
+  for machine-readable rows, ``--miss-floor`` to tune the policy);
+* ``predict``    — the analytic locality model: predicted MRC,
+  per-region gating, and tile choices computed straight from the IR
+  in milliseconds — no trace, no simulation;
 * ``lint``       — static IR verification (structure, markers, bounds,
   transform legality) of every benchmark's base and optimized+marked
   variants;
@@ -68,6 +72,7 @@ from repro.evaluation.report import (
 )
 from repro.evaluation.table2 import table2_rows
 from repro.evaluation.table3 import sweep_to_row
+from repro.hwopt.policy import DEFAULT_MISS_FLOOR
 from repro.isa.encoding import encode_trace
 from repro.params import SENSITIVITY_CONFIGS, base_config
 from repro.telemetry import (
@@ -199,6 +204,21 @@ def _parser() -> argparse.ArgumentParser:
             help=argparse.SUPPRESS,
         )
 
+    def accept_miss_floor(cmd: argparse.ArgumentParser) -> None:
+        """The gating policy's named miss-ratio floor knob."""
+        cmd.add_argument(
+            "--miss-floor",
+            type=float,
+            default=DEFAULT_MISS_FLOOR,
+            metavar="RATIO",
+            help=(
+                "minimum miss ratio for the adaptive ON/OFF threshold "
+                f"(default: {DEFAULT_MISS_FLOOR}) — regions missing "
+                "less than this never get assists, however good the "
+                "program average looks"
+            ),
+        )
+
     sub.add_parser("list", help="list the benchmark suite")
 
     run_cmd = sub.add_parser(
@@ -261,6 +281,38 @@ def _parser() -> argparse.ArgumentParser:
         metavar="benchmark",
         help="benchmarks to profile (default: the whole suite)",
     )
+    locality_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the rows as a JSON array instead of the table",
+    )
+    accept_miss_floor(locality_cmd)
+
+    predict_cmd = sub.add_parser(
+        "predict",
+        help=(
+            "closed-form locality prediction straight from the IR: "
+            "predicted MRC, per-region gating, and tile choices — no "
+            "trace, no simulation (JSON output)"
+        ),
+    )
+    predict_cmd.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="benchmark",
+        help="benchmarks to predict (default: the whole suite)",
+    )
+    predict_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "explicit ON/OFF miss-ratio threshold (default: the "
+            "program's predicted ratio floored at --miss-floor)"
+        ),
+    )
+    accept_miss_floor(predict_cmd)
 
     lint_cmd = sub.add_parser(
         "lint",
@@ -695,11 +747,62 @@ def _cmd_runs(
 
 
 def _cmd_locality(
-    benchmarks: list[str], scale: Scale, jobs: Optional[int]
+    benchmarks: list[str],
+    scale: Scale,
+    jobs: Optional[int],
+    as_json: bool,
+    miss_floor: float,
 ) -> int:
+    import dataclasses
+    import json
+
     names = benchmarks or None
-    rows = locality_rows(scale, names, jobs=jobs, progress=_progress)
-    print(render_locality(rows))
+    progress = None if as_json else _progress
+    try:
+        rows = locality_rows(
+            scale, names, jobs=jobs, progress=progress,
+            miss_floor=miss_floor,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(
+            [dataclasses.asdict(row) for row in rows], indent=2
+        ))
+    else:
+        print(render_locality(rows))
+    return 0
+
+
+def _cmd_predict(
+    benchmarks: list[str],
+    scale: Scale,
+    threshold: Optional[float],
+    miss_floor: float,
+) -> int:
+    import json
+
+    from repro.analytic.predict import predict_benchmark
+
+    names = benchmarks or [spec.name for spec in all_specs()]
+    payloads = []
+    for name in names:
+        try:
+            payloads.append(
+                predict_benchmark(
+                    name, scale,
+                    threshold=threshold, miss_floor=miss_floor,
+                )
+            )
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+    print(json.dumps(
+        payloads[0] if len(payloads) == 1 and benchmarks else payloads,
+        indent=2,
+    ))
     return 0
 
 
@@ -835,7 +938,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.trace_out,
         )
     if args.command == "locality":
-        return _cmd_locality(args.benchmarks, scale, jobs)
+        return _cmd_locality(
+            args.benchmarks, scale, jobs, args.json, args.miss_floor
+        )
+    if args.command == "predict":
+        return _cmd_predict(
+            args.benchmarks, scale, args.threshold, args.miss_floor
+        )
     if args.command == "lint":
         return _cmd_lint(args.benchmarks, scale, args.strict, args.deps)
     if args.command == "runs":

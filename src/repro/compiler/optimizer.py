@@ -132,6 +132,7 @@ class LocalityOptimizer:
         enable_unroll: bool = True,
         enable_scalar_replacement: bool = True,
         unroll_factor: int = 2,
+        model_tiles: bool = True,
     ):
         self.machine = machine
         self.threshold = threshold
@@ -144,6 +145,10 @@ class LocalityOptimizer:
         self.enable_unroll = enable_unroll
         self.enable_scalar_replacement = enable_scalar_replacement
         self.unroll_factor = unroll_factor
+        #: Pick tile sizes with the analytic locality model (clone each
+        #: candidate, score its predicted MRC) instead of the capacity
+        #: heuristic alone; the heuristic edge stays the tie-breaker.
+        self.model_tiles = model_tiles
 
     def optimize(
         self, program: Program, verify: bool = False
@@ -212,8 +217,19 @@ class LocalityOptimizer:
 
         if self.enable_tiling:
             l1_bytes = self.machine.l1d.size
-            for head in heads:
-                report.tilings.append(apply_tiling(head, l1_bytes))
+            if self.model_tiles:
+                # Imported lazily: the analytic package is a consumer
+                # of the compiler IR, not a dependency of it.
+                from repro.analytic.tiles import model_tiling
+
+                line = self.machine.l1d.block_size
+                for head in heads:
+                    report.tilings.append(
+                        model_tiling(head, l1_bytes, line)
+                    )
+            else:
+                for head in heads:
+                    report.tilings.append(apply_tiling(head, l1_bytes))
 
         if self.enable_unroll:
             tiled = {

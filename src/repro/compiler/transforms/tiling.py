@@ -91,11 +91,16 @@ def _affine_bounds(chain: list[Loop]) -> bool:
 
 
 def tiling_blockers(
-    nest_head: Loop, l1_bytes: int, statements: Optional[list] = None
+    nest_head: Loop,
+    l1_bytes: int,
+    statements: Optional[list] = None,
+    tile_size: Optional[int] = None,
 ) -> Optional[str]:
     """Why tiling cannot pay off here, ignoring legality — shared with
     the skewing gate (skewing is only worth it when the tiling it
-    enables would be applied).  Returns None when no blocker."""
+    enables would be applied).  Returns None when no blocker.
+    ``tile_size`` overrides the heuristic edge for the trip-count
+    check (the model-driven search supplies its candidate here)."""
     chain = nest_head.perfect_nest_loops()
     if len(chain) < 2:
         return "nest depth < 2"
@@ -111,23 +116,35 @@ def tiling_blockers(
         return "footprint fits in L1"
     if not _has_outer_temporal_reuse(chain, statements):
         return "no outer-carried reuse"
-    tile = select_tile_size(l1_bytes, statements, len(chain))
+    tile = tile_size or select_tile_size(l1_bytes, statements, len(chain))
     for loop in chain:
         if loop.trip_count_estimate() <= tile:
             return "trip count not larger than tile"
     return None
 
 
-def apply_tiling(nest_head: Loop, l1_bytes: int) -> TilingResult:
-    """Tile the perfect nest rooted at ``nest_head`` in place."""
+def apply_tiling(
+    nest_head: Loop, l1_bytes: int, tile_size: Optional[int] = None
+) -> TilingResult:
+    """Tile the perfect nest rooted at ``nest_head`` in place.
+
+    ``tile_size`` overrides the capacity heuristic of
+    :func:`select_tile_size`; the model-driven search of
+    :mod:`repro.analytic.tiles` passes its per-geometry choice here.
+    Legality (full permutability of the dependence relations) is
+    checked either way.
+    """
+    if tile_size is not None and tile_size < 2:
+        raise ValueError(f"tile_size must be >= 2, got {tile_size}")
     chain = nest_head.perfect_nest_loops()
     statements = (
         list(chain[-1].all_statements()) if len(chain) >= 2 else []
     )
-    blocker = tiling_blockers(nest_head, l1_bytes, statements)
+    blocker = tiling_blockers(nest_head, l1_bytes, statements, tile_size)
     if blocker is not None:
         tile = (
-            select_tile_size(l1_bytes, statements, len(chain))
+            tile_size
+            or select_tile_size(l1_bytes, statements, len(chain))
             if blocker == "trip count not larger than tile"
             else 0
         )
@@ -141,7 +158,7 @@ def apply_tiling(nest_head: Loop, l1_bytes: int) -> TilingResult:
             False, reason=f"not fully permutable: {verdict.reason}"
         )
 
-    tile = select_tile_size(l1_bytes, statements, len(chain))
+    tile = tile_size or select_tile_size(l1_bytes, statements, len(chain))
 
     # Bounding boxes must be computed before any bound is rewritten.
     env: dict[str, Interval] = {}

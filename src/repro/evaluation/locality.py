@@ -20,7 +20,11 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.core.versions import prepare_codes
-from repro.hwopt.policy import GatingComparison, recommend_gating
+from repro.hwopt.policy import (
+    DEFAULT_MISS_FLOOR,
+    GatingComparison,
+    recommend_gating,
+)
 from repro.locality.mrc import distance_histogram
 from repro.params import MachineParams, base_config
 from repro.workloads.base import Scale, WorkloadSpec
@@ -80,7 +84,10 @@ class LocalityRow:
 
 
 def locality_row(
-    spec: WorkloadSpec, scale: Scale, machine: MachineParams
+    spec: WorkloadSpec,
+    scale: Scale,
+    machine: MachineParams,
+    miss_floor: float = DEFAULT_MISS_FLOOR,
 ) -> LocalityRow:
     """Build and analyze one benchmark (runs inside pool workers)."""
     codes = prepare_codes(spec, scale, machine)
@@ -93,7 +100,10 @@ def locality_row(
         codes.selective_trace, line_size=line_size
     )
     comparison = recommend_gating(
-        codes.selective_trace, machine, initially_on=False
+        codes.selective_trace,
+        machine,
+        initially_on=False,
+        miss_floor=miss_floor,
     )
     return LocalityRow.from_comparison(
         benchmark=spec.name,
@@ -110,8 +120,8 @@ def locality_row(
 
 def _row_task(task) -> LocalityRow:
     """Worker entry for the process pool."""
-    name, scale, machine = task
-    return locality_row(get_spec(name), scale, machine)
+    name, scale, machine, miss_floor = task
+    return locality_row(get_spec(name), scale, machine, miss_floor)
 
 
 def locality_rows(
@@ -119,6 +129,7 @@ def locality_rows(
     benchmarks: Optional[Iterable[str]] = None,
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    miss_floor: float = DEFAULT_MISS_FLOOR,
 ) -> list[LocalityRow]:
     """Locality rows for the suite (or a subset), in registry order.
 
@@ -140,9 +151,11 @@ def locality_rows(
         for name in names:
             if progress:
                 progress(f"profiling {name}")
-            rows.append(locality_row(get_spec(name), scale, machine))
+            rows.append(
+                locality_row(get_spec(name), scale, machine, miss_floor)
+            )
         return rows
-    tasks = [(name, scale, machine) for name in names]
+    tasks = [(name, scale, machine, miss_floor) for name in names]
     rows = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [

@@ -104,24 +104,32 @@ def compare_policies(
     profile: LocalityProfile,
     cache_lines: int,
     threshold: Optional[float] = None,
+    miss_floor: float = DEFAULT_MISS_FLOOR,
 ) -> GatingComparison:
     """Score the MRC policy against the marker placement in ``profile``.
 
     ``threshold`` is the miss ratio at ``cache_lines`` at or above which
     the model recommends ON; ``None`` uses the whole-trace miss ratio
-    floored at :data:`DEFAULT_MISS_FLOOR` — "assist the regions that
-    miss more than this program's average, provided they miss enough to
-    matter at all".  Only regions that issue memory references
-    participate — an empty span between back-to-back markers has no
-    locality to judge.
+    floored at ``miss_floor`` — "assist the regions that miss more than
+    this program's average, provided they miss enough to matter at
+    all".  ``miss_floor`` is the named policy knob behind that clause
+    (default :data:`DEFAULT_MISS_FLOOR`); it is wired through the CLI
+    (``--miss-floor``) and the service (``miss_floor`` request field),
+    and is ignored when an explicit ``threshold`` is given.  Only
+    regions that issue memory references participate — an empty span
+    between back-to-back markers has no locality to judge.
     """
     if cache_lines <= 0:
         raise ValueError("cache_lines must be positive")
+    if not 0.0 <= miss_floor <= 1.0:
+        raise ValueError(
+            f"miss_floor must be a ratio in [0, 1], got {miss_floor!r}"
+        )
     if threshold is None:
         trace_ratio = profile.total_histogram().curve().miss_ratio(
             cache_lines
         )
-        threshold = max(trace_ratio, DEFAULT_MISS_FLOOR)
+        threshold = max(trace_ratio, miss_floor)
     recommendations = []
     for region in profile.occupied_regions():
         ratio = region.curve().miss_ratio(cache_lines)
@@ -147,16 +155,21 @@ def recommend_gating(
     machine: MachineParams,
     threshold: Optional[float] = None,
     initially_on: bool = False,
+    miss_floor: float = DEFAULT_MISS_FLOOR,
 ) -> GatingComparison:
     """Profile ``trace`` and compare model vs compiler gating.
 
     The target capacity is the machine's L1D size in lines, and the
     profile uses the L1D line size, so the predicted miss ratios are
     the fully-associative envelope of the cache the assists protect.
+    ``miss_floor`` parameterizes the adaptive threshold (see
+    :func:`compare_policies`).
     """
     profile = split_profiles(
         trace,
         line_size=machine.l1d.block_size,
         initially_on=initially_on,
     )
-    return compare_policies(profile, machine.l1d.num_blocks, threshold)
+    return compare_policies(
+        profile, machine.l1d.num_blocks, threshold, miss_floor=miss_floor
+    )

@@ -183,6 +183,28 @@ class ServiceClient:
     def cells(self) -> list[dict]:
         return self.get("/v1/cells")["cells"]
 
+    def predict(
+        self,
+        benchmark: str,
+        scale: Optional[str] = None,
+        threshold: Optional[float] = None,
+        miss_floor: Optional[float] = None,
+    ) -> dict:
+        """POST /v1/predict — analytic locality prediction, no job.
+
+        Synchronous: the model runs in milliseconds, so the response
+        carries the full payload (predicted MRC, per-region gating,
+        tile choices) directly instead of a job document.
+        """
+        body: dict = {"benchmark": benchmark}
+        if scale is not None:
+            body["scale"] = scale
+        if threshold is not None:
+            body["threshold"] = threshold
+        if miss_floor is not None:
+            body["miss_floor"] = miss_floor
+        return self.post("/v1/predict", body)
+
     def submit(self, body: dict) -> dict:
         """POST /v1/jobs; returns the job document.
 

@@ -53,6 +53,13 @@ On top of that sits the resilience layer:
 ``/v1/healthz`` answers whenever the event loop does; ``/v1/readyz``
 additionally requires admission to be open (not draining, executor
 accepting) and reports the breaker state.
+
+``POST /v1/predict`` sits apart from the job machinery: it answers
+with the *analytic* locality model (:mod:`repro.analytic`) — a
+predicted MRC, per-region gating, and tile choices computed straight
+from the IR in milliseconds — so it responds synchronously, runs no
+simulation, and touches no store cell.  Payloads are single-flighted
+and cached per (benchmark, scale, threshold, miss_floor).
 """
 
 from __future__ import annotations
@@ -81,6 +88,7 @@ from repro.core.parallel import (
 )
 from repro.core.runstore import RunStore, trace_checksum
 from repro.core.versions import prepare_codes
+from repro.hwopt.policy import DEFAULT_MISS_FLOOR
 from repro.params import base_config
 from repro.service.cells import (
     SCALES,
@@ -319,6 +327,7 @@ class SweepService:
             "degraded_cells": 0,
             "attempts": 0,
             "prepares": 0,
+            "predicts": 0,
             "errors": 0,
             "drains": 0,
         }
@@ -343,6 +352,9 @@ class SweepService:
         #: (benchmark, scale.name) → (slimmed codes, trace digests).
         self._prep_cache: dict[tuple[str, str], tuple] = {}
         self._prep_inflight: dict[tuple[str, str], asyncio.Future] = {}
+        #: (benchmark, scale, threshold, miss_floor) → analytic payload.
+        self._predict_cache: dict[tuple, dict] = {}
+        self._predict_inflight: dict[tuple, asyncio.Future] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -881,6 +893,89 @@ class SweepService:
         return value
 
     # ------------------------------------------------------------------
+    # analytic prediction ("predict" endpoint — no trace, no cells)
+
+    async def predict(self, body: dict) -> dict:
+        """Closed-form locality prediction for one benchmark.
+
+        Runs :func:`repro.analytic.predict.predict_benchmark` in the
+        executor — milliseconds of model evaluation, no simulation, no
+        store cell.  Single-flight per (benchmark, scale, threshold,
+        miss_floor): concurrent duplicates await the first build, and
+        completed payloads are cached (the model is deterministic, so
+        repeats are dictionary lookups; ``elapsed_ms`` reports the
+        original computation).
+        """
+        benchmark = body.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            raise _BadRequest("predict requires a 'benchmark' string")
+        scale_name = body.get("scale", self.config.scale.name)
+        if scale_name not in SCALES:
+            raise _BadRequest(
+                f"unknown scale {scale_name!r}; "
+                f"known: {', '.join(sorted(SCALES))}"
+            )
+        scale = SCALES[scale_name]
+        threshold = body.get("threshold")
+        if threshold is not None and not isinstance(
+            threshold, (int, float)
+        ):
+            raise _BadRequest(
+                f"threshold must be a number, got {threshold!r}"
+            )
+        miss_floor = body.get("miss_floor", DEFAULT_MISS_FLOOR)
+        if (
+            not isinstance(miss_floor, (int, float))
+            or not 0.0 <= miss_floor <= 1.0
+        ):
+            raise _BadRequest(
+                f"miss_floor must be a ratio in [0, 1], got {miss_floor!r}"
+            )
+
+        key = (benchmark, scale_name, threshold, float(miss_floor))
+        cached = self._predict_cache.get(key)
+        if cached is not None:
+            return cached
+        pending = self._predict_inflight.get(key)
+        if pending is not None:
+            status, value = await asyncio.shield(pending)
+            if status == "bad":
+                raise _BadRequest(value)
+            if status == "error":
+                raise RuntimeError(value)
+            return value
+
+        pending = self._loop.create_future()
+        self._predict_inflight[key] = pending
+
+        def build() -> dict:
+            from repro.analytic.predict import predict_benchmark
+
+            return predict_benchmark(
+                benchmark,
+                scale,
+                threshold=threshold,
+                miss_floor=miss_floor,
+            )
+
+        try:
+            self.metrics["predicts"] += 1
+            value = await self._loop.run_in_executor(self._executor, build)
+        except (KeyError, ValueError) as exc:
+            self._predict_inflight.pop(key, None)
+            message = str(exc.args[0] if exc.args else exc)
+            pending.set_result(("bad", message))
+            raise _BadRequest(message) from None
+        except Exception as exc:  # noqa: BLE001 - waiters fail too
+            self._predict_inflight.pop(key, None)
+            pending.set_result(("error", f"{type(exc).__name__}: {exc}"))
+            raise
+        self._predict_cache[key] = value
+        self._predict_inflight.pop(key, None)
+        pending.set_result(("ok", value))
+        return value
+
+    # ------------------------------------------------------------------
     # artifacts and introspection documents
 
     def _trace_document(
@@ -1100,6 +1195,14 @@ async def _handle_request(
         return _json_response(
             200, {"jobs": [job.to_json() for job in service.jobs.values()]}
         )
+    if path == "/v1/predict" and method == "POST":
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except ValueError:
+            return _error(400, "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            return _error(400, "request body must be a JSON object")
+        return _json_response(200, await service.predict(payload))
 
     if path.startswith("/v1/jobs/"):
         rest = path[len("/v1/jobs/"):]

@@ -1,0 +1,58 @@
+"""Suite-level validation: analytic gating vs the simulator's policy.
+
+The headline acceptance bar for the analytic subsystem: rebuild each
+benchmark's selective program, score its regions with the closed-form
+model, and compare the resulting ON/OFF policy against the one derived
+from the simulated trace.  Agreement is judged per compiler gate class
+(see :func:`repro.analytic.gating.gating_agreement`) and must hold on
+at least 12 of the 13 paper benchmarks at TINY scale.
+"""
+
+import pytest
+
+from repro.analytic.gating import analytic_gating, gating_agreement
+from repro.core.versions import prepare_codes
+from repro.hwopt.policy import recommend_gating
+from repro.params import base_config
+from repro.workloads.base import TINY
+from repro.workloads.registry import all_specs
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    machine = base_config().scaled(TINY.machine_divisor)
+    results = {}
+    for spec in all_specs():
+        codes = prepare_codes(spec, TINY, machine)
+        simulated = recommend_gating(codes.selective_trace, machine)
+        analytic = analytic_gating(spec, TINY, machine)
+        results[spec.name] = (analytic, simulated)
+    return results
+
+
+class TestSuiteAgreement:
+    def test_agreement_on_at_least_12_of_13(self, verdicts):
+        agreements = {
+            name: gating_agreement(analytic, simulated)
+            for name, (analytic, simulated) in verdicts.items()
+        }
+        disagreeing = sorted(
+            name for name, agree in agreements.items() if not agree
+        )
+        assert len(agreements) == 13
+        assert len(disagreeing) <= 1, (
+            f"analytic gating disagrees with the simulator on "
+            f"{disagreeing}"
+        )
+
+    def test_thresholds_respect_the_floor(self, verdicts):
+        for analytic, _ in verdicts.values():
+            assert analytic.threshold >= 0.2
+
+    def test_every_benchmark_has_scored_regions(self, verdicts):
+        for name, (analytic, _) in verdicts.items():
+            assert analytic.recommendations, name
+            assert analytic.trace_name.endswith("/analytic")
+            for rec in analytic.recommendations:
+                assert rec.memory_refs > 0
+                assert 0.0 <= rec.miss_ratio <= 1.0

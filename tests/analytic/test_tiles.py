@@ -1,0 +1,188 @@
+"""Model-driven tile-size search: legality and the never-worse bar.
+
+The search must never pick a tile that simulates worse than the plain
+capacity heuristic's choice (the acceptance criterion backing
+``LocalityOptimizer(model_tiles=True)``), and on geometries where the
+model sees a real difference it should do strictly better.  No suite
+benchmark currently tiles (trips too small or no outer-carried reuse),
+so these nests are synthetic — matmul and a Jacobi-style stencil —
+plus a check that the optimizer's suite behavior is unchanged.
+"""
+
+import pytest
+
+from repro.analytic.tiles import choose_tile_size, model_tiling
+from repro.analytic.walk import walk_histogram
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.optimizer import LocalityOptimizer
+from repro.compiler.regions.markers import insert_markers
+from repro.compiler.transforms.tiling import apply_tiling
+from repro.params import base_config
+from repro.workloads.base import TINY
+from repro.workloads.registry import all_specs
+
+LINE = 32
+
+
+def matmul(n):
+    b = ProgramBuilder("mm")
+    c = b.array("C", (n, n))
+    a = b.array("A", (n, n))
+    bb = b.array("B", (n, n))
+    i, j, k = var("i"), var("j"), var("k")
+    b.append(
+        loop("i", 0, n, [
+            loop("j", 0, n, [
+                loop("k", 0, n, [
+                    stmt(
+                        writes=[c[i, j]],
+                        reads=[c[i, j], a[i, k], bb[k, j]],
+                        work=2,
+                    ),
+                ]),
+            ]),
+        ])
+    )
+    return b.build()
+
+
+def jacobi(n):
+    b = ProgramBuilder("jac")
+    a = b.array("A", (n, n))
+    out = b.array("OUT", (n, n))
+    i, j = var("i"), var("j")
+    b.append(
+        loop("t", 0, 6, [
+            loop("i", 1, n - 1, [
+                loop("j", 1, n - 1, [
+                    stmt(
+                        writes=[out[i, j]],
+                        reads=[
+                            a[i, j],
+                            a[i - 1, j],
+                            a[i + 1, j],
+                            a[i, j - 1],
+                            a[i, j + 1],
+                        ],
+                        work=4,
+                    ),
+                ]),
+            ]),
+        ])
+    )
+    return b.build()
+
+
+CELLS = [
+    (matmul, 32, 1024),
+    (matmul, 32, 4096),
+    (matmul, 40, 2048),
+    (jacobi, 64, 2048),
+    (jacobi, 64, 4096),
+]
+
+
+class TestNeverWorse:
+    @pytest.mark.parametrize("build,n,l1_bytes", CELLS)
+    def test_model_choice_never_worse_than_default(
+        self, build, n, l1_bytes
+    ):
+        baseline = build(n)
+        apply_tiling(baseline.top_level_loops()[0], l1_bytes)
+        chosen = build(n)
+        model = model_tiling(
+            chosen.top_level_loops()[0], l1_bytes, LINE
+        )
+        # The heuristic default may refuse (its tile can exceed a trip
+        # count); the baseline is then simply the untiled nest, and the
+        # never-worse bar still applies.
+        assert model.applied
+        lines = l1_bytes // LINE
+        default_ratio = walk_histogram(baseline, LINE).curve().miss_ratio(
+            lines
+        )
+        model_ratio = walk_histogram(chosen, LINE).curve().miss_ratio(
+            lines
+        )
+        assert model_ratio <= default_ratio + 1e-12
+
+    def test_search_improves_where_the_model_sees_a_gap(self):
+        # matmul at a 4 KB L1: the heuristic's tile-8 working-set
+        # argument leaves half the capacity idle; the model finds 16.
+        improved = 0
+        for build, n, l1_bytes in CELLS:
+            baseline = build(n)
+            apply_tiling(baseline.top_level_loops()[0], l1_bytes)
+            chosen = build(n)
+            model_tiling(chosen.top_level_loops()[0], l1_bytes, LINE)
+            lines = l1_bytes // LINE
+            default_ratio = walk_histogram(
+                baseline, LINE
+            ).curve().miss_ratio(lines)
+            model_ratio = walk_histogram(chosen, LINE).curve().miss_ratio(
+                lines
+            )
+            improved += model_ratio < default_ratio - 1e-12
+        assert improved >= 2
+
+
+class TestSearchMechanics:
+    def test_search_reports_scores_and_anchors_on_default(self):
+        search = choose_tile_size(
+            matmul(32).top_level_loops()[0], 4096, LINE
+        )
+        assert search is not None
+        tiles = [tile for tile, _ in search.scores]
+        assert search.default in tiles
+        assert search.chosen in tiles
+        by_tile = dict(search.scores)
+        assert by_tile[search.chosen] <= by_tile[search.default]
+
+    def test_untileable_nest_falls_back_to_plain_result(self):
+        b = ProgramBuilder("flat")
+        a = b.array("A", (64,))
+        i = var("i")
+        b.append(loop("i", 0, 64, [stmt(reads=[a[i]], work=1)]))
+        program = b.build()
+        head = program.top_level_loops()[0]
+        assert choose_tile_size(head, 4096, LINE) is None
+        result = model_tiling(head, 4096, LINE)
+        plain = apply_tiling(program.top_level_loops()[0], 4096)
+        assert not result.applied
+        assert result.reason == plain.reason
+
+    def test_tile_size_override_validation(self):
+        with pytest.raises(ValueError):
+            apply_tiling(matmul(32).top_level_loops()[0], 4096, tile_size=1)
+
+
+class TestOptimizerIntegration:
+    def test_model_tiles_matches_plain_on_untiled_suite(self):
+        # No suite benchmark tiles at TINY (small trips / no reuse),
+        # so the model-driven optimizer must reproduce the plain one's
+        # tiling results exactly.
+        machine = base_config().scaled(TINY.machine_divisor)
+        for spec in all_specs():
+            plain_program = spec.instantiate(TINY)
+            insert_markers(plain_program)
+            plain = LocalityOptimizer(
+                machine, model_tiles=False
+            ).optimize(plain_program)
+            model_program = spec.instantiate(TINY)
+            insert_markers(model_program)
+            modeled = LocalityOptimizer(machine).optimize(model_program)
+            assert [t.applied for t in modeled.tilings] == [
+                t.applied for t in plain.tilings
+            ], spec.name
+            assert [t.reason for t in modeled.tilings] == [
+                t.reason for t in plain.tilings
+            ], spec.name
+
+    def test_model_tiles_applies_search_choice_on_tileable_nest(self):
+        program = matmul(40)
+        head = program.top_level_loops()[0]
+        search = choose_tile_size(head, 4096, LINE)
+        result = model_tiling(head, 4096, LINE)
+        assert result.applied
+        assert result.tile_size == search.chosen

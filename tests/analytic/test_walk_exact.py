@@ -1,0 +1,95 @@
+"""Property tests: the exact IR walker is bit-identical to tracing.
+
+The walker (:mod:`repro.analytic.walk`) claims trace-equivalence with
+``TraceGenerator`` + ``distance_histogram`` / ``split_profiles``.
+These properties generate random affine nests with concrete bounds
+(mixed depths, shared and private arrays, subscript offsets, scalars,
+markers) and require the histograms and region profiles to match
+*exactly* — counts, cold misses, region starts, and gate flags.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.walk import walk_histogram, walk_profile
+from repro.compiler.ir.builder import ProgramBuilder, loop, stmt
+from repro.compiler.ir.expr import var
+from repro.compiler.ir.stmts import MarkerStmt
+from repro.locality.mrc import distance_histogram
+from repro.locality.profile import split_profiles
+from repro.tracegen.interpreter import TraceGenerator
+
+LINE = 32
+
+
+@st.composite
+def affine_programs(draw):
+    """A random program of 1-2 affine nests with concrete bounds."""
+    b = ProgramBuilder("prop")
+    arrays = [b.array(name, (16, 16)) for name in ("A", "B")]
+    body = []
+    nests = draw(st.integers(1, 2))
+    for nest_index in range(nests):
+        depth = draw(st.integers(1, 3))
+        names = [f"n{nest_index}v{level}" for level in range(depth)]
+        vars_ = [var(name) for name in names]
+
+        def reference():
+            array = draw(st.sampled_from(arrays))
+            subscripts = []
+            for _ in range(2):
+                v = draw(st.sampled_from(vars_))
+                c = draw(st.integers(0, 2))
+                subscripts.append(v + c)
+            return array[subscripts[0], subscripts[1]]
+
+        reads = [reference() for _ in range(draw(st.integers(1, 3)))]
+        writes = (
+            [reference()] if draw(st.booleans()) else []
+        )
+        statements = [stmt(reads=reads, writes=writes, work=1)]
+        if draw(st.booleans()):
+            statements.append(
+                stmt(reads=[reference()], work=draw(st.integers(0, 2)))
+            )
+        nest = statements
+        for name in reversed(names):
+            nest = [loop(name, 0, draw(st.integers(2, 5)), nest)]
+        if draw(st.booleans()):
+            body.append(MarkerStmt(draw(st.sampled_from(["on", "off"]))))
+        body.extend(nest)
+    for node in body:
+        b.append(node)
+    return b.build()
+
+
+class TestWalkMatchesTrace:
+    @given(affine_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_bit_identical(self, program):
+        trace = TraceGenerator(program).generate_packed()
+        expected = distance_histogram(trace, line_size=LINE)
+        actual = walk_histogram(program, line_size=LINE)
+        assert actual == expected
+        assert actual.cold == expected.cold
+        assert dict(actual.counts) == dict(expected.counts)
+
+    @given(affine_programs(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_profile_bit_identical(self, program, initially_on):
+        trace = TraceGenerator(program).generate_packed()
+        expected = split_profiles(
+            trace, line_size=LINE, initially_on=initially_on
+        )
+        actual = walk_profile(
+            program, line_size=LINE, initially_on=initially_on
+        )
+        assert len(actual.regions) == len(expected.regions)
+        for ours, theirs in zip(actual.regions, expected.regions):
+            assert ours.index == theirs.index
+            assert ours.gate_on == theirs.gate_on
+            assert ours.start == theirs.start
+            assert ours.histogram == theirs.histogram
+        assert (
+            actual.total_histogram() == expected.total_histogram()
+        )

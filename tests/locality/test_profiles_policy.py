@@ -145,6 +145,6 @@ class TestCLI:
         assert "vpenta" in out and "compress" in out
         assert "Benchmark" in out
 
-    def test_locality_unknown_benchmark(self):
-        with pytest.raises(KeyError):
-            main(["--scale", "tiny", "locality", "nonesuch"])
+    def test_locality_unknown_benchmark(self, capsys):
+        assert main(["--scale", "tiny", "locality", "nonesuch"]) == 2
+        assert "unknown workload" in capsys.readouterr().err

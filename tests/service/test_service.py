@@ -239,3 +239,41 @@ class TestEndpoints:
             {**_simulate_body(WARM_BENCHMARK), "jobs": 1}, timeout=120
         )
         assert job["state"] == "done"
+
+
+class TestPredictEndpoint:
+    def test_predict_answers_synchronously(self, client):
+        payload = client.predict(WARM_BENCHMARK)
+        assert payload["benchmark"] == WARM_BENCHMARK
+        assert payload["scale"] == "tiny"  # service default
+        assert 0.0 <= payload["miss_ratio"] <= 1.0
+        assert payload["regions"]
+        assert payload["mrc"]
+        # no job was created for it
+        listing = client.get("/v1/jobs")["jobs"]
+        assert all(entry["kind"] != "predict" for entry in listing)
+
+    def test_repeat_predictions_cached_and_identical(self, client):
+        before = client.metrics()["predicts"]
+        first = client.predict(WARM_BENCHMARK, miss_floor=0.3)
+        second = client.predict(WARM_BENCHMARK, miss_floor=0.3)
+        after = client.metrics()["predicts"]
+        assert first == second
+        assert after == before + 1  # one model build served both
+
+    def test_predict_validation_is_400(self, client):
+        for body in (
+            {},
+            {"benchmark": "nosuch"},
+            {"benchmark": WARM_BENCHMARK, "scale": "galactic"},
+            {"benchmark": WARM_BENCHMARK, "miss_floor": 2.0},
+            {"benchmark": WARM_BENCHMARK, "threshold": "high"},
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                client.post("/v1/predict", body)
+            assert excinfo.value.status == 400
+
+    def test_predict_miss_floor_threads_through(self, client):
+        strict = client.predict(WARM_BENCHMARK, miss_floor=1.0)
+        assert strict["model_on_regions"] == 0
+        assert strict["threshold"] >= 1.0

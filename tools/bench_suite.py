@@ -7,8 +7,10 @@ processes — verifies that every cell of the two sweeps is identical,
 and measures the packed-columnar trace path against the legacy object
 path for single-thread generation, simulation (scalar loop and the
 block-batched numpy kernels), and the reuse-distance/
-miss-ratio-curve engine, plus the wall-clock of the static verifier
-(``python -m repro lint``) over the full suite.  Results are written
+miss-ratio-curve engine, the analytic predictor against the cold
+simulated service cell (budget: >=100x), plus the wall-clock of the
+static verifier (``python -m repro lint``) over the full suite.
+Results are written
 to ``BENCH_sweep.json`` next to this script's repo root so future PRs
 have a perf trajectory to compare against.
 
@@ -372,6 +374,37 @@ def bench_service(scale, benchmark):
     }
 
 
+def bench_analytic_predict(scale, benchmark, cold_seconds):
+    """Analytic MRC prediction vs the cold simulated service cell.
+
+    The analytic model's reason to exist is the latency gap: the cold
+    service leg above prepares traces, simulates, and checkpoints one
+    cell; ``predict_benchmark`` answers the same locality questions
+    (MRC, gating, tilings) straight from the IR.  Best-of-3 per leg,
+    and the acceptance budget is a speedup of at least 100x over the
+    cold cell measured in :func:`bench_service`.
+    """
+    from repro.analytic.predict import predict_benchmark
+
+    best_s, payload = float("inf"), None
+    for _ in range(3):
+        payload, seconds = _time(lambda: predict_benchmark(benchmark, scale))
+        best_s = min(best_s, seconds)
+    speedup = cold_seconds / best_s if best_s else None
+    return {
+        "benchmark": benchmark,
+        "predict_seconds": round(best_s, 4),
+        "cold_simulate_seconds": round(cold_seconds, 3),
+        "speedup_vs_cold_cell": round(speedup, 1)
+        if speedup is not None
+        else None,
+        "memory_refs": payload["memory_refs"],
+        "mrc_points": len(payload["mrc"]),
+        "predicted_miss_ratio": round(payload["miss_ratio"], 6),
+        "within_budget": speedup is not None and speedup >= 100.0,
+    }
+
+
 def bench_verify(scale):
     """Wall-clock of the full static lint (``python -m repro lint``):
     all four analyses over every benchmark's base and optimized
@@ -502,6 +535,18 @@ def main(argv=None) -> int:
         f"identical={service['results_identical']}"
     )
 
+    analytic = bench_analytic_predict(
+        scale, benchmarks[0], service["cold_seconds"]
+    )
+    print(
+        f"analytic predict on {analytic['benchmark']} "
+        f"({analytic['memory_refs']} modeled refs): "
+        f"{analytic['predict_seconds']}s vs cold cell "
+        f"{analytic['cold_simulate_seconds']}s "
+        f"-> {analytic['speedup_vs_cold_cell']}x, "
+        f"within_budget={analytic['within_budget']}"
+    )
+
     verify = bench_verify(scale)
     print(
         f"static lint: {verify['variants']} program variants in "
@@ -529,6 +574,7 @@ def main(argv=None) -> int:
         "mrc_engine": mrc,
         "telemetry_overhead": telemetry,
         "service": service,
+        "analytic_predict": analytic,
         "verify": verify,
         "dependence": dependence,
     }
@@ -543,11 +589,12 @@ def main(argv=None) -> int:
         and mrc["results_identical"]
         and telemetry["results_identical"]
         and service["results_identical"]
+        and analytic["within_budget"]
         and verify["clean"]
     ):
         print(
             "ERROR: parallel, resume, packed, vectorized, MRC, telemetry, "
-            "service, or lint results diverged",
+            "service, analytic-predict, or lint results diverged",
             file=sys.stderr,
         )
         return 1
